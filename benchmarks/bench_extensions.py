@@ -1,0 +1,74 @@
+"""Extension benches: the paper's future-work transfer syntaxes.
+
+"the generation is not necessarily limited to XML schema and future
+extensions could include the generation of RELAX NG or RDF schemas as
+well" -- measured: grammar/ontology generation time plus RELAX NG
+validation throughput compared with the XSD validator on the same message.
+"""
+
+import pytest
+
+from repro.instances import InstanceGenerator, drop_required_child
+from repro.rngen import RngValidator, compile_grammar, model_to_rdfs, result_to_rng
+from repro.xsd.validator import validate_instance
+from repro.xsdgen import SchemaGenerator
+
+
+@pytest.fixture(scope="module")
+def pipeline(easybiz):
+    result = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit")
+    schema_set = result.schema_set()
+    return result, schema_set
+
+
+def test_generate_relaxng_grammar(benchmark, pipeline):
+    """XSD result -> one combined RELAX NG grammar."""
+    result, _ = pipeline
+    grammar = benchmark(result_to_rng, result, "HoardingPermit")
+    assert grammar.tag == "grammar"
+    assert grammar.find("start") is not None
+
+
+def test_compile_relaxng_grammar(benchmark, pipeline):
+    """Grammar XML -> derivative patterns."""
+    result, _ = pipeline
+    grammar_xml = result_to_rng(result, "HoardingPermit")
+    grammar = benchmark(compile_grammar, grammar_xml)
+    assert grammar.defines
+
+
+def test_relaxng_validation_throughput(benchmark, pipeline):
+    """Derivative-based validation of a hoarding-permit message."""
+    result, schema_set = pipeline
+    validator = RngValidator(compile_grammar(result_to_rng(result, "HoardingPermit")))
+    message = InstanceGenerator(schema_set).generate("HoardingPermit")
+    assert benchmark(validator.validate, message)
+
+
+def test_xsd_validation_same_message(benchmark, pipeline):
+    """The XSD validator on the identical message (comparison arm)."""
+    _, schema_set = pipeline
+    message = InstanceGenerator(schema_set).generate("HoardingPermit")
+    assert benchmark(validate_instance, schema_set, message) == []
+
+
+def test_relaxng_rejects_what_xsd_rejects(benchmark, pipeline):
+    """Cross-engine agreement on an invalid message."""
+    result, schema_set = pipeline
+    validator = RngValidator(compile_grammar(result_to_rng(result, "HoardingPermit")))
+
+    def run():
+        message = InstanceGenerator(schema_set).generate("HoardingPermit")
+        drop_required_child(message, "IncludedRegistration")
+        return validator.validate(message), validate_instance(schema_set, message) == []
+
+    rng_ok, xsd_ok = benchmark(run)
+    assert rng_ok is False and xsd_ok is False
+
+
+def test_generate_rdf_schema(benchmark, easybiz):
+    """Model -> RDF Schema projection."""
+    rdf = benchmark(model_to_rdfs, easybiz.model)
+    classes = rdf.find_all("rdfs:Class")
+    properties = rdf.find_all("rdf:Property")
+    assert len(classes) >= 30 and len(properties) >= 40

@@ -1,0 +1,54 @@
+"""Figure 1 / sections 2.1-2.2: core components vs business information entities.
+
+Paper artifact: the Person/Address ACCs with their US_-qualified ABIE
+restrictions, and the two derived element sets the paper enumerates.
+Measured: model construction + element-set derivation; the sets must equal
+the paper's lists verbatim.
+"""
+
+from repro.catalog.figure1 import (
+    PAPER_PERSON_SET,
+    PAPER_US_PERSON_SET,
+    build_figure1_model,
+)
+
+
+def test_fig1_build_and_enumerate(benchmark):
+    """Build the Figure-1 model and derive both element sets."""
+
+    def run():
+        built = build_figure1_model()
+        return built.person.component_set(), built.us_person.component_set()
+
+    person_set, us_person_set = benchmark(run)
+    assert person_set == PAPER_PERSON_SET
+    assert us_person_set == PAPER_US_PERSON_SET
+
+
+def test_fig1_restriction_drops_country(benchmark):
+    """US_Address must miss the Country attribute (derivation by restriction)."""
+
+    def run():
+        built = build_figure1_model()
+        return (
+            [bcc.name for bcc in built.address.bccs],
+            [bbie.name for bbie in built.us_address.bbies],
+        )
+
+    core_fields, restricted_fields = benchmark(run)
+    assert "Country" in core_fields
+    assert "Country" not in restricted_fields
+    assert set(restricted_fields) < set(core_fields)
+
+
+def test_fig1_based_on_traceability(benchmark, figure1):
+    """Every business entity traces to its core component via basedOn."""
+
+    def run():
+        return {
+            "abie": figure1.us_person.based_on.name,
+            "asbie": figure1.us_person.asbie("US_Private").based_on.role,
+        }
+
+    links = benchmark(run)
+    assert links == {"abie": "Person", "asbie": "Private"}

@@ -1,0 +1,91 @@
+"""Figure 2: the core components meta model.
+
+Paper artifact: the dependency structure between the meta-model elements --
+the business layer derives from the core layer (ABIE<-ACC, BBIE uses
+CDT/QDT, ASBIE<-ASCC, QDT<-CDT), message assembly consumes ABIEs.
+Measured: whole-model dependency extraction over the EasyBiz model; the
+extracted edge kinds must match Figure 2 exactly.
+"""
+
+from repro.profile import ABIE, ACC, ASBIE, ASCC, CDT, QDT
+from repro.uml.association import Association
+from repro.uml.classifier import Classifier
+
+
+def _metamodel_edges(model):
+    """Extract (client kind, supplier kind) pairs for every basedOn + typing edge."""
+    edges = set()
+    for abie in model.abies():
+        base = abie.based_on
+        if base is not None:
+            edges.add(("ABIE", "ACC"))
+        for bbie in abie.bbies:
+            type_ = bbie.element.type
+            if type_ is not None and type_.has_stereotype(QDT):
+                edges.add(("BBIE", "QDT"))
+            elif type_ is not None and type_.has_stereotype(CDT):
+                edges.add(("BBIE", "CDT"))
+        for asbie in abie.asbies:
+            if asbie.based_on is not None:
+                edges.add(("ASBIE", "ASCC"))
+    for qdt in model.qdts():
+        if qdt.based_on is not None:
+            edges.add(("QDT", "CDT"))
+        if qdt.content_enum is not None:
+            edges.add(("QDT", "ENUM"))
+    for acc in model.accs():
+        for bcc in acc.bccs:
+            if bcc.cdt is not None:
+                edges.add(("BCC", "CDT"))
+        if acc.asccs:
+            edges.add(("ASCC", "ACC"))
+    for library in model.doc_libraries():
+        if any(abie.asbies for abie in library.abies):
+            edges.add(("MessageAssembly", "ABIE"))
+    return edges
+
+
+def test_fig2_dependency_structure(benchmark, easybiz):
+    """The EasyBiz model instantiates every Figure-2 dependency."""
+    edges = benchmark(_metamodel_edges, easybiz.model)
+    assert edges == {
+        ("ABIE", "ACC"),
+        ("ASBIE", "ASCC"),
+        ("BBIE", "CDT"),
+        ("BBIE", "QDT"),
+        ("BCC", "CDT"),
+        ("ASCC", "ACC"),
+        ("QDT", "CDT"),
+        ("QDT", "ENUM"),
+        ("MessageAssembly", "ABIE"),
+    }
+
+
+def test_fig2_layer_separation(benchmark, easybiz):
+    """No core element references the business layer (downward only)."""
+
+    def run():
+        violations = []
+        for element in easybiz.model.model.all_of_type(Association):
+            if element.has_stereotype(ASCC):
+                for end in (element.source, element.target):
+                    if end.type.has_stereotype(ABIE):
+                        violations.append(element)
+        for classifier in easybiz.model.model.all_of_type(Classifier):
+            if classifier.has_stereotype(ACC) and classifier.has_stereotype(ABIE):
+                violations.append(classifier)
+        return violations
+
+    assert benchmark(run) == []
+
+
+def test_fig2_business_entities_all_trace_to_core(benchmark, easybiz):
+    """Every ABIE/ASBIE/QDT of the model carries its basedOn trace."""
+
+    def run():
+        missing = []
+        missing.extend(a.name for a in easybiz.model.abies() if a.based_on is None)
+        missing.extend(q.name for q in easybiz.model.qdts() if q.based_on is None)
+        return missing
+
+    assert benchmark(run) == []

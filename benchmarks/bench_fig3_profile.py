@@ -1,0 +1,45 @@
+"""Figure 3: the UML profile for core components.
+
+Paper artifact: the stereotype inventory -- 8 library stereotypes in the
+Management package, 6 in DataTypes, 9 in Common.
+Measured: profile construction plus a profile-conformance sweep over the
+EasyBiz model; the inventory must match Figure 3 name for name.
+"""
+
+from repro.profile import build_upcc_profile
+
+
+def test_fig3_profile_inventory(benchmark):
+    """Build the profile; the three packages hold exactly the Figure-3 names."""
+    profile = benchmark(build_upcc_profile)
+    assert sorted(profile.stereotype_names("Management")) == [
+        "BIELibrary", "BusinessLibrary", "CCLibrary", "CDTLibrary",
+        "DOCLibrary", "ENUMLibrary", "PRIMLibrary", "QDTLibrary",
+    ]
+    assert sorted(profile.stereotype_names("DataTypes")) == [
+        "CDT", "CON", "ENUM", "PRIM", "QDT", "SUP",
+    ]
+    assert sorted(profile.stereotype_names("Common")) == [
+        "ABIE", "ACC", "ASBIE", "ASCC", "BBIE", "BCC", "BIE", "CC", "basedOn",
+    ]
+    assert len(profile.stereotype_names()) == 8 + 6 + 9
+
+
+def test_fig3_conformance_sweep(benchmark, easybiz):
+    """Check every stereotype application in the model against the profile."""
+    problems = benchmark(easybiz.model.profile_problems)
+    assert problems == []
+
+
+def test_fig3_application_rejects_misuse(benchmark):
+    """The profile rejects a BCC applied to a class (metaclass mismatch)."""
+    from repro.profile import UPCC
+    from repro.uml.classifier import Class
+
+    def run():
+        cls = Class("Wrong")
+        cls.apply_stereotype("BCC")
+        return UPCC.check_element(cls)
+
+    problems = benchmark(run)
+    assert problems and "Property" in problems[0]

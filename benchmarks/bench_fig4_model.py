@@ -1,0 +1,54 @@
+"""Figure 4: the EasyBiz EB005-HoardingPermit model (all seven packages).
+
+Paper artifact: the CCTS example model -- its package inventory and element
+census (11 BCCs on Application, 2 kept in the ABIE, 4 SUPs on Code, the
+CountryType/CouncilType QDTs, 2 ENUMs with the listed literals, the
+Figure-4 primitives, the DOCLibrary assembly with 4 ASBIEs).
+Measured: building the full model and rendering the tree view; the census
+must match the figure.
+"""
+
+from repro.catalog.easybiz import build_easybiz_model
+from repro.uml.visitor import census, render_tree
+from repro.validation import validate_model
+
+
+def test_fig4_build_model(benchmark):
+    """Construct all seven packages + LocalLawAggregates from scratch."""
+    built = benchmark(build_easybiz_model)
+    counts = census(built.model.model)
+    assert counts["ACC"] == 9
+    assert counts["ABIE"] == 8
+    assert counts["ASBIE"] == 6
+    assert counts["QDT"] == 4
+    assert counts["CDT"] == 9
+    assert counts["ENUM"] == 2
+    assert counts["DOCLibrary"] == 1 and counts["BIELibrary"] == 2
+    application = built.model.acc("Application")
+    assert len(application.bccs) == 11
+    assert len(built.common_aggregates.abie("Application").bbies) == 2
+
+
+def test_fig4_tree_view(benchmark, easybiz):
+    """Render the left-hand-side tree view of Figure 4."""
+    text = benchmark(render_tree, easybiz.model.model)
+    for expected in (
+        "«DOCLibrary» EB005-HoardingPermit",
+        "«BIELibrary» CommonAggregates",
+        "«QDTLibrary» CommonDataTypes",
+        "«CDTLibrary» coredatatypes",
+        "«CCLibrary» CandidateCoreComponents",
+        "«ENUMLibrary» EnumerationTypes",
+        "«PRIMLibrary» Primitives",
+        "«BIELibrary» LocalLawAggregates",
+        "HoardingPermit -> +Billing Person_Identification [0..1] (composite)",
+        "Person_Identification -> +Assigned Address [1] (shared)",
+    ):
+        assert expected in text, expected
+
+
+def test_fig4_model_validation(benchmark, easybiz):
+    """Run the full rule engine over the Figure-4 model."""
+    report = benchmark(validate_model, easybiz.model)
+    assert report.ok
+    assert {d.code for d in report.warnings} <= {"UPCC-D09"}

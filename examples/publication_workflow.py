@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Publishing a document standard: diagrams, docs, schemas, maintenance.
+
+A standards body publishing the EasyBiz HoardingPermit exchange needs more
+than raw XSD files.  This example produces the full publication bundle and
+then performs a maintenance cycle:
+
+1. class diagrams (Graphviz DOT) for the modeling appendix,
+2. human-readable HTML documentation of every document type,
+3. the schema files themselves plus a RELAX NG grammar for RNG shops,
+4. maintenance: rename an entity, bump the document version, re-point the
+   schema locations at the public server, and verify the new release is
+   backward compatible with the old one.
+
+Run with ``python examples/publication_workflow.py [output-directory]``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import GenerationOptions, SchemaGenerator
+from repro.catalog import build_easybiz_model
+from repro.console import bump_version, rename_classifier, set_global_schema_location
+from repro.rngen import result_to_rng, rng_to_string
+from repro.uml.diagram import model_to_dot, package_to_dot
+from repro.xsd.compat import check_compatibility
+from repro.xsdgen import write_documentation
+
+
+def main() -> int:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp(prefix="publication-"))
+    easybiz = build_easybiz_model()
+
+    print("=== release 0.4: the publication bundle ===")
+    options = GenerationOptions(annotated=True, target_directory=out / "schemas-0.4")
+    result = SchemaGenerator(easybiz.model, options).generate(
+        easybiz.doc_library, root="HoardingPermit"
+    )
+    (out / "diagrams").mkdir(parents=True, exist_ok=True)
+    (out / "diagrams" / "model.dot").write_text(
+        model_to_dot(easybiz.model.model), encoding="utf-8"
+    )
+    (out / "diagrams" / "core_components.dot").write_text(
+        package_to_dot(easybiz.cc_library.package, "CoreComponents"), encoding="utf-8"
+    )
+    write_documentation(result, out / "hoarding-permit-0.4.html",
+                        title="EB005 HoardingPermit 0.4")
+    (out / "hoarding-permit-0.4.rng").write_text(
+        rng_to_string(result_to_rng(result, "HoardingPermit")), encoding="utf-8"
+    )
+    for artifact in ("schemas-0.4", "diagrams/model.dot", "hoarding-permit-0.4.html",
+                     "hoarding-permit-0.4.rng"):
+        print(f"  {out / artifact}")
+
+    print()
+    print("=== maintenance cycle -> release 0.5 ===")
+    evolved = build_easybiz_model()
+    # A business-requested rename: 'Attachment' becomes 'Enclosure'.
+    rename_classifier(evolved.model, evolved.model.abie("Attachment"), "Enclosure")
+    rename_classifier(evolved.model, evolved.model.acc("Attachment"), "Enclosure")
+    previous = bump_version(evolved.doc_library, "0.5")
+    print(f"  renamed Attachment -> Enclosure; version {previous} -> 0.5")
+    evolved_result = SchemaGenerator(
+        evolved.model, GenerationOptions(target_directory=out / "schemas-0.5")
+    ).generate(evolved.doc_library, root="HoardingPermit")
+    rewritten = set_global_schema_location(
+        evolved_result, "https://schemas.example.org/easybiz/"
+    )
+    print(f"  re-pointed {rewritten} import locations at the public server")
+
+    print()
+    print("=== compatibility gate ===")
+    report = check_compatibility(result.schema_set(), evolved_result.schema_set())
+    print(f"  0.4 -> 0.5 backward compatible: {report.is_backward_compatible}")
+    for change in report.breaking:
+        print(f"  {change}")
+    print()
+    print("the rename is breaking (IncludedAttachment became IncludedEnclosure)")
+    print("-- exactly what the gate exists to catch before publication.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Quickstart: model a tiny core-component library and generate its schemas.
+
+Walks the full pipeline on a minimal model built from scratch with the
+public API:
+
+1. create a business library with primitives, one CDT and one ACC,
+2. derive a business information entity by restriction,
+3. assemble a document library,
+4. validate the model,
+5. generate the NDR-conformant XML schemas,
+6. produce a sample instance and validate it against the schemas.
+
+Run with ``python examples/quickstart.py [output-directory]``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import CctsModel, GenerationOptions, SchemaGenerator, validate_model
+from repro.ccts.derivation import derive_abie
+from repro.instances import InstanceGenerator
+from repro.xsd.validator import validate_instance
+
+
+def build_model() -> tuple[CctsModel, object]:
+    """A minimal but complete core-components model."""
+    model = CctsModel("Quickstart")
+    business = model.add_business_library("Demo", "urn:example:demo")
+
+    prims = business.add_prim_library("Primitives")
+    string = prims.add_primitive("String")
+
+    cdts = business.add_cdt_library("DataTypes")
+    text = cdts.add_cdt("Text")
+    text.set_content(string.element)
+    text.add_supplementary("LanguageIdentifier", string.element, "0..1")
+    date = cdts.add_cdt("Date")
+    date.set_content(string.element)
+
+    ccs = business.add_cc_library("CoreComponents")
+    person = ccs.add_acc("Person")
+    person.add_bcc("FirstName", text, "1")
+    person.add_bcc("LastName", text, "1")
+    person.add_bcc("DateOfBirth", date, "0..1")
+
+    roster_acc = ccs.add_acc("Roster")
+    roster_acc.add_bcc("Title", text, "0..1")
+    roster_acc.add_ascc("Listed", person, "0..*")
+
+    # Derive context-specific business information entities by restriction:
+    # the contact-list context does not need the date of birth.
+    bies = business.add_bie_library("ContactAggregates")
+    contact = derive_abie(bies, person, qualifier="Contact")
+    contact.include("FirstName")
+    contact.include("LastName")
+
+    doc = business.add_doc_library("ContactList")
+    roster = derive_abie(doc, roster_acc)
+    roster.include("Title", "0..1")
+    roster.connect("Listed", contact.abie, "0..*", based_on="Listed")
+    return model, doc
+
+
+def main() -> int:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp(prefix="quickstart-"))
+    model, doc_library = build_model()
+
+    report = validate_model(model)
+    print(f"validation: {report.summary()}")
+    if not report.ok:
+        print(report)
+        return 1
+
+    generator = SchemaGenerator(model, GenerationOptions(target_directory=out_dir))
+    result = generator.generate(doc_library, root="Roster")
+    print(f"generated {len(result.schemas)} schema(s) into {out_dir}")
+    print()
+    print(result.root.to_string())
+
+    schema_set = result.schema_set()
+    instance = InstanceGenerator(schema_set)
+    document = instance.generate_string("Roster")
+    print(document)
+    problems = validate_instance(schema_set, document)
+    print(f"instance validation: {'valid' if not problems else problems}")
+    return 0 if not problems else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

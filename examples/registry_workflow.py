@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Registry and harmonization workflow (the paper's section-1 motivation).
+
+The paper criticizes the spreadsheet-based harmonization process and
+proposes XMI-based registration.  This example plays both roles:
+
+1. register the Figure-1 and EasyBiz models in a file-based registry,
+2. search the registry by dictionary entry name (the lookup a modeler
+   performs before minting a duplicate core component),
+3. export a model to the CSV spreadsheet baseline, re-import it and diff --
+   showing exactly what the spreadsheet drops and the XMI keeps.
+
+Run with ``python examples/registry_workflow.py [registry-directory]``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.catalog import build_easybiz_model, build_figure1_model
+from repro.interchange import diff_models, export_csv, import_csv
+from repro.registry import Registry
+
+
+def main() -> int:
+    directory = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp(prefix="registry-"))
+    registry = Registry(directory)
+
+    easybiz = build_easybiz_model()
+    figure1 = build_figure1_model()
+    registry.store("easybiz", easybiz.model, overwrite=True)
+    registry.store("figure1", figure1.model, overwrite=True)
+    print(f"registry at {directory} now holds:")
+    for entry in registry.entries():
+        print(f"  {entry.name}: {len(entry.libraries)} libraries, "
+              f"{len(entry.dictionary_entries)} dictionary entries")
+
+    print()
+    print("search 'Person':")
+    for model_name, den in registry.search("Person"):
+        print(f"  [{model_name}] {den}")
+
+    print()
+    print("XMI fidelity: reload and diff")
+    reloaded = registry.load("easybiz")
+    differences = diff_models(easybiz.model, reloaded)
+    print(f"  {len(differences)} difference(s) after XMI round trip")
+
+    print()
+    print("spreadsheet baseline: export to CSV, re-import and diff")
+    csv_text = export_csv(easybiz.model, directory / "easybiz.csv")
+    imported = import_csv(csv_text)
+    differences = diff_models(easybiz.model, imported)
+    print(f"  {len(differences)} difference(s) after CSV round trip:")
+    for difference in differences:
+        print(f"    {difference}")
+    print()
+    print("the spreadsheet drops namespace prefixes, versions, baseURNs and")
+    print("basedOn traceability for associations -- the losses the paper's")
+    print("XMI-based registry proposal eliminates.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The validation engine in action (the paper's top-priority future work).
+
+"Even experienced core component modelers often get lost in a model because
+the interdependencies between CDTs, QDTs etc. blur with the increasing
+complexity of a model."  This example builds a model with seven deliberate
+mistakes -- one per rule family -- runs the engine, and shows that the
+generator refuses to produce schemas from the broken model (the Figure-5
+error dialog behaviour) until the mistakes are fixed.
+
+Run with ``python examples/validation_engine.py``.
+"""
+
+from __future__ import annotations
+
+from repro import CctsModel, SchemaGenerator, validate_model
+from repro.errors import GenerationError
+from repro.profile import ABIE, BCC
+
+
+def build_broken_model() -> CctsModel:
+    """A model seeded with representative modeling mistakes."""
+    model = CctsModel("Broken")
+    business = model.add_business_library("Broken", "urn:example:broken")
+    prims = business.add_prim_library("Primitives")
+    string = prims.add_primitive("String")
+    fancy = prims.add_primitive("FancyCustomThing")  # D07: no XSD mapping
+    _ = fancy
+
+    cdts = business.add_cdt_library("DataTypes")
+    code = cdts.add_cdt("Code")
+    code.set_content(string.element)
+    # D01: a CDT with no content component at all.
+    empty = cdts.add_cdt("Empty")
+    _ = empty
+
+    enums = business.add_enum_library("Enums")
+    enums.add_enumeration("Hollow_Code")  # D05: no literals
+
+    ccs = business.add_cc_library("CoreComponents")
+    acc = ccs.add_acc("Thing")
+    acc.add_bcc("Kind", code, "0..1")
+    # P03/C01: an untyped BCC.
+    acc.element.add_attribute("Mystery", None, "1", stereotype=BCC)
+
+    bies = business.add_bie_library("Entities")
+    # B01: an ABIE without any basedOn dependency.
+    orphan = bies.add_abie("Orphan")
+    orphan.element.add_attribute("Kind", code.element, "1", stereotype="BBIE")
+    # B02: an ABIE that *widens* the BCC multiplicity (0..1 -> 1..*).
+    cheater = bies.add_abie("Thing")
+    bies.package.add_dependency(cheater.element, acc.element, stereotype="basedOn")
+    cheater.element.add_attribute("Kind", code.element, "1..*", stereotype="BBIE")
+    # L02: a library owning the wrong element kind.
+    cdts.package.add_class("Smuggled", stereotype=ABIE)
+    return model
+
+
+def main() -> int:
+    model = build_broken_model()
+    report = validate_model(model)
+    print("=== Validation report ===")
+    for diagnostic in report.diagnostics:
+        print(f"  {diagnostic}")
+    print(report.summary())
+
+    print()
+    print("=== Generation attempt (must abort, Figure-5 style) ===")
+    generator = SchemaGenerator(model)
+    try:
+        generator.generate("Entities")
+    except GenerationError as error:
+        print("generation aborted as expected:")
+        print(f"  {error}")
+        return 0
+    print("ERROR: generation unexpectedly succeeded")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""UPCC: a UML profile for UN/CEFACT core components and their XSD transformation.
+
+A from-scratch Python reproduction of *Huemer & Liegl, "A UML Profile for
+Core Components and their Transformation to XSD", ICDE 2007*:
+
+* :mod:`repro.uml` -- a UML 2 kernel subset (the Enterprise Architect
+  substitute),
+* :mod:`repro.profile` -- the UPCC profile (Figure 3),
+* :mod:`repro.ccts` -- the CCTS layer: ACC/BCC/ASCC, CDT/QDT, ABIE/BBIE/
+  ASBIE, libraries, dictionary entry names, derivation by restriction,
+* :mod:`repro.validation` -- the model validation engine,
+* :mod:`repro.ndr` -- the UN/CEFACT XML naming and design rules,
+* :mod:`repro.xsdgen` -- the XSD generator (Figures 5-8),
+* :mod:`repro.xsd` -- an XSD object model, writer, parser and instance
+  validator,
+* :mod:`repro.instances` -- sample-instance generation and mutation,
+* :mod:`repro.xmi` -- XMI interchange,
+* :mod:`repro.interchange` -- the spreadsheet baseline and model diffing,
+* :mod:`repro.registry` -- a file-based core-component registry,
+* :mod:`repro.catalog` -- ready-made models (standards catalog, the
+  paper's Figure-1 and Figure-4 examples, an e-commerce order model).
+
+Quickstart::
+
+    from repro import SchemaGenerator
+    from repro.catalog import build_easybiz_model
+
+    easybiz = build_easybiz_model()
+    result = SchemaGenerator(easybiz.model).generate(
+        easybiz.doc_library, root="HoardingPermit"
+    )
+    print(result.root.to_string())
+"""
+
+from repro.ccts.model import CctsModel
+from repro.errors import ReproError
+from repro.validation import validate_model
+from repro.xmi import read_xmi, write_xmi
+from repro.xsd.validator import SchemaSet, validate_instance
+from repro.xsdgen import GenerationOptions, SchemaGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CctsModel",
+    "GenerationOptions",
+    "ReproError",
+    "SchemaGenerator",
+    "SchemaSet",
+    "__version__",
+    "read_xmi",
+    "validate_instance",
+    "validate_model",
+    "write_xmi",
+]

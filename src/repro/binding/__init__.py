@@ -1,0 +1,21 @@
+"""Data binding: Python dicts <-> business-document XML.
+
+The generated schemas describe documents "exchanged during a business
+process"; application code wants to produce and consume those documents
+without hand-assembling XML.  This package is that layer:
+
+* :func:`marshal` -- a plain dict (attributes under ``"@name"`` keys, the
+  simple-content value under ``"#value"``, repeated elements as lists)
+  becomes a schema-shaped :class:`repro.xmlutil.XmlElement` tree,
+* :func:`unmarshal` -- the reverse projection,
+* both are schema-driven: unknown fields, type mismatches and missing
+  required content surface as :class:`repro.errors.InstanceValidationError`
+  immediately, not at the receiving end.
+
+The dict convention round-trips: ``unmarshal(schema_set, marshal(schema_set,
+root, data)) == data`` for canonical data (the property tests check it).
+"""
+
+from repro.binding.marshal import marshal, marshal_string, unmarshal
+
+__all__ = ["marshal", "marshal_string", "unmarshal"]

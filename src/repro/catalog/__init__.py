@@ -1,0 +1,27 @@
+"""Ready-made models: the standards catalog and the paper's examples.
+
+* :mod:`repro.catalog.primitives` -- the standard PRIMLibrary,
+* :mod:`repro.catalog.cdts` -- the CCTS 2.01 approved core data types,
+* :mod:`repro.catalog.figure1` -- the Person/Address vs US_Person/US_Address
+  example of the paper's Figure 1,
+* :mod:`repro.catalog.easybiz` -- the full EasyBiz EB005-HoardingPermit
+  model of the paper's Figure 4 (all seven packages plus the
+  LocalLawAggregates library visible in the diagram),
+* :mod:`repro.catalog.ecommerce` -- an additional purchase-order model
+  exercising the same machinery on the domain the paper's introduction
+  motivates.
+"""
+
+from repro.catalog.cdts import add_standard_cdt_library
+from repro.catalog.easybiz import build_easybiz_model
+from repro.catalog.ecommerce import build_ecommerce_model
+from repro.catalog.figure1 import build_figure1_model
+from repro.catalog.primitives import add_standard_prim_library
+
+__all__ = [
+    "add_standard_cdt_library",
+    "add_standard_prim_library",
+    "build_easybiz_model",
+    "build_ecommerce_model",
+    "build_figure1_model",
+]

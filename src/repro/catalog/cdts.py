@@ -1,0 +1,184 @@
+"""The CCTS 2.01 approved core data types.
+
+CCTS 2.01 approves a catalog of core data types built on ten core component
+types (Amount, Binary Object, Code, Date Time, Identifier, Indicator,
+Measure, Numeric, Quantity, Text).  This module reconstructs that catalog:
+each CDT gets one content component and the standard supplementary
+components, with the SUP sets the specification lists.
+
+The paper's Figure 4 uses the Code shape with exactly four supplementary
+components (CodeListAgName, CodeListName, CodeListSchemeURI,
+LanguageIdentifier); :func:`add_paper_cdt_library` builds that reduced,
+paper-faithful variant, while :func:`add_standard_cdt_library` builds the
+full standard catalog.
+"""
+
+from __future__ import annotations
+
+from repro.ccts.data_types import CoreDataType
+from repro.ccts.libraries import BusinessLibrary, CdtLibrary, PrimLibrary
+
+#: (CDT name, content primitive, ((SUP name, SUP primitive, multiplicity), ...))
+_SupSpec = tuple[str, str, str]
+_CdtSpec = tuple[str, str, tuple[_SupSpec, ...]]
+
+#: The full approved catalog (CCTS 2.01, Table 8-1 reconstructed).
+STANDARD_CDTS: tuple[_CdtSpec, ...] = (
+    ("Amount", "Decimal", (
+        ("AmountCurrencyIdentificationCode", "String", "0..1"),
+        ("AmountCurrencyCodeListVersionIdentifier", "String", "0..1"),
+    )),
+    ("BinaryObject", "Binary", (
+        ("BinaryObjectMimeCode", "String", "0..1"),
+        ("BinaryObjectCharacterSetCode", "String", "0..1"),
+        ("BinaryObjectEncodingCode", "String", "0..1"),
+        ("BinaryObjectFilename", "String", "0..1"),
+        ("BinaryObjectFormatText", "String", "0..1"),
+        ("BinaryObjectUniformResourceIdentifier", "String", "0..1"),
+    )),
+    ("Graphic", "Binary", (
+        ("GraphicMimeCode", "String", "0..1"),
+        ("GraphicFilename", "String", "0..1"),
+    )),
+    ("Picture", "Binary", (
+        ("PictureMimeCode", "String", "0..1"),
+        ("PictureFilename", "String", "0..1"),
+    )),
+    ("Sound", "Binary", (
+        ("SoundMimeCode", "String", "0..1"),
+        ("SoundFilename", "String", "0..1"),
+    )),
+    ("Video", "Binary", (
+        ("VideoMimeCode", "String", "0..1"),
+        ("VideoFilename", "String", "0..1"),
+    )),
+    ("Code", "String", (
+        ("CodeListIdentifier", "String", "0..1"),
+        ("CodeListAgencyIdentifier", "String", "0..1"),
+        ("CodeListAgencyName", "String", "0..1"),
+        ("CodeListName", "String", "0..1"),
+        ("CodeListVersionIdentifier", "String", "0..1"),
+        ("CodeName", "String", "0..1"),
+        ("LanguageIdentifier", "String", "0..1"),
+        ("CodeListUniformResourceIdentifier", "String", "0..1"),
+        ("CodeListSchemeUniformResourceIdentifier", "String", "0..1"),
+    )),
+    ("Date", "String", (
+        ("DateFormatText", "String", "0..1"),
+    )),
+    ("Time", "String", (
+        ("TimeFormatText", "String", "0..1"),
+    )),
+    ("DateTime", "String", (
+        ("DateTimeFormatText", "String", "0..1"),
+    )),
+    ("Identifier", "String", (
+        ("IdentificationSchemeIdentifier", "String", "0..1"),
+        ("IdentificationSchemeName", "String", "0..1"),
+        ("IdentificationSchemeAgencyIdentifier", "String", "0..1"),
+        ("IdentificationSchemeAgencyName", "String", "0..1"),
+        ("IdentificationSchemeVersionIdentifier", "String", "0..1"),
+        ("IdentificationSchemeDataUniformResourceIdentifier", "String", "0..1"),
+        ("IdentificationSchemeUniformResourceIdentifier", "String", "0..1"),
+    )),
+    ("Indicator", "String", (
+        ("IndicatorFormatText", "String", "0..1"),
+    )),
+    ("Measure", "Decimal", (
+        ("MeasureUnitCode", "String", "0..1"),
+        ("MeasureUnitCodeListVersionIdentifier", "String", "0..1"),
+    )),
+    ("Numeric", "Decimal", (
+        ("NumericFormatText", "String", "0..1"),
+    )),
+    ("Percent", "Decimal", (
+        ("PercentFormatText", "String", "0..1"),
+    )),
+    ("Rate", "Decimal", (
+        ("RateFormatText", "String", "0..1"),
+    )),
+    ("Ratio", "String", (
+        ("RatioFormatText", "String", "0..1"),
+    )),
+    ("Quantity", "Decimal", (
+        ("QuantityUnitCode", "String", "0..1"),
+        ("QuantityUnitCodeListIdentifier", "String", "0..1"),
+        ("QuantityUnitCodeListAgencyIdentifier", "String", "0..1"),
+    )),
+    ("Text", "String", (
+        ("LanguageIdentifier", "String", "0..1"),
+    )),
+    ("Name", "String", (
+        ("LanguageIdentifier", "String", "0..1"),
+    )),
+)
+
+#: The reduced shapes used by the paper's Figure 4 model.
+PAPER_CDTS: tuple[_CdtSpec, ...] = (
+    ("Code", "String", (
+        ("CodeListAgName", "String", "1"),
+        ("CodeListName", "String", "1"),
+        ("CodeListSchemeURI", "String", "1"),
+        ("LanguageIdentifier", "String", "0..1"),
+    )),
+    ("Identifier", "String", (
+        ("IdentificationSchemeName", "String", "0..1"),
+    )),
+    ("Text", "String", (
+        ("LanguageIdentifier", "String", "0..1"),
+    )),
+    ("Name", "String", (
+        ("LanguageIdentifier", "String", "0..1"),
+    )),
+    ("Date", "String", (
+        ("DateFormatText", "String", "0..1"),
+    )),
+    ("DateTime", "String", (
+        ("DateTimeFormatText", "String", "0..1"),
+    )),
+    ("BinaryObject", "Binary", (
+        ("BinaryObjectMimeCode", "String", "0..1"),
+        ("BinaryObjectFilename", "String", "0..1"),
+    )),
+    ("Measure", "Decimal", (
+        ("MeasureUnitCode", "String", "0..1"),
+    )),
+    ("Amount", "Decimal", (
+        ("AmountCurrencyIdentificationCode", "String", "0..1"),
+    )),
+)
+
+
+def _populate(library: CdtLibrary, prims: PrimLibrary, specs: tuple[_CdtSpec, ...]) -> None:
+    for cdt_name, content_prim, sups in specs:
+        cdt = library.add_cdt(cdt_name)
+        cdt.set_content(prims.primitive(content_prim).element)
+        for sup_name, sup_prim, multiplicity in sups:
+            cdt.add_supplementary(sup_name, prims.primitive(sup_prim).element, multiplicity)
+
+
+def add_standard_cdt_library(
+    business_library: BusinessLibrary,
+    prims: PrimLibrary,
+    name: str = "CoreDataTypes",
+) -> CdtLibrary:
+    """Create a CDTLibrary with the full approved CCTS 2.01 catalog."""
+    library = business_library.add_cdt_library(name)
+    _populate(library, prims, STANDARD_CDTS)
+    return library
+
+
+def add_paper_cdt_library(
+    business_library: BusinessLibrary,
+    prims: PrimLibrary,
+    name: str = "coredatatypes",
+) -> CdtLibrary:
+    """Create the reduced CDTLibrary matching the paper's Figure 4."""
+    library = business_library.add_cdt_library(name)
+    _populate(library, prims, PAPER_CDTS)
+    return library
+
+
+def cdt_map(library: CdtLibrary) -> dict[str, CoreDataType]:
+    """Name -> wrapper for every CDT in ``library``."""
+    return {cdt.name: cdt for cdt in library.cdts}

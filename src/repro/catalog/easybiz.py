@@ -1,0 +1,251 @@
+"""The paper's Figure 4: the EasyBiz EB005-HoardingPermit model.
+
+All packages of the figure are reconstructed:
+
+1. DOCLibrary ``EB005-HoardingPermit`` -- local ABIEs ``HoardingPermit``
+   (4 BBIEs, 4 ASBIEs with roles Included/Current/Billing/Included) and
+   the unused ``HoardingDetails``;
+2. BIELibrary ``CommonAggregates`` (user prefix ``commonAggregates``) --
+   ABIEs Signature, Person_Identification (composition ``Personal`` ->
+   Signature, *shared aggregation* ``Assigned`` -> Address, the Figure-7
+   case), Address, Application (2 of the ACC's 11 BCCs kept);
+3. QDTLibrary ``CommonDataTypes`` -- CountryType / CouncilType (based on
+   Code, enum-restricted contents, keeping only CodeListName) plus the
+   Indicator_Code and RegistrationType_Code QDTs the document layer uses;
+4. CDTLibrary ``coredatatypes`` -- the paper shape of Code (one CON, four
+   SUPs) and the further CDTs the model needs;
+5. CCLibrary ``CandidateCoreComponents`` -- Application (11 BCCs + ASCC
+   ``Applicant`` -> Party), Attachment, Party, plus the base ACCs for every
+   ABIE (the paper's figure elides them "compelled by space limitations";
+   a valid CCTS model requires them, since ABIEs derive exclusively from
+   ACCs);
+6. ENUMLibrary ``EnumerationTypes`` -- CouncilType_Code (5 Victorian
+   councils) and CountryType_Code (USA/AUT/AUS);
+7. PRIMLibrary -- String, Boolean, Integer (the three shown) plus Decimal
+   and Binary needed by Amount/Measure/BinaryObject contents.
+
+Additionally the BIELibrary ``LocalLawAggregates`` (ABIE Registration)
+visible at the bottom right of the figure -- the library Figure 6 imports
+under the generated prefix ``bie2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.cdts import add_paper_cdt_library
+from repro.catalog.primitives import add_standard_prim_library
+from repro.ccts.bie import Abie
+from repro.ccts.derivation import derive_abie, derive_qdt
+from repro.ccts.libraries import (
+    BieLibrary,
+    BusinessLibrary,
+    CcLibrary,
+    CdtLibrary,
+    DocLibrary,
+    EnumLibrary,
+    PrimLibrary,
+    QdtLibrary,
+)
+from repro.ccts.model import CctsModel
+from repro.uml.association import AggregationKind
+
+#: The baseURN of the Victorian EasyBiz project (Figure 6, line 1).
+EASYBIZ_URN = "urn:au:gov:vic:easybiz"
+
+#: Literals of CouncilType_Code (Figure 4, package 6).
+COUNCIL_LITERALS = {
+    "kingston": "Kingston City Council",
+    "morningtonpeninsula": "Mornington Peninsula Shire Council",
+    "northerngrampians": "Northern Grampians Shire Council",
+    "portphillip": "Port Phillip City Council",
+    "pyrenees": "Pyrenees Shire Council",
+}
+
+#: Literals of CountryType_Code (Figure 4, package 6).
+COUNTRY_LITERALS = {
+    "USA": "United States of America",
+    "AUT": "Austria",
+    "AUS": "Australia",
+}
+
+#: The 11 BCCs of the Application ACC (Figure 4, package 5).
+# Figure 4 shows no explicit multiplicities on these BCCs; they are declared
+# optional so the ABIE's [0..1] fields remain strict restrictions.
+APPLICATION_BCCS = (
+    ("CreatedDate", "Date", "0..1"),
+    ("Fee", "Amount", "0..1"),
+    ("Justification", "Text", "0..1"),
+    ("LastUpdatedDate", "Date", "0..1"),
+    ("LocalReferenceNumber", "Text", "0..1"),
+    ("NationalReferenceNumber", "Identifier", "0..1"),
+    ("Reference", "Text", "0..1"),
+    ("RelatedReference", "Text", "0..1"),
+    ("Result", "Code", "0..1"),
+    ("Status", "Code", "0..1"),
+    ("Type", "Code", "0..1"),
+)
+
+
+@dataclass
+class EasyBizModel:
+    """Handles on the Figure-4 model used by tests, benches and examples."""
+
+    model: CctsModel
+    business: BusinessLibrary
+    prim_library: PrimLibrary
+    enum_library: EnumLibrary
+    cdt_library: CdtLibrary
+    qdt_library: QdtLibrary
+    cc_library: CcLibrary
+    common_aggregates: BieLibrary
+    local_law_aggregates: BieLibrary
+    doc_library: DocLibrary
+    hoarding_permit: Abie
+
+
+def build_easybiz_model() -> EasyBizModel:
+    """Construct the complete Figure-4 model."""
+    model = CctsModel("EasyBiz")
+    business = model.add_business_library("EasyBiz", EASYBIZ_URN)
+
+    # -- package 7: primitives --------------------------------------------------
+    prims = add_standard_prim_library(business)
+    string = prims.primitive("String").element
+
+    # -- package 6: enumerations --------------------------------------------------
+    enums = business.add_enum_library("EnumerationTypes")
+    council_enum = enums.add_enumeration("CouncilType_Code", COUNCIL_LITERALS)
+    country_enum = enums.add_enumeration("CountryType_Code", COUNTRY_LITERALS)
+
+    # -- package 4: core data types -------------------------------------------------
+    cdts = add_paper_cdt_library(business, prims, "coredatatypes")
+    code = cdts.cdt("Code")
+    text = cdts.cdt("Text")
+    identifier = cdts.cdt("Identifier")
+    date = cdts.cdt("Date")
+    date_time = cdts.cdt("DateTime")
+    binary_object = cdts.cdt("BinaryObject")
+    measure = cdts.cdt("Measure")
+    amount = cdts.cdt("Amount")
+
+    # -- package 3: qualified data types ----------------------------------------------
+    qdts = business.add_qdt_library("CommonDataTypes", version="0.1")
+    country_type = derive_qdt(
+        qdts, code, "CountryType",
+        keep_supplementaries={"CodeListName": "0..1"},
+        content_enum=country_enum,
+    )
+    council_type = derive_qdt(
+        qdts, code, "CouncilType",
+        keep_supplementaries={"CodeListName": "0..1"},
+        content_enum=council_enum,
+    )
+    indicator_code = derive_qdt(qdts, code, "Indicator_Code")
+    registration_type_code = derive_qdt(qdts, code, "RegistrationType_Code")
+    _ = council_type
+
+    # -- package 5: candidate core components ---------------------------------------------
+    ccs = business.add_cc_library("CandidateCoreComponents", version="0.1")
+    application_acc = ccs.add_acc("Application")
+    for bcc_name, cdt_name, multiplicity in APPLICATION_BCCS:
+        application_acc.add_bcc(bcc_name, cdts.cdt(cdt_name), multiplicity)
+    attachment_acc = ccs.add_acc("Attachment")
+    attachment_acc.add_bcc("Description", text, "0..1")
+    attachment_acc.add_bcc("File", binary_object, "0..1")
+    attachment_acc.add_bcc("Location", text, "0..1")
+    attachment_acc.add_bcc("Size", measure, "0..1")
+    party_acc = ccs.add_acc("Party")
+    party_acc.add_bcc("Description", text, "0..1")
+    party_acc.add_bcc("Role", text, "0..1")
+    party_acc.add_bcc("Type", code, "0..1")
+    application_acc.add_ascc("Applicant", party_acc, "1", AggregationKind.COMPOSITE)
+
+    # Base ACCs for the remaining ABIEs (elided in the figure, required by CCTS).
+    signature_acc = ccs.add_acc("Signature")
+    signature_acc.add_bcc("Date", date_time, "0..1")
+    signature_acc.add_bcc("PersonName", text, "0..1")
+    signature_acc.add_bcc("SignatureData", binary_object, "0..1")
+    address_acc = ccs.add_acc("Address")
+    address_acc.add_bcc("CountryName", code, "0..1")
+    person_identification_acc = ccs.add_acc("Person_Identification")
+    person_identification_acc.add_bcc("Designation", identifier, "1")
+    person_identification_acc.add_ascc("Personal", signature_acc, "1", AggregationKind.COMPOSITE)
+    person_identification_acc.add_ascc("Assigned", address_acc, "1", AggregationKind.SHARED)
+    registration_acc = ccs.add_acc("Registration")
+    registration_acc.add_bcc("Type", code, "0..1")
+    hoarding_permit_acc = ccs.add_acc("HoardingPermit")
+    hoarding_permit_acc.add_bcc("ClosureReason", text, "0..1")
+    hoarding_permit_acc.add_bcc("IsClosedFootpath", code, "0..1")
+    hoarding_permit_acc.add_bcc("IsClosedRoad", code, "0..1")
+    hoarding_permit_acc.add_bcc("SafetyPrecaution", text, "0..1")
+    hoarding_permit_acc.add_ascc("Included", attachment_acc, "0..*", AggregationKind.COMPOSITE)
+    hoarding_permit_acc.add_ascc("Current", application_acc, "0..1", AggregationKind.COMPOSITE)
+    hoarding_permit_acc.add_ascc("Billing", person_identification_acc, "0..1", AggregationKind.COMPOSITE)
+    hoarding_permit_acc.add_ascc("Included", registration_acc, "1", AggregationKind.COMPOSITE)
+    hoarding_details_acc = ccs.add_acc("HoardingDetails")
+    hoarding_details_acc.add_bcc("Description", text, "0..1")
+
+    # -- package 2: BIELibrary CommonAggregates ------------------------------------------------
+    common = business.add_bie_library(
+        "CommonAggregates", namespacePrefix="commonAggregates", version="0.1"
+    )
+    signature = derive_abie(common, signature_acc)
+    signature.include("Date", "0..1")
+    signature.include("PersonName", "0..1")
+    signature.include("SignatureData", "0..1")
+    address = derive_abie(common, address_acc)
+    address.include("CountryName", "0..1", data_type=country_type)
+    person_identification = derive_abie(common, person_identification_acc)
+    person_identification.include("Designation")
+    person_identification.connect("Personal", signature.abie, based_on="Personal")
+    person_identification.connect("Assigned", address.abie, based_on="Assigned")
+    application = derive_abie(common, application_acc)
+    # Of the initially eleven BCCs only CreatedDate and Type are used.
+    application.include("CreatedDate", "0..1")
+    application.include("Type", "0..1")
+
+    # -- LocalLawAggregates (bottom right of Figure 4; "bie2" in Figure 6) -----------------------
+    local_law = business.add_bie_library("LocalLawAggregates", version="0.1")
+    registration = derive_abie(local_law, registration_acc)
+    registration.include("Type", "0..1", data_type=registration_type_code)
+
+    # -- package 1: DOCLibrary EB005-HoardingPermit ------------------------------------------------
+    attachment = derive_abie(common, attachment_acc)
+    attachment.include("Description", "0..1")
+
+    doc = business.add_doc_library("EB005-HoardingPermit", version="0.4")
+    hoarding_permit = derive_abie(doc, hoarding_permit_acc)
+    hoarding_permit.include("ClosureReason", "0..1")
+    hoarding_permit.include("IsClosedFootpath", "0..1", data_type=indicator_code)
+    hoarding_permit.include("IsClosedRoad", "0..1", data_type=indicator_code)
+    hoarding_permit.include("SafetyPrecaution", "0..1")
+    # ASBIEs in Figure-6 element order.  The two "Included" ASCCs are
+    # disambiguated by target, so the basedOn links are selected explicitly.
+    def _ascc(role: str, target_name: str):
+        return next(
+            ascc for ascc in hoarding_permit_acc.asccs
+            if ascc.role == role and ascc.target.name == target_name
+        )
+
+    hoarding_permit.connect("Included", attachment.abie, "0..*", based_on=_ascc("Included", "Attachment"))
+    hoarding_permit.connect("Current", application.abie, "0..1", based_on="Current")
+    hoarding_permit.connect("Included", registration.abie, "1", based_on=_ascc("Included", "Registration"))
+    hoarding_permit.connect("Billing", person_identification.abie, "0..1", based_on="Billing")
+    hoarding_details = derive_abie(doc, hoarding_details_acc)
+    hoarding_details.include("Description", "0..1")
+    permit = hoarding_permit.abie
+
+    return EasyBizModel(
+        model=model,
+        business=business,
+        prim_library=prims,
+        enum_library=enums,
+        cdt_library=cdts,
+        qdt_library=qdts,
+        cc_library=ccs,
+        common_aggregates=common,
+        local_law_aggregates=local_law,
+        doc_library=doc,
+        hoarding_permit=permit,
+    )

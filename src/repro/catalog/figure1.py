@@ -1,0 +1,108 @@
+"""The paper's Figure 1: core components vs business information entities.
+
+Left hand side: ACC ``Person`` (BCCs ``DateofBirth: Date``,
+``FirstName: Text``; ASCCs ``Private``/``Work`` -> ``Address``) and ACC
+``Address`` (BCCs ``Country: CountryCode``, ``PostalCode: Text``,
+``Street: Text``).  Right hand side: the US-context restrictions
+``US_Person`` and ``US_Address`` -- ``US_Address`` drops ``Country``
+("Please note that US_Address is missing the attribute Country").
+
+Section 2.1/2.2 of the paper enumerate the derived element sets; the
+Figure-1 benchmark replays them via ``component_set()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.primitives import add_standard_prim_library
+from repro.ccts.bie import Abie
+from repro.ccts.core_components import Acc
+from repro.ccts.derivation import derive_abie
+from repro.ccts.libraries import BieLibrary, CcLibrary, CdtLibrary
+from repro.ccts.model import CctsModel
+from repro.uml.association import AggregationKind
+
+
+@dataclass
+class Figure1Model:
+    """Handles on everything the Figure-1 benches and tests inspect."""
+
+    model: CctsModel
+    cdt_library: CdtLibrary
+    cc_library: CcLibrary
+    bie_library: BieLibrary
+    person: Acc
+    address: Acc
+    us_person: Abie
+    us_address: Abie
+
+
+def build_figure1_model() -> Figure1Model:
+    """Build the Figure-1 model with its basedOn derivations."""
+    model = CctsModel("Figure1")
+    business = model.add_business_library("Example", "urn:example:figure1")
+    prims = add_standard_prim_library(business)
+    string = prims.primitive("String").element
+
+    cdts = business.add_cdt_library("DataTypes")
+    date = cdts.add_cdt("Date")
+    date.set_content(string)
+    text = cdts.add_cdt("Text")
+    text.set_content(string)
+    country_code = cdts.add_cdt("CountryCode")
+    country_code.set_content(string)
+
+    ccs = business.add_cc_library("CoreComponents")
+    address = ccs.add_acc("Address")
+    address.add_bcc("Country", country_code, "1")
+    address.add_bcc("PostalCode", text, "1")
+    address.add_bcc("Street", text, "1")
+    person = ccs.add_acc("Person")
+    person.add_bcc("DateofBirth", date, "1")
+    person.add_bcc("FirstName", text, "1")
+    person.add_ascc("Private", address, "1", AggregationKind.COMPOSITE)
+    person.add_ascc("Work", address, "1", AggregationKind.SHARED)
+
+    bies = business.add_bie_library("USEntities")
+    address_derivation = derive_abie(bies, address, qualifier="US")
+    # US_Address is missing the attribute Country (restriction).
+    address_derivation.include("PostalCode")
+    address_derivation.include("Street")
+    us_address = address_derivation.abie
+
+    person_derivation = derive_abie(bies, person, qualifier="US")
+    person_derivation.include("DateofBirth")
+    person_derivation.include("FirstName")
+    person_derivation.connect("US_Private", us_address, based_on="Private")
+    person_derivation.connect("US_Work", us_address, based_on="Work")
+    us_person = person_derivation.abie
+
+    return Figure1Model(
+        model=model,
+        cdt_library=cdts,
+        cc_library=ccs,
+        bie_library=bies,
+        person=person,
+        address=address,
+        us_person=us_person,
+        us_address=us_address,
+    )
+
+
+#: The element sets printed in the paper's sections 2.1 and 2.2.
+PAPER_PERSON_SET = [
+    "Person (ACC)",
+    "Person.DateofBirth (BCC)",
+    "Person.FirstName (BCC)",
+    "Person.Private.Address (ASCC)",
+    "Person.Work.Address (ASCC)",
+]
+
+PAPER_US_PERSON_SET = [
+    "US_Person (ABIE)",
+    "US_Person.DateofBirth (BBIE)",
+    "US_Person.FirstName (BBIE)",
+    "US_Person.US_Private.US_Address (ASBIE)",
+    "US_Person.US_Work.US_Address (ASBIE)",
+]

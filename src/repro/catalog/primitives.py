@@ -1,0 +1,41 @@
+"""The standard primitive-type library.
+
+CCTS 2.01 names a small set of primitive types core data types are built
+from; the paper's Figure 4 (package 7) shows String, Boolean and Integer.
+The standard library adds Decimal (Amount/Measure/Quantity contents) and
+the binary/temporal primitives the approved CDT catalog needs.
+"""
+
+from __future__ import annotations
+
+from repro.ccts.data_types import Primitive
+from repro.ccts.libraries import BusinessLibrary, PrimLibrary
+
+#: Primitive names of the standard library, in a stable order.
+STANDARD_PRIMITIVES = (
+    "String",
+    "Boolean",
+    "Integer",
+    "Decimal",
+    "Binary",
+)
+
+#: The three primitives visible in Figure 4, package 7.
+FIGURE4_PRIMITIVES = ("String", "Boolean", "Integer")
+
+
+def add_standard_prim_library(
+    business_library: BusinessLibrary,
+    name: str = "Primitives",
+    names: tuple[str, ...] = STANDARD_PRIMITIVES,
+) -> PrimLibrary:
+    """Create a PRIMLibrary populated with the standard primitives."""
+    library = business_library.add_prim_library(name)
+    for primitive_name in names:
+        library.add_primitive(primitive_name)
+    return library
+
+
+def primitive_map(library: PrimLibrary) -> dict[str, Primitive]:
+    """Name -> wrapper for every primitive in ``library``."""
+    return {primitive.name: primitive for primitive in library.primitives}

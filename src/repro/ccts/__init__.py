@@ -1,0 +1,81 @@
+"""The CCTS layer: a typed facade over the stereotyped UML model.
+
+The UML kernel knows nothing about core components; this package adds the
+CCTS 2.01 vocabulary on top of it:
+
+* :mod:`repro.ccts.naming` -- dictionary entry names (DEN) in both the
+  paper's compact dotted style and the full CCTS/ISO-11179 style,
+* :mod:`repro.ccts.context` -- the eight CCTS business-context categories,
+* wrapper classes (:class:`Acc`, :class:`Bcc`, :class:`Ascc`,
+  :class:`CoreDataType`, :class:`QualifiedDataType`, :class:`Abie`, ...)
+  giving each stereotype a typed API,
+* library wrappers (:class:`CcLibrary`, :class:`BieLibrary`,
+  :class:`DocLibrary`, ...) for the eight UPCC library kinds,
+* :mod:`repro.ccts.derivation` -- the derivation-by-restriction engine that
+  creates ABIEs from ACCs and QDTs from CDTs while enforcing the
+  restriction rules,
+* :class:`CctsModel` -- the top-level entry point that owns the model root.
+"""
+
+from repro.ccts.assembly import ContextRegistry
+from repro.ccts.bie import Abie, Asbie, Bbie
+from repro.ccts.context import BusinessContext, ContextCategory
+from repro.ccts.core_components import Acc, Ascc, Bcc
+from repro.ccts.data_types import (
+    ContentComponent,
+    CoreDataType,
+    EnumerationType,
+    Primitive,
+    QualifiedDataType,
+    SupplementaryComponent,
+)
+from repro.ccts.libraries import (
+    BieLibrary,
+    BusinessLibrary,
+    CcLibrary,
+    CdtLibrary,
+    DocLibrary,
+    EnumLibrary,
+    PrimLibrary,
+    QdtLibrary,
+)
+from repro.ccts.model import CctsModel
+from repro.ccts.naming import (
+    ccts_den_for_acc,
+    ccts_den_for_ascc,
+    ccts_den_for_bcc,
+    compact_component_set,
+    split_words,
+)
+
+__all__ = [
+    "Abie",
+    "Acc",
+    "Asbie",
+    "Ascc",
+    "Bbie",
+    "Bcc",
+    "BieLibrary",
+    "BusinessContext",
+    "BusinessLibrary",
+    "ContextRegistry",
+    "CcLibrary",
+    "CctsModel",
+    "CdtLibrary",
+    "ContentComponent",
+    "ContextCategory",
+    "CoreDataType",
+    "DocLibrary",
+    "EnumLibrary",
+    "EnumerationType",
+    "PrimLibrary",
+    "Primitive",
+    "QdtLibrary",
+    "QualifiedDataType",
+    "SupplementaryComponent",
+    "ccts_den_for_acc",
+    "ccts_den_for_ascc",
+    "ccts_den_for_bcc",
+    "compact_component_set",
+    "split_words",
+]

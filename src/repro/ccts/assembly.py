@@ -1,0 +1,129 @@
+"""Context-driven entity resolution.
+
+CCTS's promise (paper section 2.2): a core component is refined per
+business context, and document assemblers pick the BIE matching *their*
+context.  :class:`ContextRegistry` implements that resolution step:
+
+* ABIEs register with the :class:`repro.ccts.context.BusinessContext` they
+  were qualified for (stored in the ``businessContext`` tagged value as a
+  display string, and in the registry as the structured value),
+* :meth:`resolve` answers "which ABIE of ACC X applies in context C?" by
+  picking the registered entity whose context is the most specific one
+  containing C,
+* unregistered ABIEs with an unconstrained context act as defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ccts.bie import Abie
+from repro.ccts.context import BusinessContext
+from repro.ccts.core_components import Acc
+from repro.ccts.model import CctsModel
+from repro.errors import CctsError
+from repro.profile import TAG_BUSINESS_CONTEXT
+
+
+@dataclass
+class _Registration:
+    abie: Abie
+    context: BusinessContext
+
+
+@dataclass
+class ContextRegistry:
+    """Maps (base ACC, business context) to the qualified ABIE."""
+
+    model: CctsModel
+    _by_acc: dict[int, list[_Registration]] = field(default_factory=dict)
+
+    def register(self, abie: Abie, context: BusinessContext) -> None:
+        """Register an ABIE for a context; also stamps the tagged value."""
+        base = abie.based_on
+        if base is None:
+            raise CctsError(f"cannot register {abie.name!r}: it is not based on an ACC")
+        registrations = self._by_acc.setdefault(id(base.element), [])
+        for existing in registrations:
+            if existing.context == context:
+                raise CctsError(
+                    f"ACC {base.name!r} already has an entity for context "
+                    f"{context.describe()} ({existing.abie.name!r})"
+                )
+        registrations.append(_Registration(abie, context))
+        abie.element.apply_stereotype(abie.stereotype, **{TAG_BUSINESS_CONTEXT: str(context)})
+
+    def register_all_unqualified(self) -> int:
+        """Register every untagged ABIE under the unconstrained context."""
+        count = 0
+        for abie in self.model.abies():
+            if abie.business_context is not None:
+                continue
+            base = abie.based_on
+            if base is None:
+                continue
+            registrations = self._by_acc.setdefault(id(base.element), [])
+            if any(registration.context.is_unconstrained for registration in registrations):
+                continue
+            registrations.append(_Registration(abie, BusinessContext()))
+            count += 1
+        return count
+
+    def entities_of(self, acc: Acc) -> list[tuple[Abie, BusinessContext]]:
+        """All registered (ABIE, context) pairs for a base ACC."""
+        return [
+            (registration.abie, registration.context)
+            for registration in self._by_acc.get(id(acc.element), [])
+        ]
+
+    def resolve(self, acc: Acc, context: BusinessContext) -> Abie:
+        """The ABIE of ``acc`` applying in ``context``.
+
+        Among registrations whose context *contains* the requested one, the
+        most specific (most constrained categories) wins; ties are an
+        error, no candidate raises :class:`CctsError`.
+        """
+        candidates = [
+            registration
+            for registration in self._by_acc.get(id(acc.element), [])
+            if context.is_subcontext_of(registration.context)
+        ]
+        if not candidates:
+            raise CctsError(
+                f"no business information entity of ACC {acc.name!r} applies in "
+                f"context {context.describe()}"
+            )
+        best_specificity = max(len(c.context.values) for c in candidates)
+        best = [c for c in candidates if len(c.context.values) == best_specificity]
+        if len(best) > 1:
+            names = ", ".join(c.abie.name for c in best)
+            raise CctsError(
+                f"ambiguous resolution for ACC {acc.name!r} in {context.describe()}: {names}"
+            )
+        return best[0].abie
+
+
+def assemble_document(
+    doc_library,
+    root_acc: Acc,
+    context: BusinessContext,
+    registry: ContextRegistry,
+    name: str | None = None,
+) -> Abie:
+    """Assemble a document ABIE for a business context (Figure 2's box).
+
+    The root ACC's BCCs become BBIEs unchanged; every outgoing ASCC is wired
+    to the ABIE the registry resolves for ``context`` -- so the same core
+    definition assembles into different documents per context.  The new
+    document ABIE is created in ``doc_library`` and tagged with the context.
+    """
+    from repro.ccts.derivation import derive_abie
+
+    derivation = derive_abie(doc_library, root_acc, name=name)
+    derivation.include_all()
+    for ascc in root_acc.asccs:
+        target = registry.resolve(ascc.target, context)
+        derivation.connect(ascc.role, target, based_on=ascc)
+    document = derivation.abie
+    document.element.apply_stereotype(document.stereotype, **{TAG_BUSINESS_CONTEXT: str(context)})
+    return document

@@ -1,0 +1,90 @@
+"""Business context per CCTS 2.01.
+
+A business information entity is a core component *qualified for a business
+context* (paper section 2.2).  CCTS defines eight context categories; a
+:class:`BusinessContext` assigns a value (or values) to some of them, e.g.
+``geopolitical=["US"]`` for the Figure-1 example.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ContextCategory(enum.Enum):
+    """The eight CCTS 2.01 context categories."""
+
+    BUSINESS_PROCESS = "BusinessProcess"
+    PRODUCT_CLASSIFICATION = "ProductClassification"
+    INDUSTRY_CLASSIFICATION = "IndustryClassification"
+    GEOPOLITICAL = "Geopolitical"
+    OFFICIAL_CONSTRAINTS = "OfficialConstraints"
+    BUSINESS_PROCESS_ROLE = "BusinessProcessRole"
+    SUPPORTING_ROLE = "SupportingRole"
+    SYSTEM_CAPABILITIES = "SystemCapabilities"
+
+
+@dataclass(frozen=True)
+class BusinessContext:
+    """An assignment of values to context categories.
+
+    ``values`` maps each used category to a tuple of tokens.  An empty
+    context means "all contexts" -- the context of core components
+    themselves.
+    """
+
+    name: str = ""
+    values: tuple[tuple[ContextCategory, tuple[str, ...]], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def build(cls, name: str = "", **categories: list[str] | str) -> "BusinessContext":
+        """Convenience constructor using category names as keyword args.
+
+        >>> ctx = BusinessContext.build("US retail", geopolitical="US",
+        ...                             industry_classification=["Retail"])
+        >>> ctx.value_of(ContextCategory.GEOPOLITICAL)
+        ('US',)
+        """
+        pairs: list[tuple[ContextCategory, tuple[str, ...]]] = []
+        for key, value in sorted(categories.items()):
+            category = ContextCategory[key.upper()]
+            tokens = (value,) if isinstance(value, str) else tuple(value)
+            pairs.append((category, tokens))
+        return cls(name, tuple(pairs))
+
+    def value_of(self, category: ContextCategory) -> tuple[str, ...]:
+        """The tokens assigned to ``category`` (empty tuple = unconstrained)."""
+        for assigned, tokens in self.values:
+            if assigned is category:
+                return tokens
+        return ()
+
+    @property
+    def is_unconstrained(self) -> bool:
+        """True for the empty ("all contexts") context of core components."""
+        return not self.values
+
+    def is_subcontext_of(self, other: "BusinessContext") -> bool:
+        """True when this context is at least as specific as ``other``.
+
+        A category unconstrained in ``other`` accepts anything; a category
+        constrained in ``other`` must be constrained here to a subset.
+        """
+        for category, other_tokens in other.values:
+            mine = self.value_of(category)
+            if not mine or not set(mine) <= set(other_tokens):
+                return False
+        return True
+
+    def describe(self) -> str:
+        """A compact human-readable rendering used in diagnostics."""
+        if self.is_unconstrained:
+            return "(all contexts)"
+        parts = [
+            f"{category.value}={'|'.join(tokens)}" for category, tokens in self.values
+        ]
+        return ", ".join(parts)
+
+    def __str__(self) -> str:
+        return self.name or self.describe()

@@ -1,0 +1,323 @@
+"""Typed wrappers for the eight UPCC library stereotypes.
+
+A library is a stereotyped package that groups one element kind (paper
+section 3: "Each library contains a specific data type as described in the
+DataType package") and carries the generation-steering tagged values
+(``baseURN``, ``namespacePrefix``, ``version``, ``status``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, TypeVar
+
+from repro.ccts.base import ElementWrapper
+from repro.ccts.bie import Abie
+from repro.ccts.core_components import Acc
+from repro.ccts.data_types import CoreDataType, EnumerationType, Primitive, QualifiedDataType
+from repro.errors import CctsError
+from repro.profile import (
+    ABIE,
+    ACC,
+    BIE_LIBRARY,
+    BUSINESS_LIBRARY,
+    CC_LIBRARY,
+    CDT,
+    CDT_LIBRARY,
+    DOC_LIBRARY,
+    ENUM,
+    ENUM_LIBRARY,
+    PRIM,
+    PRIM_LIBRARY,
+    QDT,
+    QDT_LIBRARY,
+    TAG_BASE_URN,
+    TAG_NAMESPACE_PREFIX,
+    TAG_STATUS,
+    TAG_VERSION,
+)
+from repro.uml.package import Package
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.uml.model import Model
+
+WrapperT = TypeVar("WrapperT", bound=ElementWrapper)
+
+
+class Library(ElementWrapper):
+    """Base wrapper for stereotyped library packages."""
+
+    element: Package
+
+    @property
+    def package(self) -> Package:
+        """The wrapped package."""
+        return self.element
+
+    @property
+    def base_urn(self) -> str:
+        """The ``baseURN`` tag the target namespace is built from."""
+        return self._tag(TAG_BASE_URN, "") or ""
+
+    @base_urn.setter
+    def base_urn(self, value: str) -> None:
+        self._set_tag(TAG_BASE_URN, value)
+
+    @property
+    def namespace_prefix(self) -> str | None:
+        """The user-chosen namespace prefix, when one is set."""
+        return self._tag(TAG_NAMESPACE_PREFIX)
+
+    @namespace_prefix.setter
+    def namespace_prefix(self, value: str) -> None:
+        self._set_tag(TAG_NAMESPACE_PREFIX, value)
+
+    @property
+    def status(self) -> str:
+        """The lifecycle status (``draft`` / ``standard`` ...), URN component."""
+        return self._tag(TAG_STATUS, "draft") or "draft"
+
+    @property
+    def library_version(self) -> str:
+        """The library version, URN component (distinct from CCTS element version)."""
+        return self._tag(TAG_VERSION, "1.0") or "1.0"
+
+    def _wrap_classifiers(self, stereotype: str, wrapper: type[WrapperT]) -> list[WrapperT]:
+        return [
+            wrapper(classifier, self.model)
+            for classifier in self.element.classifiers_with_stereotype(stereotype)
+        ]
+
+
+class PrimLibrary(Library):
+    """A ``PRIMLibrary``: container for primitive types."""
+
+    stereotype = PRIM_LIBRARY
+
+    def add_primitive(self, name: str, **tags: str) -> Primitive:
+        """Define a primitive type (String, Integer, Boolean, ...)."""
+        element = self.element.add_primitive_type(name, stereotype=PRIM, **tags)
+        return Primitive(element, self.model)
+
+    @property
+    def primitives(self) -> list[Primitive]:
+        """All primitives in declaration order."""
+        return self._wrap_classifiers(PRIM, Primitive)
+
+    def primitive(self, name: str) -> Primitive:
+        """The primitive called ``name``."""
+        for primitive in self.primitives:
+            if primitive.name == name:
+                return primitive
+        raise CctsError(f"PRIMLibrary {self.name!r} has no primitive {name!r}")
+
+
+class EnumLibrary(Library):
+    """An ``ENUMLibrary``: container for enumeration types."""
+
+    stereotype = ENUM_LIBRARY
+
+    def add_enumeration(self, name: str, literals: dict[str, str] | None = None, **tags: str) -> EnumerationType:
+        """Define an enumeration, optionally pre-populated from a dict."""
+        element = self.element.add_enumeration(name, stereotype=ENUM, **tags)
+        wrapper = EnumerationType(element, self.model)
+        for literal_name, value in (literals or {}).items():
+            wrapper.add_literal(literal_name, value)
+        return wrapper
+
+    @property
+    def enumerations(self) -> list[EnumerationType]:
+        """All enumerations in declaration order."""
+        return self._wrap_classifiers(ENUM, EnumerationType)
+
+    def enumeration(self, name: str) -> EnumerationType:
+        """The enumeration called ``name``."""
+        for enumeration in self.enumerations:
+            if enumeration.name == name:
+                return enumeration
+        raise CctsError(f"ENUMLibrary {self.name!r} has no enumeration {name!r}")
+
+
+class CdtLibrary(Library):
+    """A ``CDTLibrary``: container for core data types."""
+
+    stereotype = CDT_LIBRARY
+
+    def add_cdt(self, name: str, **tags: str) -> CoreDataType:
+        """Define an (initially empty) core data type."""
+        element = self.element.add_data_type(name, stereotype=CDT, **tags)
+        return CoreDataType(element, self.model)
+
+    @property
+    def cdts(self) -> list[CoreDataType]:
+        """All core data types in declaration order."""
+        return self._wrap_classifiers(CDT, CoreDataType)
+
+    def cdt(self, name: str) -> CoreDataType:
+        """The CDT called ``name``."""
+        for cdt in self.cdts:
+            if cdt.name == name:
+                return cdt
+        raise CctsError(f"CDTLibrary {self.name!r} has no CDT {name!r}")
+
+
+class QdtLibrary(Library):
+    """A ``QDTLibrary``: container for qualified data types."""
+
+    stereotype = QDT_LIBRARY
+
+    def add_qdt(self, name: str, **tags: str) -> QualifiedDataType:
+        """Define an (initially empty) qualified data type.
+
+        Use :meth:`repro.ccts.derivation.derive_qdt` to create one properly
+        from a CDT with the restriction rules enforced.
+        """
+        element = self.element.add_data_type(name, stereotype=QDT, **tags)
+        return QualifiedDataType(element, self.model)
+
+    @property
+    def qdts(self) -> list[QualifiedDataType]:
+        """All qualified data types in declaration order."""
+        return self._wrap_classifiers(QDT, QualifiedDataType)
+
+    def qdt(self, name: str) -> QualifiedDataType:
+        """The QDT called ``name``."""
+        for qdt in self.qdts:
+            if qdt.name == name:
+                return qdt
+        raise CctsError(f"QDTLibrary {self.name!r} has no QDT {name!r}")
+
+
+class CcLibrary(Library):
+    """A ``CCLibrary``: container for aggregate core components."""
+
+    stereotype = CC_LIBRARY
+
+    def add_acc(self, name: str, **tags: str) -> Acc:
+        """Define an (initially empty) aggregate core component."""
+        element = self.element.add_class(name, stereotype=ACC, **tags)
+        return Acc(element, self.model)
+
+    @property
+    def accs(self) -> list[Acc]:
+        """All ACCs in declaration order."""
+        return self._wrap_classifiers(ACC, Acc)
+
+    def acc(self, name: str) -> Acc:
+        """The ACC called ``name``."""
+        for acc in self.accs:
+            if acc.name == name:
+                return acc
+        raise CctsError(f"CCLibrary {self.name!r} has no ACC {name!r}")
+
+
+class BieLibrary(Library):
+    """A ``BIELibrary``: ABIEs and their interdependencies, offered for reuse."""
+
+    stereotype = BIE_LIBRARY
+
+    def add_abie(self, name: str, **tags: str) -> Abie:
+        """Define an (initially empty) ABIE.
+
+        Use :meth:`repro.ccts.derivation.derive_abie` to create one properly
+        from an ACC with the restriction rules enforced.
+        """
+        element = self.element.add_class(name, stereotype=ABIE, **tags)
+        return Abie(element, self.model)
+
+    @property
+    def abies(self) -> list[Abie]:
+        """All ABIEs in declaration order."""
+        return self._wrap_classifiers(ABIE, Abie)
+
+    def abie(self, name: str) -> Abie:
+        """The ABIE called ``name``."""
+        for abie in self.abies:
+            if abie.name == name:
+                return abie
+        raise CctsError(f"BIELibrary {self.name!r} has no ABIE {name!r}")
+
+
+class DocLibrary(BieLibrary):
+    """A ``DOCLibrary``: assembles imported ABIEs into a business document.
+
+    Structurally identical to a BIELibrary -- it owns ABIEs and draws ASBIEs
+    to ABIEs of other libraries -- but it "represents a final business
+    document" (paper section 3) and is the usual schema-generation root.
+    """
+
+    stereotype = DOC_LIBRARY
+
+    def root_candidates(self) -> list[Abie]:
+        """The ABIEs a user may pick as schema root (the Figure-5 dropdown)."""
+        return self.abies
+
+
+class BusinessLibrary(Library):
+    """A ``BusinessLibrary``: aggregates the per-kind libraries."""
+
+    stereotype = BUSINESS_LIBRARY
+
+    def _add_library(self, name: str, wrapper: type[WrapperT], **tags: str) -> WrapperT:
+        # Nested libraries inherit the business library's baseURN; the
+        # namespace policy appends kind/status/name itself.
+        tags.setdefault(TAG_BASE_URN, self.base_urn or f"urn:{name.lower()}")
+        package = self.element.add_package(name, stereotype=wrapper.stereotype, **tags)
+        return wrapper(package, self.model)
+
+    def add_prim_library(self, name: str, **tags: str) -> PrimLibrary:
+        """Create a nested PRIMLibrary."""
+        return self._add_library(name, PrimLibrary, **tags)
+
+    def add_enum_library(self, name: str, **tags: str) -> EnumLibrary:
+        """Create a nested ENUMLibrary."""
+        return self._add_library(name, EnumLibrary, **tags)
+
+    def add_cdt_library(self, name: str, **tags: str) -> CdtLibrary:
+        """Create a nested CDTLibrary."""
+        return self._add_library(name, CdtLibrary, **tags)
+
+    def add_qdt_library(self, name: str, **tags: str) -> QdtLibrary:
+        """Create a nested QDTLibrary."""
+        return self._add_library(name, QdtLibrary, **tags)
+
+    def add_cc_library(self, name: str, **tags: str) -> CcLibrary:
+        """Create a nested CCLibrary."""
+        return self._add_library(name, CcLibrary, **tags)
+
+    def add_bie_library(self, name: str, **tags: str) -> BieLibrary:
+        """Create a nested BIELibrary."""
+        return self._add_library(name, BieLibrary, **tags)
+
+    def add_doc_library(self, name: str, **tags: str) -> DocLibrary:
+        """Create a nested DOCLibrary."""
+        return self._add_library(name, DocLibrary, **tags)
+
+    def libraries(self) -> list[Library]:
+        """All nested libraries, wrapped by their concrete kind."""
+        found: list[Library] = []
+        for package in self.element.packages:
+            wrapper = library_wrapper_for(package, self.model)
+            if wrapper is not None:
+                found.append(wrapper)
+        return found
+
+
+#: Concrete wrapper per library stereotype, in Figure-3 order.
+LIBRARY_WRAPPERS: dict[str, type[Library]] = {
+    BIE_LIBRARY: BieLibrary,
+    BUSINESS_LIBRARY: BusinessLibrary,
+    CC_LIBRARY: CcLibrary,
+    CDT_LIBRARY: CdtLibrary,
+    DOC_LIBRARY: DocLibrary,
+    ENUM_LIBRARY: EnumLibrary,
+    PRIM_LIBRARY: PrimLibrary,
+    QDT_LIBRARY: QdtLibrary,
+}
+
+
+def library_wrapper_for(package: Package, model: "Model") -> Library | None:
+    """Wrap ``package`` with the wrapper matching its library stereotype."""
+    for stereotype, wrapper in LIBRARY_WRAPPERS.items():
+        if package.has_stereotype(stereotype):
+            return wrapper(package, model)
+    return None

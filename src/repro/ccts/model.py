@@ -1,0 +1,192 @@
+"""The top-level entry point: a core-components model.
+
+:class:`CctsModel` owns a :class:`repro.uml.Model` root, creates business
+libraries, and exposes whole-model queries used by the generator, the
+validation engine, the registry and the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.ccts.bie import Abie
+from repro.ccts.core_components import Acc
+from repro.ccts.data_types import CoreDataType, QualifiedDataType
+from repro.ccts.libraries import (
+    BieLibrary,
+    BusinessLibrary,
+    CcLibrary,
+    CdtLibrary,
+    DocLibrary,
+    EnumLibrary,
+    Library,
+    PrimLibrary,
+    QdtLibrary,
+    library_wrapper_for,
+)
+from repro.errors import CctsError
+from repro.profile import (
+    ABIE,
+    ACC,
+    BUSINESS_LIBRARY,
+    CDT,
+    QDT,
+    TAG_BASE_URN,
+    UPCC,
+)
+from repro.uml.classifier import Class, DataType
+from repro.uml.model import Model
+from repro.uml.package import Package
+
+
+class CctsModel:
+    """A core-components model: the root object users interact with."""
+
+    def __init__(self, name: str = "Model", model: Model | None = None) -> None:
+        self.model = model if model is not None else Model(name)
+        self.profile = UPCC
+
+    @property
+    def name(self) -> str:
+        """The model name."""
+        return self.model.name
+
+    # -- construction ------------------------------------------------------------
+
+    def add_business_library(self, name: str, base_urn: str = "", **tags: str) -> BusinessLibrary:
+        """Create a top-level business library."""
+        tags.setdefault(TAG_BASE_URN, base_urn or f"urn:{name.lower()}")
+        package = self.model.add_package(name, stereotype=BUSINESS_LIBRARY, **tags)
+        return BusinessLibrary(package, self.model)
+
+    # -- library queries ------------------------------------------------------------
+
+    def business_libraries(self) -> list[BusinessLibrary]:
+        """All top-level business libraries."""
+        return [
+            BusinessLibrary(package, self.model)
+            for package in self.model.packages
+            if package.has_stereotype(BUSINESS_LIBRARY)
+        ]
+
+    def libraries(self) -> list[Library]:
+        """Every stereotyped library anywhere in the model."""
+        found: list[Library] = []
+        for element in self.model.walk():
+            if isinstance(element, Package):
+                wrapper = library_wrapper_for(element, self.model)
+                if wrapper is not None:
+                    found.append(wrapper)
+        return found
+
+    def _libraries_of(self, wrapper_type: type) -> list:
+        return [library for library in self.libraries() if type(library) is wrapper_type]
+
+    def cdt_libraries(self) -> list[CdtLibrary]:
+        """All CDT libraries."""
+        return self._libraries_of(CdtLibrary)
+
+    def qdt_libraries(self) -> list[QdtLibrary]:
+        """All QDT libraries."""
+        return self._libraries_of(QdtLibrary)
+
+    def cc_libraries(self) -> list[CcLibrary]:
+        """All CC libraries."""
+        return self._libraries_of(CcLibrary)
+
+    def bie_libraries(self) -> list[BieLibrary]:
+        """All BIE libraries (excluding DOC libraries)."""
+        return self._libraries_of(BieLibrary)
+
+    def doc_libraries(self) -> list[DocLibrary]:
+        """All DOC libraries."""
+        return self._libraries_of(DocLibrary)
+
+    def enum_libraries(self) -> list[EnumLibrary]:
+        """All ENUM libraries."""
+        return self._libraries_of(EnumLibrary)
+
+    def prim_libraries(self) -> list[PrimLibrary]:
+        """All PRIM libraries."""
+        return self._libraries_of(PrimLibrary)
+
+    def library_named(self, name: str) -> Library:
+        """The library called ``name`` anywhere in the model."""
+        for library in self.libraries():
+            if library.name == name:
+                return library
+        raise CctsError(f"model {self.name!r} contains no library named {name!r}")
+
+    # -- element queries ---------------------------------------------------------------
+
+    def accs(self) -> list[Acc]:
+        """Every ACC in the model."""
+        return [
+            Acc(element, self.model)
+            for element in self.model.all_with_stereotype(ACC)
+            if isinstance(element, Class)
+        ]
+
+    def abies(self) -> list[Abie]:
+        """Every ABIE in the model."""
+        return [
+            Abie(element, self.model)
+            for element in self.model.all_with_stereotype(ABIE)
+            if isinstance(element, Class)
+        ]
+
+    def cdts(self) -> list[CoreDataType]:
+        """Every CDT in the model."""
+        return [
+            CoreDataType(element, self.model)
+            for element in self.model.all_with_stereotype(CDT)
+            if isinstance(element, DataType)
+        ]
+
+    def qdts(self) -> list[QualifiedDataType]:
+        """Every QDT in the model."""
+        return [
+            QualifiedDataType(element, self.model)
+            for element in self.model.all_with_stereotype(QDT)
+            if isinstance(element, DataType)
+        ]
+
+    def acc(self, name: str) -> Acc:
+        """The ACC called ``name``."""
+        for acc in self.accs():
+            if acc.name == name:
+                return acc
+        raise CctsError(f"model {self.name!r} contains no ACC {name!r}")
+
+    def abie(self, name: str) -> Abie:
+        """The ABIE called ``name``."""
+        for abie in self.abies():
+            if abie.name == name:
+                return abie
+        raise CctsError(f"model {self.name!r} contains no ABIE {name!r}")
+
+    def owning_library_of(self, wrapper) -> Library | None:
+        """The library whose package owns the wrapped element, if any.
+
+        This is how the generator decides which schema defines a type: the
+        *owning* package, not the diagram it is drawn in (paper section 3:
+        "Code is originally defined in package 4 and has only been drawn in
+        package 3").
+        """
+        package = self.model.owning_package_of(wrapper.element)
+        while package is not None:
+            library = library_wrapper_for(package, self.model)
+            if library is not None:
+                return library
+            owner = package.owner
+            package = owner if isinstance(owner, Package) else None
+        return None
+
+    # -- profile validation hook ----------------------------------------------------------
+
+    def profile_problems(self) -> list[str]:
+        """Every stereotype-application problem in the model."""
+        problems: list[str] = []
+        for element in self.model.walk():
+            for problem in self.profile.check_element(element):
+                label = getattr(element, "qualified_name", repr(element))
+                problems.append(f"{label}: {problem}")
+        return problems

@@ -1,0 +1,175 @@
+"""Dictionary entry names (DEN) per CCTS 2.01 / ISO 11179 naming rules.
+
+Two styles are produced:
+
+* the **compact dotted style** the paper uses in section 2.1 when it lists
+  derived element sets, e.g. ``Person.Private.Address (ASCC)``,
+* the **full CCTS style** used in the standard's dictionaries, built from
+  object class term, property term and representation term with ``". "``
+  separators, e.g. ``Person. Date of Birth. Date`` and
+  ``Person. Details`` for the ACC itself.
+
+The word-splitting rules turn model CamelCase names into the space-separated
+terms of the CCTS dictionary (``DateofBirth`` -> ``Dateof Birth`` is what a
+strict camel split yields; CCTS models normally write ``DateOfBirth``, and
+both are accepted).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import NamingError
+
+_CAMEL_BOUNDARY = re.compile(
+    r"""
+    (?<=[a-z0-9])(?=[A-Z])        # aB -> a B
+    | (?<=[A-Z])(?=[A-Z][a-z])    # ABc -> A Bc  (acronym end)
+    """,
+    re.VERBOSE,
+)
+
+#: Separator between DEN components, per CCTS ("Object Class. Property. Rep").
+DEN_SEPARATOR = ". "
+
+#: The representation term suffix for aggregate entries.
+DETAILS_TERM = "Details"
+
+
+def split_words(name: str) -> list[str]:
+    """Split a CamelCase / snake_case / dotted model name into words.
+
+    >>> split_words("DateOfBirth")
+    ['Date', 'Of', 'Birth']
+    >>> split_words("US_Address")
+    ['US', 'Address']
+    """
+    if not name:
+        raise NamingError("cannot split an empty name into words")
+    chunks = re.split(r"[\s_.\-]+", name)
+    words: list[str] = []
+    for chunk in chunks:
+        if not chunk:
+            continue
+        words.extend(part for part in _CAMEL_BOUNDARY.split(chunk) if part)
+    if not words:
+        raise NamingError(f"name {name!r} contains no words")
+    return words
+
+
+def words_to_term(name: str) -> str:
+    """Render a model name as a space-separated CCTS dictionary term."""
+    return " ".join(split_words(name))
+
+
+def join_den(*parts: str) -> str:
+    """Join DEN components with the CCTS separator, skipping empties."""
+    cleaned = [part for part in parts if part]
+    if not cleaned:
+        raise NamingError("a dictionary entry name needs at least one component")
+    return DEN_SEPARATOR.join(cleaned)
+
+
+def qualified_term(term: str, qualifier: str | None) -> str:
+    """Prefix a term with a context qualifier (CCTS writes ``US_ Person``)."""
+    if qualifier:
+        return f"{qualifier}_ {term}"
+    return term
+
+
+def ccts_den_for_acc(acc_name: str, qualifier: str | None = None) -> str:
+    """Full DEN of an ACC/ABIE: ``Person. Details`` / ``US_ Person. Details``."""
+    return join_den(qualified_term(words_to_term(acc_name), qualifier), DETAILS_TERM)
+
+
+def ccts_den_for_bcc(
+    acc_name: str,
+    property_name: str,
+    representation_term: str,
+    qualifier: str | None = None,
+) -> str:
+    """Full DEN of a BCC/BBIE: ``Person. Date Of Birth. Date``.
+
+    When the property term already ends in the representation term, CCTS
+    truncation rules drop the duplication in the XML name but keep it in the
+    DEN, so no truncation happens here.
+    """
+    return join_den(
+        qualified_term(words_to_term(acc_name), qualifier),
+        words_to_term(property_name),
+        words_to_term(representation_term),
+    )
+
+
+def ccts_den_for_ascc(
+    source_name: str,
+    role_name: str,
+    target_name: str,
+    qualifier: str | None = None,
+    target_qualifier: str | None = None,
+) -> str:
+    """Full DEN of an ASCC/ASBIE: ``Person. Private. Address``."""
+    return join_den(
+        qualified_term(words_to_term(source_name), qualifier),
+        words_to_term(role_name),
+        qualified_term(words_to_term(target_name), target_qualifier),
+    )
+
+
+def compact_den(*parts: str) -> str:
+    """The paper's compact dotted DEN: ``Person.Private.Address``."""
+    cleaned = [part for part in parts if part]
+    if not cleaned:
+        raise NamingError("a compact dictionary entry name needs at least one component")
+    return ".".join(cleaned)
+
+
+def compact_component_set(
+    aggregate_name: str,
+    basic_names: list[str],
+    associations: list[tuple[str, str]],
+    kind_labels: tuple[str, str, str] = ("ACC", "BCC", "ASCC"),
+) -> list[str]:
+    """Reproduce the paper's element-set listing for an aggregate.
+
+    For ``Person`` with BCCs ``DateofBirth``/``FirstName`` and ASCCs
+    ``(Private, Address)``/``(Work, Address)`` this returns exactly the list
+    printed in section 2.1::
+
+        ['Person (ACC)', 'Person.DateofBirth (BCC)', 'Person.FirstName (BCC)',
+         'Person.Private.Address (ASCC)', 'Person.Work.Address (ASCC)']
+
+    ``kind_labels`` switches the labels to ``("ABIE", "BBIE", "ASBIE")`` for
+    the business side of Figure 1.
+    """
+    aggregate_label, basic_label, association_label = kind_labels
+    entries = [f"{aggregate_name} ({aggregate_label})"]
+    entries.extend(
+        f"{compact_den(aggregate_name, basic)} ({basic_label})" for basic in basic_names
+    )
+    entries.extend(
+        f"{compact_den(aggregate_name, role, target)} ({association_label})"
+        for role, target in associations
+    )
+    return entries
+
+
+def strip_qualifier(name: str) -> tuple[str | None, str]:
+    """Split a qualified model name into ``(qualifier, core name)``.
+
+    The paper marks business context "by adding an optional prefix to the
+    name of the underlying core component", separated with an underscore
+    (``US_Person``).  Names without an underscore have no qualifier.
+    """
+    if "_" in name:
+        qualifier, _, rest = name.partition("_")
+        if qualifier and rest:
+            return qualifier, rest
+    return None, name
+
+
+def apply_qualifier(qualifier: str | None, name: str) -> str:
+    """Build a qualified model name (``US`` + ``Person`` -> ``US_Person``)."""
+    if qualifier:
+        return f"{qualifier}_{name}"
+    return name

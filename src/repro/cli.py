@@ -1,0 +1,359 @@
+"""Command-line interface: the Figure-5 dialog, flattened into subcommands.
+
+::
+
+    upcc example easybiz --out model.xmi        # write a catalog model as XMI
+    upcc inspect model.xmi                      # tree view (Figure 4, left)
+    upcc validate model.xmi                     # run the validation engine
+    upcc generate model.xmi --library EB005-HoardingPermit \
+        --root HoardingPermit --out schemas/ --annotate
+    upcc generate model.xmi --library ... --root ... --syntax rng   # RELAX NG
+    upcc instance schemas/ --root HoardingPermit --out sample.xml
+    upcc check-instance schemas/ sample.xml
+    upcc document model.xmi --library ... --root ... --out doc.html
+    upcc diagram model.xmi [--library NAME] --out model.dot
+    upcc registry store|search|list <dir> ...
+    upcc reverse schemas/ --out reconstructed.xmi
+    upcc diff a.xmi b.xmi
+    upcc compat old-schemas/ new-schemas/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.ccts.model import CctsModel
+from repro.errors import ReproError
+from repro.uml.visitor import render_tree
+from repro.xmi import read_xmi, write_xmi
+
+
+def _load_model(path: str) -> CctsModel:
+    return CctsModel(model=read_xmi(Path(path).read_text(encoding="utf-8")))
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    from repro.catalog import build_easybiz_model, build_ecommerce_model, build_figure1_model
+
+    builders = {
+        "easybiz": lambda: build_easybiz_model().model,
+        "figure1": lambda: build_figure1_model().model,
+        "ecommerce": lambda: build_ecommerce_model().model,
+    }
+    model = builders[args.name]()
+    text = write_xmi(model.model, args.out)
+    if args.out:
+        print(f"wrote {args.name} model to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    print(render_tree(model.model))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation import validate_model
+
+    model = _load_model(args.model)
+    report = validate_model(model, basic_only=args.basic)
+    print(report)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.xsdgen import GenerationOptions, SchemaGenerator
+
+    model = _load_model(args.model)
+    syntax = getattr(args, "syntax", "xsd")
+    options = GenerationOptions(
+        annotated=args.annotate,
+        shared_aggregation_as_ref=not args.inline_aggregations,
+        validate_first=not args.no_validate,
+        target_directory=Path(args.out) if args.out and syntax == "xsd" else None,
+    )
+    generator = SchemaGenerator(model, options)
+    try:
+        result = generator.generate(args.library, root=args.root)
+    except ReproError as error:
+        print(generator.session.log, file=sys.stderr)
+        print(f"generation failed: {error}", file=sys.stderr)
+        return 1
+    print(generator.session.log)
+    if syntax == "rng":
+        from repro.rngen import result_to_rng, rng_to_string
+
+        if not args.root:
+            print("error: --syntax rng requires --root", file=sys.stderr)
+            return 1
+        text = rng_to_string(result_to_rng(result, args.root))
+        _emit(text, args.out)
+    elif syntax == "rdfs":
+        from repro.rngen import rdfs_to_string
+
+        _emit(rdfs_to_string(model), args.out)
+    elif not args.out:
+        print(result.root.to_string())
+    return 0
+
+
+def _emit(text: str, out: str | None) -> None:
+    if out:
+        Path(out).write_text(text, encoding="utf-8")
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+def _cmd_instance(args: argparse.Namespace) -> int:
+    from repro.instances import InstanceGenerator
+    from repro.xsd.validator import SchemaSet
+
+    schema_set = SchemaSet.from_directory(args.schemas)
+    generator = InstanceGenerator(schema_set, fill_optional=not args.minimal)
+    text = generator.generate_string(args.root)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote instance to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    from repro.registry import Registry
+
+    registry = Registry(args.directory)
+    if args.registry_command == "store":
+        registry.store(args.name, _load_model(args.model), overwrite=args.overwrite)
+        print(f"stored {args.name!r} in {args.directory}")
+        return 0
+    if args.registry_command == "search":
+        hits = registry.search(args.term)
+        for model_name, den in hits:
+            print(f"[{model_name}] {den}")
+        print(f"{len(hits)} hit(s)")
+        return 0
+    for entry in registry.entries():  # list
+        print(f"{entry.name}: {len(entry.libraries)} libraries, "
+              f"{len(entry.dictionary_entries)} dictionary entries")
+        for library in entry.libraries:
+            print(f"  {library['kind']} {library['name']} v{library['version']}")
+    return 0
+
+
+def _cmd_document(args: argparse.Namespace) -> int:
+    from repro.xsdgen import GenerationOptions, SchemaGenerator, write_documentation
+
+    model = _load_model(args.model)
+    options = GenerationOptions(annotated=True)
+    generator = SchemaGenerator(model, options)
+    try:
+        result = generator.generate(args.library, root=args.root)
+    except ReproError as error:
+        print(f"generation failed: {error}", file=sys.stderr)
+        return 1
+    path = write_documentation(result, args.out, title=args.title or f"{args.library} documentation")
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_diagram(args: argparse.Namespace) -> int:
+    from repro.uml.diagram import model_to_dot, package_to_dot
+
+    model = _load_model(args.model)
+    if args.library:
+        library = model.library_named(args.library)
+        dot = package_to_dot(library.package, args.library.replace("-", "_"))
+    else:
+        dot = model_to_dot(model.model)
+    _emit(dot, args.out)
+    return 0
+
+
+def _cmd_reverse(args: argparse.Namespace) -> int:
+    from repro.reverse import reverse_engineer
+    from repro.validation import validate_model
+    from repro.xsd.validator import SchemaSet
+
+    schema_set = SchemaSet.from_directory(args.schemas)
+    report = reverse_engineer(schema_set)
+    print(f"reconstructed {len(report.model.libraries())} libraries")
+    for note in report.notes:
+        print(f"note: {note}")
+    if report.doc_library_names:
+        print(f"document libraries: {', '.join(report.doc_library_names)} "
+              f"(roots: {', '.join(report.root_elements)})")
+    validation = validate_model(report.model)
+    print(validation.summary())
+    write_xmi(report.model.model, args.out)
+    print(f"wrote reconstructed model to {args.out}")
+    return 0 if validation.ok else 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.interchange import diff_models
+
+    differences = diff_models(_load_model(args.first), _load_model(args.second))
+    for difference in differences:
+        print(difference)
+    print(f"{len(differences)} difference(s)")
+    return 0 if not differences else 1
+
+
+def _cmd_compat(args: argparse.Namespace) -> int:
+    from repro.xsd.compat import check_compatibility
+    from repro.xsd.validator import SchemaSet
+
+    old = SchemaSet.from_directory(args.old)
+    new = SchemaSet.from_directory(args.new)
+    report = check_compatibility(old, new)
+    for change in report.changes:
+        print(change)
+    if report.is_backward_compatible:
+        print(f"backward compatible ({len(report.compatible)} compatible change(s))")
+        return 0
+    print(f"NOT backward compatible: {len(report.breaking)} breaking change(s)")
+    return 1
+
+
+def _cmd_check_instance(args: argparse.Namespace) -> int:
+    from repro.xsd.validator import SchemaSet, validate_instance
+
+    schema_set = SchemaSet.from_directory(args.schemas)
+    problems = validate_instance(schema_set, Path(args.instance).read_text(encoding="utf-8"))
+    if not problems:
+        print("instance is valid")
+        return 0
+    for problem in problems:
+        print(problem)
+    print(f"{len(problems)} problem(s)")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="upcc",
+        description="UML Profile for Core Components: modeling, validation and XSD generation",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    example = commands.add_parser("example", help="write a catalog model as XMI")
+    example.add_argument("name", choices=["easybiz", "figure1", "ecommerce"])
+    example.add_argument("--out", help="output XMI file (stdout when omitted)")
+    example.set_defaults(func=_cmd_example)
+
+    inspect = commands.add_parser("inspect", help="print the model tree view")
+    inspect.add_argument("model", help="XMI model file")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    validate = commands.add_parser("validate", help="run the validation engine")
+    validate.add_argument("model", help="XMI model file")
+    validate.add_argument("--basic", action="store_true", help="run only the basic rule set")
+    validate.set_defaults(func=_cmd_validate)
+
+    generate = commands.add_parser("generate", help="generate XSD schemas from a library")
+    generate.add_argument("model", help="XMI model file")
+    generate.add_argument("--library", required=True, help="library name to generate from")
+    generate.add_argument("--root", help="root ABIE for DOCLibrary generation")
+    generate.add_argument("--out", help="output directory (stdout when omitted)")
+    generate.add_argument("--annotate", action="store_true", help="emit CCTS annotations")
+    generate.add_argument(
+        "--inline-aggregations",
+        action="store_true",
+        help="inline shared-aggregation ASBIEs instead of global element + ref",
+    )
+    generate.add_argument("--no-validate", action="store_true", help="skip pre-generation validation")
+    generate.add_argument(
+        "--syntax",
+        choices=["xsd", "rng", "rdfs"],
+        default="xsd",
+        help="transfer syntax: XML Schema (default), RELAX NG or RDF Schema "
+        "(the paper's future-extension syntaxes)",
+    )
+    generate.set_defaults(func=_cmd_generate)
+
+    instance = commands.add_parser("instance", help="generate a sample XML instance")
+    instance.add_argument("schemas", help="directory of generated schemas")
+    instance.add_argument("--root", required=True, help="global root element name")
+    instance.add_argument("--out", help="output file (stdout when omitted)")
+    instance.add_argument("--minimal", action="store_true", help="omit optional content")
+    instance.set_defaults(func=_cmd_instance)
+
+    check = commands.add_parser("check-instance", help="validate an XML instance")
+    check.add_argument("schemas", help="directory of generated schemas")
+    check.add_argument("instance", help="instance document to validate")
+    check.set_defaults(func=_cmd_check_instance)
+
+    registry = commands.add_parser("registry", help="store/search core-component models")
+    registry_commands = registry.add_subparsers(dest="registry_command", required=True)
+    store = registry_commands.add_parser("store", help="register a model")
+    store.add_argument("directory", help="registry directory")
+    store.add_argument("name", help="registration name")
+    store.add_argument("model", help="XMI model file")
+    store.add_argument("--overwrite", action="store_true")
+    store.set_defaults(func=_cmd_registry)
+    search = registry_commands.add_parser("search", help="search dictionary entry names")
+    search.add_argument("directory", help="registry directory")
+    search.add_argument("term", help="search term")
+    search.set_defaults(func=_cmd_registry)
+    listing = registry_commands.add_parser("list", help="list registered models")
+    listing.add_argument("directory", help="registry directory")
+    listing.set_defaults(func=_cmd_registry)
+
+    document = commands.add_parser("document", help="render HTML documentation for generated schemas")
+    document.add_argument("model", help="XMI model file")
+    document.add_argument("--library", required=True, help="library to generate and document")
+    document.add_argument("--root", help="root ABIE for DOCLibrary generation")
+    document.add_argument("--out", required=True, help="output HTML file")
+    document.add_argument("--title", help="page title")
+    document.set_defaults(func=_cmd_document)
+
+    diagram = commands.add_parser("diagram", help="render class diagrams as Graphviz DOT")
+    diagram.add_argument("model", help="XMI model file")
+    diagram.add_argument("--library", help="render only this library's package")
+    diagram.add_argument("--out", help="output .dot file (stdout when omitted)")
+    diagram.set_defaults(func=_cmd_diagram)
+
+    reverse = commands.add_parser(
+        "reverse", help="reverse-engineer a schema directory into an XMI model"
+    )
+    reverse.add_argument("schemas", help="directory of NDR schemas")
+    reverse.add_argument("--out", required=True, help="output XMI file")
+    reverse.set_defaults(func=_cmd_reverse)
+
+    diff = commands.add_parser("diff", help="structurally compare two models")
+    diff.add_argument("first", help="first XMI model file")
+    diff.add_argument("second", help="second XMI model file")
+    diff.set_defaults(func=_cmd_diff)
+
+    compat = commands.add_parser(
+        "compat", help="check backward compatibility of two generated schema sets"
+    )
+    compat.add_argument("old", help="directory of the old schemas")
+    compat.add_argument("new", help="directory of the new schemas")
+    compat.set_defaults(func=_cmd_compat)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The core-components management console.
+
+The paper's outlook: "The Add-In will therefore be extended by a core
+components management console, allowing the easy maintenance of existing
+libraries.  Other modeler amenities such as updating all namespaces,
+setting one global schema location etc. are also subject to current
+development."  This package implements those amenities:
+
+* :func:`update_base_urns` -- retarget every library's ``baseURN``
+  ("updating all namespaces"),
+* :func:`set_global_schema_location` -- rewrite the relative import
+  locations of generated schemas to one absolute base ("setting one global
+  schema location"),
+* :func:`rename_classifier` / :func:`move_classifier` /
+  :func:`bump_version` -- library maintenance with integrity checks,
+* :func:`find_unused` -- dead-element report (unused CDTs, QDTs, ACCs,
+  enumerations),
+* :func:`impact_of` -- "which schemas change if I touch this element?",
+  the dependency question modelers "often get lost" over.
+"""
+
+from repro.console.maintenance import (
+    bump_version,
+    find_unused,
+    impact_of,
+    move_classifier,
+    rename_classifier,
+    update_base_urns,
+)
+from repro.console.locations import set_global_schema_location
+
+__all__ = [
+    "bump_version",
+    "find_unused",
+    "impact_of",
+    "move_classifier",
+    "rename_classifier",
+    "set_global_schema_location",
+    "update_base_urns",
+]

@@ -1,0 +1,28 @@
+"""Schema-location rewriting: "setting one global schema location"."""
+
+from __future__ import annotations
+
+from repro.xsdgen.generator import GenerationResult
+
+
+def set_global_schema_location(result: GenerationResult, base_url: str) -> int:
+    """Rewrite every import's schemaLocation to ``base_url``/file.
+
+    The default generation emits relative sibling-folder locations
+    (``../urn_au_gov_vic_easybiz_/file.xsd``); deployments that publish all
+    schemas under one URL want absolute locations instead.  Returns the
+    number of imports rewritten.
+    """
+    base = base_url.rstrip("/")
+    by_namespace = {
+        generated.namespace.urn: generated.namespace.file_name
+        for generated in result.schemas.values()
+    }
+    rewritten = 0
+    for generated in result.schemas.values():
+        for import_decl in generated.schema.imports:
+            file_name = by_namespace.get(import_decl.namespace)
+            if file_name is not None:
+                import_decl.schema_location = f"{base}/{file_name}"
+                rewritten += 1
+    return rewritten

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the UPCC reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with one ``except`` clause while still being able to
+discriminate between modelling, profile, generation and validation failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ModelError(ReproError):
+    """A structural problem in the UML model (duplicate names, bad owners...)."""
+
+
+class ProfileError(ReproError):
+    """Misuse of the UPCC profile (unknown stereotype, illegal application...)."""
+
+
+class CctsError(ReproError):
+    """Violation of a CCTS rule at the typed-facade level."""
+
+
+class DerivationError(CctsError):
+    """An illegal derivation-by-restriction (e.g. adding attributes)."""
+
+
+class NamingError(CctsError):
+    """A dictionary entry name could not be built or parsed."""
+
+
+class GenerationError(ReproError):
+    """The XSD generator aborted; mirrors the error dialog of the paper's add-in."""
+
+
+class XmiError(ReproError):
+    """XMI serialization or deserialization failure."""
+
+
+class SchemaError(ReproError):
+    """An ill-formed XSD component tree."""
+
+
+class InstanceValidationError(ReproError):
+    """Raised by the strict instance-validation entry point on invalid input."""
+
+
+class InterchangeError(ReproError):
+    """Spreadsheet/CSV interchange failure."""
+
+
+class RegistryError(ReproError):
+    """Registry lookup/storage failure."""

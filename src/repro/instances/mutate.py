@@ -1,0 +1,66 @@
+"""Controlled instance corruptions for negative testing.
+
+Each mutation takes a valid instance tree (as produced by
+:class:`repro.instances.InstanceGenerator`), applies one specific defect and
+returns True when it found a spot to apply it.  Tests assert that the
+validator rejects every successfully mutated instance -- silence from a
+validator is only meaningful when it provably can say no.
+"""
+
+from __future__ import annotations
+
+from repro.xmlutil.writer import XmlElement
+
+
+def _walk(element: XmlElement):
+    yield element
+    for child in element.element_children:
+        yield from _walk(child)
+
+
+def drop_required_child(root: XmlElement, child_name: str) -> bool:
+    """Remove the first child element whose tag ends in ``child_name``."""
+    for element in _walk(root):
+        for index, child in enumerate(element.children):
+            if isinstance(child, XmlElement) and child.tag.rpartition(":")[2] == child_name:
+                del element.children[index]
+                return True
+    return False
+
+
+def drop_required_attribute(root: XmlElement, attribute_name: str) -> bool:
+    """Remove the first occurrence of ``attribute_name`` anywhere."""
+    for element in _walk(root):
+        if attribute_name in element.attributes:
+            del element.attributes[attribute_name]
+            return True
+    return False
+
+
+def corrupt_enumeration_value(root: XmlElement, element_name: str, bad_value: str = "__not_a_code__") -> bool:
+    """Replace the text of the first ``element_name`` element with ``bad_value``."""
+    for element in _walk(root):
+        if element.tag.rpartition(":")[2] == element_name:
+            element.children = [child for child in element.children if isinstance(child, XmlElement)]
+            element.children.insert(0, bad_value)
+            return True
+    return False
+
+
+def add_unknown_child(root: XmlElement, under: str | None = None, tag: str = "Bogus") -> bool:
+    """Append an undeclared child element (to ``under`` or the root)."""
+    target = root
+    if under is not None:
+        target = next(
+            (element for element in _walk(root) if element.tag.rpartition(":")[2] == under),
+            root,
+        )
+    prefix = root.tag.partition(":")[0] if ":" in root.tag else None
+    target.add(f"{prefix}:{tag}" if prefix else tag)
+    return True
+
+
+def add_unknown_attribute(root: XmlElement, name: str = "bogus", value: str = "x") -> bool:
+    """Set an undeclared (non-xmlns) attribute on the root element."""
+    root.attributes[name] = value
+    return True

@@ -1,0 +1,69 @@
+"""Deterministic sample values for built-in types and facets."""
+
+from __future__ import annotations
+
+from repro.xmlutil.qname import QName
+from repro.xsd.components import Facet
+
+#: Sample lexical value per XSD built-in local name.
+_SAMPLES: dict[str, str] = {
+    "string": "Sample text",
+    "normalizedString": "Sample text",
+    "token": "sample-token",
+    "language": "en",
+    "NCName": "SampleName",
+    "Name": "SampleName",
+    "ID": "id-1",
+    "IDREF": "id-1",
+    "anyURI": "urn:example:sample",
+    "boolean": "true",
+    "integer": "42",
+    "nonNegativeInteger": "42",
+    "positiveInteger": "42",
+    "nonPositiveInteger": "-42",
+    "negativeInteger": "-42",
+    "long": "42",
+    "int": "42",
+    "short": "42",
+    "byte": "42",
+    "unsignedLong": "42",
+    "unsignedInt": "42",
+    "unsignedShort": "42",
+    "unsignedByte": "42",
+    "decimal": "42.00",
+    "float": "42.0",
+    "double": "42.0",
+    "date": "2007-04-15",
+    "time": "10:30:00",
+    "dateTime": "2007-04-15T10:30:00Z",
+    "duration": "P1D",
+    "gYear": "2007",
+    "gYearMonth": "2007-04",
+    "base64Binary": "U2FtcGxl",
+    "hexBinary": "53616d706c65",
+}
+
+
+def sample_value(base: QName, facets: list[Facet]) -> str:
+    """A value lexically valid for ``base`` and its constraining facets.
+
+    Enumeration facets dominate: the first enumerated value is used.
+    Length/pattern facets beyond the enumeration case are satisfied on a
+    best-effort basis (the NDR generator never emits them).
+    """
+    for facet in facets:
+        if facet.kind == "enumeration":
+            return facet.value
+    value = _SAMPLES.get(base.local, "Sample text")
+    for facet in facets:
+        if facet.kind == "length":
+            value = ("x" * int(facet.value))[: int(facet.value)]
+        elif facet.kind == "minLength" and len(value) < int(facet.value):
+            value = value + "x" * (int(facet.value) - len(value))
+        elif facet.kind == "maxLength" and len(value) > int(facet.value):
+            value = value[: int(facet.value)]
+        elif facet.kind == "minInclusive":
+            value = facet.value
+        elif facet.kind == "maxInclusive":
+            value = facet.value
+    return value

@@ -1,0 +1,22 @@
+"""Model interchange: the spreadsheet baseline and model comparison.
+
+The paper motivates the XMI route by what preceded it: "the standardization
+and harmonization process of core component instances is based on spread
+sheets".  This package implements that baseline --
+:mod:`repro.interchange.spreadsheet` exports/imports a core-components
+model as CSV rows shaped like the UN/CEFACT harmonization sheets -- and
+:mod:`repro.interchange.compare` diffs two models, which the interchange
+benchmark uses to quantify what the spreadsheet loses and XMI keeps.
+"""
+
+from repro.interchange.codelists import export_code_list, import_code_list
+from repro.interchange.compare import diff_models
+from repro.interchange.spreadsheet import export_csv, import_csv
+
+__all__ = [
+    "diff_models",
+    "export_code_list",
+    "export_csv",
+    "import_code_list",
+    "import_csv",
+]

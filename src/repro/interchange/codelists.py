@@ -1,0 +1,79 @@
+"""External code-list import/export.
+
+Real UN/CEFACT code lists (currencies, countries, transport modes) are
+maintained outside the model and change on their own cadence; modelers
+import them into ENUM libraries rather than typing literals by hand.  The
+format here is the pragmatic two-column CSV those lists circulate in::
+
+    code,name
+    USA,United States of America
+    AUT,Austria
+
+with optional comment lines starting ``#`` and an optional header row
+(detected when the first row is literally ``code,name``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.ccts.data_types import EnumerationType
+from repro.ccts.libraries import EnumLibrary
+from repro.errors import InterchangeError
+
+
+def import_code_list(
+    library: EnumLibrary,
+    name: str,
+    source: str | Path,
+    **tags: str,
+) -> EnumerationType:
+    """Create an enumeration in ``library`` from code-list CSV.
+
+    ``source`` is CSV text or a file path.  Duplicate codes, empty codes
+    and rows with more than two columns are rejected -- code lists feed
+    straight into value spaces, so silent repair would hide data problems.
+    """
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source and source.endswith(".csv")):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = str(source)
+    rows = [
+        row for row in csv.reader(io.StringIO(text))
+        if row and not (row[0].startswith("#"))
+    ]
+    if rows and [cell.strip().lower() for cell in rows[0]] == ["code", "name"]:
+        rows = rows[1:]
+    if not rows:
+        raise InterchangeError(f"code list {name!r} is empty")
+    enum = library.add_enumeration(name, **tags)
+    seen: set[str] = set()
+    for line_number, row in enumerate(rows, start=1):
+        if len(row) > 2:
+            raise InterchangeError(
+                f"code list {name!r} row {line_number}: expected 'code[,name]', got {row!r}"
+            )
+        code = row[0].strip()
+        display = row[1].strip() if len(row) > 1 else None
+        if not code:
+            raise InterchangeError(f"code list {name!r} row {line_number}: empty code")
+        if code in seen:
+            raise InterchangeError(f"code list {name!r} row {line_number}: duplicate code {code!r}")
+        seen.add(code)
+        enum.add_literal(code, display)
+    return enum
+
+
+def export_code_list(enum: EnumerationType, path: str | Path | None = None) -> str:
+    """Export an enumeration back to code-list CSV; returns the text."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(["code", "name"])
+    for literal in enum.literals:
+        writer.writerow([literal.name, literal.value])
+    text = out.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

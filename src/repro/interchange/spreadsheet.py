@@ -1,0 +1,238 @@
+"""CSV (spreadsheet) interchange of core-components models.
+
+Row shape follows the UN/CEFACT harmonization spreadsheets: one row per
+dictionary entry with kind, owning library, names, type, cardinality and
+definition.  The format is **deliberately lossy**, exactly as the paper
+criticizes: it carries no namespace prefixes, no tagged values beyond the
+definition, no enum display values beyond a value column, and no stable
+ids.  :func:`import_csv` reconstructs what it can; the interchange
+benchmark measures the gap against XMI.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.ccts.libraries import (
+    BieLibrary,
+    CcLibrary,
+    CdtLibrary,
+    DocLibrary,
+    EnumLibrary,
+    PrimLibrary,
+    QdtLibrary,
+)
+from repro.ccts.model import CctsModel
+from repro.errors import InterchangeError
+from repro.profile import (
+    ABIE,
+    ACC,
+    ASBIE,
+    ASCC,
+    BASED_ON,
+    BBIE,
+    BCC,
+    CDT,
+    CON,
+    ENUM,
+    PRIM,
+    QDT,
+    SUP,
+    TAG_DEFINITION,
+)
+from repro.uml.association import AggregationKind
+
+#: CSV column names, in order.
+COLUMNS = (
+    "kind",
+    "library",
+    "library_kind",
+    "owner",
+    "name",
+    "type",
+    "cardinality",
+    "aggregation",
+    "based_on",
+    "definition",
+)
+
+_LIBRARY_KINDS = {
+    "PRIMLibrary": PrimLibrary,
+    "ENUMLibrary": EnumLibrary,
+    "CDTLibrary": CdtLibrary,
+    "QDTLibrary": QdtLibrary,
+    "CCLibrary": CcLibrary,
+    "BIELibrary": BieLibrary,
+    "DOCLibrary": DocLibrary,
+}
+
+
+def export_csv(model: CctsModel, path: str | Path | None = None) -> str:
+    """Export ``model`` to harmonization-sheet CSV; returns the text."""
+    out = io.StringIO()
+    writer = csv.DictWriter(out, COLUMNS, lineterminator="\n")
+    writer.writeheader()
+
+    def row(**values: str) -> None:
+        writer.writerow({column: values.get(column, "") for column in COLUMNS})
+
+    for library in model.libraries():
+        if library.stereotype == "BusinessLibrary":
+            continue
+        lib = {"library": library.name, "library_kind": library.stereotype}
+        for classifier in library.package.classifiers:
+            stereotypes = classifier.stereotypes
+            kind = stereotypes[0] if stereotypes else ""
+            based_on = model.model.based_on_target(classifier)
+            row(
+                kind=kind,
+                owner="",
+                name=classifier.name,
+                based_on=based_on.name if based_on is not None else "",
+                definition=classifier.any_tagged_value(TAG_DEFINITION) or "",
+                **lib,
+            )
+            for prop in classifier.attributes:
+                prop_kind = prop.stereotypes[0] if prop.stereotypes else ""
+                row(
+                    kind=prop_kind,
+                    owner=classifier.name,
+                    name=prop.name,
+                    type=prop.type_name,
+                    cardinality=str(prop.multiplicity),
+                    definition=prop.any_tagged_value(TAG_DEFINITION) or "",
+                    **lib,
+                )
+            for literal in getattr(classifier, "literals", []):
+                row(kind="LITERAL", owner=classifier.name, name=literal.name, type=literal.value, **lib)
+        for association in library.package.associations:
+            assoc_kind = association.stereotypes[0] if association.stereotypes else ""
+            based_on = model.model.based_on_target(association)
+            row(
+                kind=assoc_kind,
+                owner=association.source.type.name,
+                name=association.target.name,
+                type=association.target.type.name,
+                cardinality=str(association.target.multiplicity),
+                aggregation=association.aggregation.value,
+                based_on=(based_on.target.name if hasattr(based_on, "target") else "") if based_on is not None else "",
+                **lib,
+            )
+    text = out.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def import_csv(text: str, model_name: str = "Imported", base_urn: str = "urn:imported") -> CctsModel:
+    """Reconstruct a model from harmonization-sheet CSV.
+
+    Reconstruction is two-pass: classifiers first, then typed members and
+    associations.  Everything the format cannot express (prefixes, tagged
+    values, ids) comes back as defaults -- that *is* the baseline's point.
+    """
+    reader = csv.DictReader(io.StringIO(text))
+    rows = list(reader)
+    model = CctsModel(model_name)
+    business = model.add_business_library("Imported", base_urn)
+
+    libraries: dict[str, object] = {}
+    classifiers: dict[tuple[str, str], object] = {}
+
+    adders = {
+        "PRIMLibrary": business.add_prim_library,
+        "ENUMLibrary": business.add_enum_library,
+        "CDTLibrary": business.add_cdt_library,
+        "QDTLibrary": business.add_qdt_library,
+        "CCLibrary": business.add_cc_library,
+        "BIELibrary": business.add_bie_library,
+        "DOCLibrary": business.add_doc_library,
+    }
+
+    # Pass 1: libraries and classifiers.
+    for row in rows:
+        library_name = row["library"]
+        if library_name not in libraries:
+            adder = adders.get(row["library_kind"])
+            if adder is None:
+                raise InterchangeError(f"unknown library kind {row['library_kind']!r}")
+            libraries[library_name] = adder(library_name)
+        library = libraries[library_name]
+        kind = row["kind"]
+        if row["owner"]:
+            continue
+        if kind == PRIM:
+            classifiers[(library_name, row["name"])] = library.add_primitive(row["name"])
+        elif kind == ENUM:
+            classifiers[(library_name, row["name"])] = library.add_enumeration(row["name"])
+        elif kind == CDT:
+            classifiers[(library_name, row["name"])] = library.add_cdt(row["name"])
+        elif kind == QDT:
+            classifiers[(library_name, row["name"])] = library.add_qdt(row["name"])
+        elif kind == ACC:
+            classifiers[(library_name, row["name"])] = library.add_acc(row["name"])
+        elif kind == ABIE:
+            classifiers[(library_name, row["name"])] = library.add_abie(row["name"])
+        elif kind:
+            raise InterchangeError(f"unknown classifier kind {kind!r} for {row['name']!r}")
+
+    def find_classifier(name: str):
+        matches = [wrapper for (_, n), wrapper in classifiers.items() if n == name]
+        if not matches:
+            raise InterchangeError(f"row references unknown classifier {name!r}")
+        return matches[0]
+
+    # Pass 2: members, literals, associations and basedOn links.
+    for row in rows:
+        kind, owner_name = row["kind"], row["owner"]
+        if not owner_name:
+            if kind in (QDT, ABIE) or not row["based_on"]:
+                continue
+            continue
+        library = libraries[row["library"]]
+        owner = classifiers.get((row["library"], owner_name))
+        if owner is None:
+            owner = find_classifier(owner_name)
+        if kind == "LITERAL":
+            owner.add_literal(row["name"], row["type"] or None)
+        elif kind in (CON, SUP):
+            type_wrapper = find_classifier(row["type"])
+            if kind == CON:
+                owner.set_content(type_wrapper.element, row["cardinality"] or "1")
+            else:
+                owner.add_supplementary(row["name"], type_wrapper.element, row["cardinality"] or "1")
+        elif kind in (BCC, BBIE):
+            type_wrapper = find_classifier(row["type"])
+            prop = owner.element.add_attribute(
+                row["name"], type_wrapper.element, row["cardinality"] or "1", stereotype=kind
+            )
+            if row["definition"]:
+                prop.apply_stereotype(kind, **{TAG_DEFINITION: row["definition"]})
+        elif kind in (ASCC, ASBIE):
+            target = find_classifier(row["type"])
+            library.package.add_association(
+                owner.element,
+                target.element,
+                row["name"],
+                row["cardinality"] or "1",
+                AggregationKind(row["aggregation"] or "composite"),
+                stereotype=kind,
+            )
+
+    # Pass 3: basedOn dependencies on classifiers.
+    for row in rows:
+        if row["owner"] or not row["based_on"]:
+            continue
+        client = classifiers.get((row["library"], row["name"]))
+        if client is None:
+            continue
+        try:
+            supplier = find_classifier(row["based_on"])
+        except InterchangeError:
+            continue
+        library = libraries[row["library"]]
+        library.package.add_dependency(client.element, supplier.element, stereotype=BASED_ON)
+
+    return model

@@ -1,0 +1,41 @@
+"""UN/CEFACT XML Naming and Design Rules (NDR 2.0) as used by the paper.
+
+This package turns model-level facts into schema-level decisions:
+
+* :mod:`repro.ndr.names` -- XML element/type names (``Type`` postfix for
+  complex types, ASBIE compound names = role + target name),
+* :mod:`repro.ndr.namespaces` -- target-namespace URNs from library tagged
+  values, prefix policy (user prefix or generated ``cdt1``/``qdt1``/``bie2``
+  style), schema file and folder names,
+* :mod:`repro.ndr.annotations` -- the CCTS documentation blocks written
+  into ``xsd:annotation`` when the Figure-5 "annotated" switch is on.
+"""
+
+from repro.ndr.annotations import CCTS_DOCUMENTATION_NS, annotation_entries_for
+from repro.ndr.names import (
+    asbie_element_name,
+    bbie_element_name,
+    complex_type_name,
+    enum_simple_type_name,
+    xml_name_from_den,
+)
+from repro.ndr.namespaces import (
+    LibraryNamespace,
+    NamespacePolicy,
+    PrefixAllocator,
+    library_kind_token,
+)
+
+__all__ = [
+    "CCTS_DOCUMENTATION_NS",
+    "LibraryNamespace",
+    "NamespacePolicy",
+    "PrefixAllocator",
+    "annotation_entries_for",
+    "asbie_element_name",
+    "bbie_element_name",
+    "complex_type_name",
+    "enum_simple_type_name",
+    "library_kind_token",
+    "xml_name_from_den",
+]

@@ -1,0 +1,64 @@
+"""CCTS annotation blocks for generated schemas.
+
+"The CCTS standard prescribes a set of annotations for every element of the
+standard. An ABIE for instance, amongst others, has two mandatory annotation
+fields Version and Definition. ... The values for the different annotation
+fields are specified in tagged values." (paper, section 4.1)
+
+The documentation namespace is the one Figure 6 line 1 binds to ``ccts``:
+``urn:un:unece:uncefact:documentation:standard:CoreComponentsTechnicalSpecification:2``.
+"""
+
+from __future__ import annotations
+
+from repro.ccts.base import ElementWrapper
+from repro.profile import (
+    TAG_BUSINESS_TERM,
+    TAG_DEFINITION,
+    TAG_DICTIONARY_ENTRY_NAME,
+    TAG_UNIQUE_IDENTIFIER,
+    TAG_USAGE_RULE,
+    TAG_VERSION,
+)
+
+#: The CCTS documentation namespace bound to the ``ccts`` prefix.
+CCTS_DOCUMENTATION_NS = (
+    "urn:un:unece:uncefact:documentation:standard:CoreComponentsTechnicalSpecification:2"
+)
+
+#: (tag constant, ccts documentation element name, include-when-empty)
+_ANNOTATION_FIELDS: tuple[tuple[str, str, bool], ...] = (
+    (TAG_UNIQUE_IDENTIFIER, "UniqueID", False),
+    (TAG_VERSION, "Version", True),
+    (TAG_DICTIONARY_ENTRY_NAME, "DictionaryEntryName", False),
+    (TAG_DEFINITION, "Definition", True),
+    (TAG_BUSINESS_TERM, "BusinessTerm", False),
+    (TAG_USAGE_RULE, "UsageRule", False),
+)
+
+
+def annotation_entries_for(
+    wrapper: ElementWrapper,
+    acronym: str,
+    den: str | None = None,
+) -> list[tuple[str, str]]:
+    """The ``(ccts element name, text)`` pairs for one model element.
+
+    ``acronym`` is the CCTS component acronym (``ABIE``, ``BBIE``, ``CDT``,
+    ...) written as the ``AcronymCode``; ``den`` overrides the dictionary
+    entry name (wrappers compute richer DENs than the stored tag).
+    Version and Definition are always emitted -- they are the two mandatory
+    fields the paper names -- with defaults for models that never set them.
+    """
+    entries: list[tuple[str, str]] = [("AcronymCode", acronym)]
+    for tag, element_name, mandatory in _ANNOTATION_FIELDS:
+        if tag == TAG_DICTIONARY_ENTRY_NAME and den is not None:
+            entries.append((element_name, den))
+            continue
+        value = wrapper.element.any_tagged_value(tag)
+        if value:
+            entries.append((element_name, value))
+        elif mandatory:
+            default = "1.0" if element_name == "Version" else ""
+            entries.append((element_name, value if value is not None else default))
+    return entries

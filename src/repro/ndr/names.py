@@ -1,0 +1,96 @@
+"""XML name derivation per the NDR.
+
+Rules visible in the paper's Figures 6-8:
+
+* complex types are "named after the business entity plus a Type postfix"
+  (``HoardingPermit`` -> ``HoardingPermitType``),
+* a BBIE element simply takes the attribute name from the class diagram,
+* an ASBIE element name "is determined by the role name of the ASBIE
+  aggregation plus the name of the target ABIE" (``Billing`` +
+  ``Person_Identification`` -> ``BillingPerson_Identification``),
+* underscores survive into XML names (Figure 6 line 15), periods and spaces
+  of dictionary entry names do not.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import NamingError
+from repro.xmlutil.escape import is_valid_ncname
+
+#: The NDR type-name postfix.
+TYPE_POSTFIX = "Type"
+
+_INVALID_NCNAME_CHARS = re.compile(r"[^A-Za-z0-9_.\-]")
+
+
+def sanitize_ncname(name: str) -> str:
+    """Strip characters that would make ``name`` an invalid NCName.
+
+    DEN separators (``". "``), spaces and any exotic punctuation are
+    removed; a leading digit is prefixed with ``_``.
+    """
+    cleaned = _INVALID_NCNAME_CHARS.sub("", name.replace(". ", "").replace(" ", ""))
+    if not cleaned:
+        raise NamingError(f"name {name!r} sanitizes to an empty XML name")
+    if cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    if not is_valid_ncname(cleaned):
+        raise NamingError(f"could not derive a valid XML name from {name!r} (got {cleaned!r})")
+    return cleaned
+
+
+def xml_name_from_den(den: str) -> str:
+    """Collapse a CCTS dictionary entry name into an XML name.
+
+    ``Person. Date Of Birth. Date`` -> ``PersonDateOfBirthDate``.  The NDR
+    truncation rule additionally drops a trailing representation term that
+    repeats the property term's last word (``Country Name. Name`` ->
+    ``CountryName``); callers pass DENs through :func:`truncate_den` first
+    when they want that behaviour.
+    """
+    return sanitize_ncname(den)
+
+
+def truncate_den(den: str) -> str:
+    """Apply the NDR repeated-word truncation to a dictionary entry name.
+
+    When the representation term (last DEN component) equals the trailing
+    word(s) of the property term, the duplication is dropped:
+    ``Address. Country Name. Name`` -> ``Address. Country Name``.
+    ``Text`` representation terms are always dropped per NDR rule.
+    """
+    parts = den.split(". ")
+    if len(parts) < 2:
+        return den
+    representation = parts[-1]
+    property_term = parts[-2]
+    if representation == "Text" or property_term.endswith(representation):
+        return ". ".join(parts[:-1])
+    return den
+
+
+def complex_type_name(entity_name: str) -> str:
+    """The complexType name for an entity: name + ``Type`` postfix."""
+    return f"{sanitize_ncname(entity_name)}{TYPE_POSTFIX}"
+
+
+def enum_simple_type_name(enum_name: str) -> str:
+    """The simpleType name for an enumeration: name + ``Type`` postfix."""
+    return f"{sanitize_ncname(enum_name)}{TYPE_POSTFIX}"
+
+
+def bbie_element_name(attribute_name: str) -> str:
+    """The element name for a BBIE: "simply ... the name specified by the attribute"."""
+    return sanitize_ncname(attribute_name)
+
+
+def asbie_element_name(role_name: str, target_name: str) -> str:
+    """The compound element name for an ASBIE: role + target entity name."""
+    return f"{sanitize_ncname(role_name)}{sanitize_ncname(target_name)}"
+
+
+def attribute_name(sup_name: str) -> str:
+    """The XML attribute name for a supplementary component."""
+    return sanitize_ncname(sup_name)

@@ -1,0 +1,162 @@
+"""Namespace URNs, prefixes and schema file locations.
+
+Figure 6 of the paper shows the full policy in action:
+
+* the DOCLibrary's target namespace is
+  ``urn:au:gov:vic:easybiz:data:draft:EB005-HoardingPermit`` -- the library's
+  ``baseURN`` tagged value, a *kind token* (``data`` for CC/BIE/DOC
+  libraries, ``types`` for data-type libraries), the lifecycle status and
+  the library name;
+* the importing schema binds a **user prefix** when the imported library
+  sets the ``namespacePrefix`` tagged value (``commonAggregates``),
+  otherwise a **generated prefix**: kind default plus a counter
+  ("the number contained in the prefix is generated automatically to
+  distinguish between multiple BIELibrary schemas", e.g. ``bie2``);
+* schema files live in a folder named after the underscored baseURN
+  (``../urn_au_gov_vic_easybiz_/``) and are named from the underscored
+  namespace remainder plus the library version
+  (``data_draft_CommonAggregates_0.1.xsd``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.profile import (
+    BIE_LIBRARY,
+    CC_LIBRARY,
+    CDT_LIBRARY,
+    DOC_LIBRARY,
+    ENUM_LIBRARY,
+    PRIM_LIBRARY,
+    QDT_LIBRARY,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ccts.libraries import Library
+
+#: Kind token per library stereotype: the URN segment after the baseURN.
+_KIND_TOKENS = {
+    CC_LIBRARY: "data",
+    BIE_LIBRARY: "data",
+    DOC_LIBRARY: "data",
+    CDT_LIBRARY: "types",
+    QDT_LIBRARY: "types",
+    ENUM_LIBRARY: "types",
+    PRIM_LIBRARY: "types",
+}
+
+#: Default prefix stem per library stereotype, for generated prefixes.
+_PREFIX_STEMS = {
+    CC_LIBRARY: "cc",
+    BIE_LIBRARY: "bie",
+    DOC_LIBRARY: "doc",
+    CDT_LIBRARY: "cdt",
+    QDT_LIBRARY: "qdt",
+    ENUM_LIBRARY: "enum",
+    PRIM_LIBRARY: "prim",
+}
+
+
+def library_kind_token(stereotype: str) -> str:
+    """The URN kind token (``data``/``types``) for a library stereotype."""
+    return _KIND_TOKENS[stereotype]
+
+
+def prefix_stem(stereotype: str) -> str:
+    """The generated-prefix stem (``cdt``, ``qdt``, ``bie``, ...)."""
+    return _PREFIX_STEMS[stereotype]
+
+
+@dataclass(frozen=True)
+class LibraryNamespace:
+    """Everything namespace-related about one library's schema."""
+
+    urn: str
+    folder: str
+    file_name: str
+    preferred_prefix: str | None
+    stereotype: str
+
+    @property
+    def location(self) -> str:
+        """The relative schemaLocation used in imports: ``../folder/file``."""
+        return f"../{self.folder}/{self.file_name}"
+
+
+@dataclass
+class NamespacePolicy:
+    """Computes URNs, file names and prefixes for libraries.
+
+    ``include_version_in_urn`` reproduces the mixed usage of the paper's
+    Figure 4, where some package names carry the version in the URN
+    (``types:draft:coredatatypes:1.0``) and others do not; the default is
+    off, matching Figure 6's target namespace.
+    """
+
+    include_version_in_urn: bool = False
+
+    def namespace_for(self, library: "Library") -> LibraryNamespace:
+        """Compute the :class:`LibraryNamespace` of a library."""
+        base = library.base_urn or f"urn:{library.name.lower()}"
+        kind = library_kind_token(library.stereotype)
+        remainder = [kind, library.status, library.name]
+        if self.include_version_in_urn:
+            remainder.append(library.library_version)
+        urn = ":".join([base] + remainder)
+        folder = base.replace(":", "_") + "_"
+        file_name = "_".join(remainder_token for remainder_token in remainder)
+        if not self.include_version_in_urn:
+            file_name = f"{file_name}_{library.library_version}"
+        return LibraryNamespace(
+            urn=urn,
+            folder=folder,
+            file_name=f"{file_name}.xsd",
+            preferred_prefix=library.namespace_prefix,
+            stereotype=library.stereotype,
+        )
+
+
+@dataclass
+class PrefixAllocator:
+    """Assigns prefixes inside one generated schema document.
+
+    A library with a user-set ``namespacePrefix`` gets that prefix; other
+    libraries get ``{stem}{counter}`` with one counter per stem, counted in
+    allocation order (so the second anonymous BIELibrary becomes ``bie2``,
+    exactly as Figure 6 line 14 shows).  Collisions with already-taken
+    prefixes fall back to the generated scheme.
+    """
+
+    taken: set[str] = field(default_factory=set)
+    counters: dict[str, int] = field(default_factory=dict)
+    by_namespace: dict[str, str] = field(default_factory=dict)
+
+    def allocate(self, namespace: LibraryNamespace) -> str:
+        """The prefix for ``namespace`` in this schema (stable per URN).
+
+        The per-stem counter advances for *every* allocated library of that
+        kind, including user-prefixed ones: Figure 6 binds the second
+        BIELibrary to ``bie2`` even though the first used its own
+        ``commonAggregates`` prefix.
+        """
+        existing = self.by_namespace.get(namespace.urn)
+        if existing is not None:
+            return existing
+        stem = prefix_stem(namespace.stereotype)
+        self.counters[stem] = self.counters.get(stem, 0) + 1
+        prefix = namespace.preferred_prefix
+        if not prefix or prefix in self.taken:
+            prefix = f"{stem}{self.counters[stem]}"
+            while prefix in self.taken:
+                self.counters[stem] += 1
+                prefix = f"{stem}{self.counters[stem]}"
+        self.taken.add(prefix)
+        self.by_namespace[namespace.urn] = prefix
+        return prefix
+
+    def reserve(self, prefix: str, namespace_urn: str) -> None:
+        """Pin a fixed prefix (``doc``, ``xsd``, ``ccts``) to a namespace."""
+        self.taken.add(prefix)
+        self.by_namespace[namespace_urn] = prefix

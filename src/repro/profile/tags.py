@@ -1,0 +1,36 @@
+"""Tagged-value names used by the UPCC profile.
+
+The paper (section 4) calls out ``baseURN`` (namespace construction) and
+``NamespacePrefix`` (user-chosen prefix, e.g. ``commonAggregates``) on
+library packages, and the CCTS-mandated annotation fields -- every element
+carries at least ``Version`` and ``Definition`` -- on modelling elements.
+"""
+
+from __future__ import annotations
+
+#: Library tag: the URN base the schema targetNamespace is built from.
+TAG_BASE_URN = "baseURN"
+#: Library tag: user-chosen namespace prefix for imports of this library.
+TAG_NAMESPACE_PREFIX = "namespacePrefix"
+#: Library/element tag: version string (also part of the namespace URN).
+TAG_VERSION = "version"
+#: Element tag: the CCTS definition annotation (mandatory per CCTS).
+TAG_DEFINITION = "definition"
+#: Element tag: the CCTS dictionary entry name, stored denormalized.
+TAG_DICTIONARY_ENTRY_NAME = "dictionaryEntryName"
+#: Element tag: a business synonym.
+TAG_BUSINESS_TERM = "businessTerm"
+#: Element tag: CCTS unique identifier (UN-assigned in the real registry).
+TAG_UNIQUE_IDENTIFIER = "uniqueIdentifier"
+#: Library tag: lifecycle status (e.g. draft / candidate / standard).
+TAG_STATUS = "status"
+#: Library tag: copyright / agency metadata kept for completeness.
+TAG_OWNER = "owner"
+#: Element tag: usage rule free text.
+TAG_USAGE_RULE = "usageRule"
+#: BIE tag: name of the business context the entity is qualified for.
+TAG_BUSINESS_CONTEXT = "businessContext"
+#: QDT/ENUM tag: identification of the code list represented.
+TAG_CODE_LIST_ID = "codeListIdentifier"
+#: ENUM literal value tag (display name of a code).
+TAG_CODE_NAME = "codeName"

@@ -1,0 +1,190 @@
+"""Stereotype definitions of the UML Profile for Core Components.
+
+The inventory reproduces Figure 3 of the paper exactly: eight library
+stereotypes in *Management*, six data-type stereotypes in *DataTypes* and
+nine stereotypes in *Common*.  ``BIE`` and ``CC`` are the abstract parents
+of the concrete BIE/CC stereotypes (they appear in the profile but are never
+applied directly).
+"""
+
+from __future__ import annotations
+
+from repro.profile import tags
+from repro.uml.stereotype import Profile, StereotypeDef, TagDef
+
+# --- stereotype name constants (Figure 3) -------------------------------------
+
+# Management package
+BIE_LIBRARY = "BIELibrary"
+BUSINESS_LIBRARY = "BusinessLibrary"
+CC_LIBRARY = "CCLibrary"
+CDT_LIBRARY = "CDTLibrary"
+DOC_LIBRARY = "DOCLibrary"
+ENUM_LIBRARY = "ENUMLibrary"
+PRIM_LIBRARY = "PRIMLibrary"
+QDT_LIBRARY = "QDTLibrary"
+
+# DataTypes package
+CDT = "CDT"
+CON = "CON"
+ENUM = "ENUM"
+PRIM = "PRIM"
+QDT = "QDT"
+SUP = "SUP"
+
+# Common package
+ABIE = "ABIE"
+ACC = "ACC"
+ASBIE = "ASBIE"
+ASCC = "ASCC"
+BASED_ON = "basedOn"
+BBIE = "BBIE"
+BCC = "BCC"
+BIE = "BIE"
+CC = "CC"
+
+#: The eight library stereotypes (Management package of Figure 3).
+MANAGEMENT_STEREOTYPES = (
+    BIE_LIBRARY,
+    BUSINESS_LIBRARY,
+    CC_LIBRARY,
+    CDT_LIBRARY,
+    DOC_LIBRARY,
+    ENUM_LIBRARY,
+    PRIM_LIBRARY,
+    QDT_LIBRARY,
+)
+
+#: Alias kept for call sites that think in terms of "libraries".
+LIBRARY_STEREOTYPES = MANAGEMENT_STEREOTYPES
+
+#: The six data-type stereotypes (DataTypes package of Figure 3).
+DATATYPE_STEREOTYPES = (CDT, CON, ENUM, PRIM, QDT, SUP)
+
+#: The nine common stereotypes (Common package of Figure 3).
+COMMON_STEREOTYPES = (ABIE, ACC, ASBIE, ASCC, BASED_ON, BBIE, BCC, BIE, CC)
+
+
+def _library_tags() -> tuple[TagDef, ...]:
+    """Tags shared by every library stereotype."""
+    return (
+        TagDef(tags.TAG_BASE_URN, required=True, description="URN base for the target namespace"),
+        TagDef(tags.TAG_NAMESPACE_PREFIX, description="user-chosen namespace prefix"),
+        TagDef(tags.TAG_VERSION, default="1.0", description="library version (URN component)"),
+        TagDef(tags.TAG_STATUS, default="draft", description="lifecycle status (URN component)"),
+        TagDef(tags.TAG_OWNER, description="owning agency"),
+    )
+
+
+def _annotation_tags() -> tuple[TagDef, ...]:
+    """CCTS annotation tags shared by modelling elements.
+
+    The paper: "An ABIE for instance, amongst others, has two mandatory
+    annotation fields Version and Definition."  They are modelled as
+    defaulted-required so an unannotated toy model still validates while
+    the annotation writer has content to emit.
+    """
+    return (
+        TagDef(tags.TAG_DEFINITION, required=True, default="", description="CCTS definition text"),
+        TagDef(tags.TAG_VERSION, required=True, default="1.0", description="CCTS version"),
+        TagDef(tags.TAG_DICTIONARY_ENTRY_NAME, description="denormalized dictionary entry name"),
+        TagDef(tags.TAG_BUSINESS_TERM, description="business synonym"),
+        TagDef(tags.TAG_UNIQUE_IDENTIFIER, description="CCTS unique identifier"),
+        TagDef(tags.TAG_USAGE_RULE, description="free-text usage rule"),
+    )
+
+
+def build_upcc_profile() -> Profile:
+    """Construct the UPCC profile with the full Figure-3 inventory."""
+    profile = Profile("UPCC")
+    annotation = _annotation_tags()
+    library = _library_tags()
+
+    # -- Management: the eight libraries, all extending Package ----------------
+    profile.add("Management", StereotypeDef(
+        BUSINESS_LIBRARY, ("Package",), library,
+        description="Aggregates data-type/CC/BIE/DOC libraries into one business library.",
+    ))
+    for name, description in (
+        (BIE_LIBRARY, "Container for ABIEs and their interdependencies, provided for reuse."),
+        (CC_LIBRARY, "Container for aggregate core components."),
+        (CDT_LIBRARY, "Container for core data types."),
+        (DOC_LIBRARY, "Container assembling imported ABIEs into a business document."),
+        (ENUM_LIBRARY, "Container for enumeration types used by qualified data types."),
+        (PRIM_LIBRARY, "Container for primitive types."),
+        (QDT_LIBRARY, "Container for qualified data types."),
+    ):
+        profile.add("Management", StereotypeDef(name, ("Package",), library, description=description))
+
+    # -- DataTypes --------------------------------------------------------------
+    profile.add("DataTypes", StereotypeDef(
+        CDT, ("DataType", "Class"), annotation,
+        description="Core data type: exactly one CON plus zero or more SUPs; no business semantic.",
+    ))
+    profile.add("DataTypes", StereotypeDef(
+        QDT, ("DataType", "Class"), annotation,
+        description="Qualified data type: a CDT restricted for a business context.",
+    ))
+    profile.add("DataTypes", StereotypeDef(
+        CON, ("Property",), annotation,
+        description="Content component: carries the actual value of a CDT/QDT.",
+    ))
+    profile.add("DataTypes", StereotypeDef(
+        SUP, ("Property",), annotation,
+        description="Supplementary component: meta information about the content component.",
+    ))
+    profile.add("DataTypes", StereotypeDef(
+        ENUM, ("Enumeration",), annotation + (
+            TagDef(tags.TAG_CODE_LIST_ID, description="identifier of the represented code list"),
+        ),
+        description="Enumeration restricting the value space of a CON or SUP.",
+    ))
+    profile.add("DataTypes", StereotypeDef(
+        PRIM, ("PrimitiveType", "DataType"), annotation,
+        description="Primitive type per CCTS (String, Integer, Boolean, ...).",
+    ))
+
+    # -- Common -------------------------------------------------------------------
+    profile.add("Common", StereotypeDef(
+        CC, ("Class", "Property", "Association"), annotation, abstract=True,
+        description="Abstract parent of ACC, BCC and ASCC.",
+    ))
+    profile.add("Common", StereotypeDef(
+        BIE, ("Class", "Property", "Association"), annotation, abstract=True,
+        description="Abstract parent of ABIE, BBIE and ASBIE.",
+    ))
+    profile.add("Common", StereotypeDef(
+        ACC, ("Class",), annotation,
+        description="Aggregate core component: related pieces of business information.",
+    ))
+    profile.add("Common", StereotypeDef(
+        BCC, ("Property",), annotation,
+        description="Basic core component: an atomic information field of an ACC.",
+    ))
+    profile.add("Common", StereotypeDef(
+        ASCC, ("Association",), annotation,
+        description="Association core component: a complex-typed field between ACCs.",
+    ))
+    profile.add("Common", StereotypeDef(
+        ABIE, ("Class",), annotation + (
+            TagDef(tags.TAG_BUSINESS_CONTEXT, description="business context qualifying the entity"),
+        ),
+        description="Aggregate business information entity: an ACC restricted to a context.",
+    ))
+    profile.add("Common", StereotypeDef(
+        BBIE, ("Property",), annotation,
+        description="Basic business information entity: an atomic field of an ABIE.",
+    ))
+    profile.add("Common", StereotypeDef(
+        ASBIE, ("Association",), annotation,
+        description="Association business information entity between ABIEs.",
+    ))
+    profile.add("Common", StereotypeDef(
+        BASED_ON, ("Dependency",), (),
+        description="Derivation-by-restriction trace: ABIE->ACC, ASBIE->ASCC, QDT->CDT.",
+    ))
+    return profile
+
+
+#: The singleton profile instance used across the library.
+UPCC = build_upcc_profile()

@@ -1,0 +1,13 @@
+"""A file-based core-component registry.
+
+The paper's section 1 complains that "there is no format defined to
+register and exchange core components"; this package is the registry built
+on the XMI format: models are stored as XMI files under a directory, a JSON
+index carries searchable metadata (library names, kinds, versions and all
+dictionary entry names), and :meth:`Registry.search` answers DEN queries --
+the "management console" direction of the paper's future work.
+"""
+
+from repro.registry.registry import Registry, RegistryEntry
+
+__all__ = ["Registry", "RegistryEntry"]

@@ -1,0 +1,177 @@
+"""The registry implementation: XMI storage plus a JSON search index."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.ccts.model import CctsModel
+from repro.errors import RegistryError
+from repro.ndr.namespaces import NamespacePolicy
+from repro.xmi import read_xmi, write_xmi
+
+#: Name of the JSON index file inside the registry directory.
+INDEX_FILE = "index.json"
+
+
+@dataclass
+class RegistryEntry:
+    """Index metadata for one stored model."""
+
+    name: str
+    file: str
+    libraries: list[dict] = field(default_factory=list)
+    dictionary_entries: list[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        """The JSON shape stored in the index."""
+        return {
+            "name": self.name,
+            "file": self.file,
+            "libraries": self.libraries,
+            "dictionary_entries": self.dictionary_entries,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RegistryEntry":
+        """Rebuild an entry from its JSON shape."""
+        return cls(
+            name=data["name"],
+            file=data["file"],
+            libraries=list(data.get("libraries", [])),
+            dictionary_entries=list(data.get("dictionary_entries", [])),
+        )
+
+
+class Registry:
+    """A directory-backed registry of core-component models."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._index: dict[str, RegistryEntry] = {}
+        self._load_index()
+
+    # -- persistence ------------------------------------------------------------
+
+    def _index_path(self) -> Path:
+        return self.directory / INDEX_FILE
+
+    def _load_index(self) -> None:
+        path = self._index_path()
+        if not path.exists():
+            return
+        data = json.loads(path.read_text(encoding="utf-8"))
+        for entry_data in data.get("entries", []):
+            entry = RegistryEntry.from_json(entry_data)
+            self._index[entry.name] = entry
+
+    def _save_index(self) -> None:
+        data = {"entries": [entry.to_json() for name, entry in sorted(self._index.items())]}
+        self._index_path().write_text(json.dumps(data, indent=2), encoding="utf-8")
+
+    # -- registration -------------------------------------------------------------
+
+    def store(
+        self,
+        name: str,
+        model: CctsModel,
+        overwrite: bool = False,
+        version: str | None = None,
+    ) -> RegistryEntry:
+        """Store ``model`` under ``name``; indexes its libraries and DENs.
+
+        With ``version``, the entry is stored as ``name@version`` and the
+        bare ``name`` keeps pointing at the latest stored version --
+        ``load(name)`` returns it, ``load(name, version=...)`` pins one.
+        """
+        if version is not None:
+            versioned = f"{name}@{version}"
+            if versioned in self._index and not overwrite:
+                raise RegistryError(
+                    f"registry already contains {versioned!r} (pass overwrite=True)"
+                )
+            entry = self.store(versioned, model, overwrite=True)
+            # Latest alias under the bare name.
+            self.store(name, model, overwrite=True)
+            return entry
+        if name in self._index and not overwrite:
+            raise RegistryError(f"registry already contains {name!r} (pass overwrite=True)")
+        file_name = f"{name}.xmi"
+        write_xmi(model.model, self.directory / file_name)
+        entry = RegistryEntry(name=name, file=file_name)
+        policy = NamespacePolicy()
+        for library in model.libraries():
+            if library.stereotype == "BusinessLibrary":
+                continue
+            entry.libraries.append(
+                {
+                    "name": library.name,
+                    "kind": library.stereotype,
+                    "version": library.library_version,
+                    "urn": policy.namespace_for(library).urn,
+                }
+            )
+        dens: list[str] = []
+        for acc in model.accs():
+            dens.append(acc.den())
+            dens.extend(bcc.den() for bcc in acc.bccs)
+            dens.extend(ascc.den() for ascc in acc.asccs)
+        for abie in model.abies():
+            dens.append(abie.den())
+            dens.extend(bbie.den() for bbie in abie.bbies)
+            dens.extend(asbie.den() for asbie in abie.asbies)
+        entry.dictionary_entries = sorted(set(dens))
+        self._index[name] = entry
+        self._save_index()
+        return entry
+
+    def load(self, name: str, version: str | None = None) -> CctsModel:
+        """Load the model stored under ``name`` (optionally a pinned version)."""
+        key = f"{name}@{version}" if version is not None else name
+        entry = self._index.get(key)
+        if entry is None:
+            raise RegistryError(f"registry contains no model {key!r}")
+        model = read_xmi(self.directory / entry.file)
+        return CctsModel(model=model)
+
+    def versions_of(self, name: str) -> list[str]:
+        """All stored version tags of ``name``, sorted."""
+        prefix = f"{name}@"
+        return sorted(key[len(prefix):] for key in self._index if key.startswith(prefix))
+
+    def remove(self, name: str) -> None:
+        """Remove a stored model and its file."""
+        entry = self._index.pop(name, None)
+        if entry is None:
+            raise RegistryError(f"registry contains no model {name!r}")
+        path = self.directory / entry.file
+        if path.exists():
+            path.unlink()
+        self._save_index()
+
+    # -- queries ----------------------------------------------------------------------
+
+    def entries(self) -> list[RegistryEntry]:
+        """All entries, sorted by name."""
+        return [self._index[name] for name in sorted(self._index)]
+
+    def search(self, term: str) -> list[tuple[str, str]]:
+        """Case-insensitive DEN substring search: (model name, DEN) hits."""
+        needle = term.lower()
+        hits: list[tuple[str, str]] = []
+        for name in sorted(self._index):
+            for den in self._index[name].dictionary_entries:
+                if needle in den.lower():
+                    hits.append((name, den))
+        return hits
+
+    def libraries(self, kind: str | None = None) -> list[tuple[str, dict]]:
+        """All registered libraries as (model name, library info) pairs."""
+        found: list[tuple[str, dict]] = []
+        for name in sorted(self._index):
+            for library in self._index[name].libraries:
+                if kind is None or library["kind"] == kind:
+                    found.append((name, library))
+        return found

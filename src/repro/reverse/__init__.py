@@ -1,0 +1,23 @@
+"""Reverse engineering: generated XSD schema sets back into UPCC models.
+
+The paper's related work (Bernauer et al., "Representing XML Schema in
+UML") covers the opposite direction of the paper's transformation; this
+package implements it for the NDR dialect:
+
+* :func:`reverse_engineer` consumes a :class:`repro.xsd.SchemaSet` and
+  reconstructs a validating core-components model -- libraries recovered
+  from the namespace URNs, ABIEs from complexTypes, BBIEs/ASBIEs from the
+  sequence elements (compound names split back into role + target), QDTs
+  from simpleContent derivations, ENUMs from token restrictions,
+* because ABIEs derive exclusively from ACCs, a *candidate core layer* is
+  synthesized alongside (one shadow ACC per recovered ABIE) -- mirroring
+  how real harmonization promotes proven BIEs into core components.
+
+Round trip: reverse-engineering the EasyBiz schema set and regenerating
+yields structurally identical schemas (same namespaces, types, element
+sequences, occurrences and imports) -- the integration tests check it.
+"""
+
+from repro.reverse.engineer import ReverseReport, reverse_engineer
+
+__all__ = ["ReverseReport", "reverse_engineer"]

@@ -1,0 +1,31 @@
+"""Alternative transfer syntaxes: RELAX NG and RDF Schema.
+
+Paper, section 4: "the generation is not necessarily limited to XML schema
+and future extensions could include the generation of RELAX NG [8] or RDF
+schemas [15] as well."  This package implements both extensions:
+
+* :mod:`repro.rngen.relaxng` -- translate a generation result into one
+  RELAX NG grammar (XML syntax) whose language is the same as the XSD
+  set's (modulo XSD-only features like attribute prohibition, which have
+  no RNG counterpart and are documented in the module),
+* :mod:`repro.rngen.rdf` -- project the core-components *model* onto RDF
+  Schema: classes for aggregates, properties for basic/association
+  entities, with domains, ranges and basedOn traces,
+* :mod:`repro.rngen.validator` -- an independent derivative-based RELAX NG
+  validator (Clark's algorithm) proving the translated grammar accepts the
+  same messages as the XSD path.
+"""
+
+from repro.rngen.rdf import model_to_rdfs, rdfs_to_string
+from repro.rngen.relaxng import result_to_rng, rng_to_string
+from repro.rngen.validator import RngValidator, compile_grammar, validate_with_rng
+
+__all__ = [
+    "RngValidator",
+    "compile_grammar",
+    "model_to_rdfs",
+    "rdfs_to_string",
+    "result_to_rng",
+    "rng_to_string",
+    "validate_with_rng",
+]

@@ -1,0 +1,56 @@
+"""A from-scratch UML 2 kernel subset.
+
+The paper models core components in Enterprise Architect; this package is the
+substitute substrate: exactly the class-diagram subset the UPCC profile and
+the XSD generator consume.
+
+* structural elements: :class:`Package`, :class:`Class`, :class:`DataType`,
+  :class:`Enumeration`, :class:`Property`, :class:`Association`,
+  :class:`Dependency`,
+* profile machinery: :class:`Profile`, :class:`StereotypeDef`,
+  :class:`TagDef`, stereotype application with tagged values,
+* a :class:`Model` root with registries and lookup helpers,
+* :mod:`repro.uml.visitor` traversal utilities.
+
+Everything is plain mutable Python objects; identity is object identity, and
+XMI ids are allocated only at serialization time (see :mod:`repro.xmi`).
+"""
+
+from repro.uml.association import AggregationKind, Association, AssociationEnd
+from repro.uml.classifier import (
+    Class,
+    Classifier,
+    DataType,
+    Enumeration,
+    EnumerationLiteral,
+    PrimitiveType,
+)
+from repro.uml.dependency import Dependency
+from repro.uml.elements import Element, NamedElement
+from repro.uml.model import Model
+from repro.uml.multiplicity import Multiplicity
+from repro.uml.package import Package
+from repro.uml.property import Property
+from repro.uml.stereotype import Profile, StereotypeDef, TagDef
+
+__all__ = [
+    "AggregationKind",
+    "Association",
+    "AssociationEnd",
+    "Class",
+    "Classifier",
+    "DataType",
+    "Dependency",
+    "Element",
+    "Enumeration",
+    "EnumerationLiteral",
+    "Model",
+    "Multiplicity",
+    "NamedElement",
+    "Package",
+    "PrimitiveType",
+    "Profile",
+    "Property",
+    "StereotypeDef",
+    "TagDef",
+]

@@ -1,0 +1,137 @@
+"""Class-diagram rendering to Graphviz DOT.
+
+The right hand side of the paper's Figure 4 shows per-package class
+diagrams: stereotyped class boxes with attribute compartments, aggregation
+connectors with role names and multiplicities, and dashed ``basedOn``
+dependencies.  :func:`package_to_dot` renders one package in that style;
+:func:`model_to_dot` renders a whole model with one cluster per library.
+
+The output is plain DOT text — inspectable, diffable and renderable with
+any Graphviz installation; nothing in this repository depends on one.
+"""
+
+from __future__ import annotations
+
+from repro.uml.association import AggregationKind, Association
+from repro.uml.classifier import Classifier, Enumeration
+from repro.uml.dependency import Dependency
+from repro.uml.model import Model
+from repro.uml.package import Package
+
+#: Arrowtail per aggregation kind (UML diamond conventions).
+_ARROWTAILS = {
+    AggregationKind.COMPOSITE: "diamond",
+    AggregationKind.SHARED: "odiamond",
+    AggregationKind.NONE: "none",
+}
+
+
+def _escape(text: str) -> str:
+    """Escape raw user text for a plain DOT label."""
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _escape_record(text: str) -> str:
+    """Escape raw user text for a DOT *record* label field."""
+    escaped = _escape(text)
+    for char in "{}|<>":
+        escaped = escaped.replace(char, f"\\{char}")
+    return escaped
+
+
+def _node_id(element) -> str:
+    return f"n{id(element)}"
+
+
+def _classifier_label(classifier: Classifier) -> str:
+    """An HTML-free record label: «stereotype» name | attributes.
+
+    The guillemet markers render as escaped angle brackets (``\\<\\<``)
+    because records reserve ``<`` for ports.
+    """
+    stereo = "".join(f"\\<\\<{_escape_record(name)}\\>\\> " for name in classifier.stereotypes)
+    header = f"{stereo}{_escape_record(classifier.name)}"
+    lines = [
+        f"+ {prop.name}: {prop.type_name} [{prop.multiplicity}]"
+        for prop in classifier.attributes
+    ]
+    if isinstance(classifier, Enumeration):
+        lines.extend(f"{literal.name} = {literal.value}" for literal in classifier.literals)
+    body = "\\l".join(_escape_record(line) for line in lines)
+    if body:
+        body += "\\l"
+    return f"{{{header}|{body}}}"
+
+
+def _emit_classifier(lines: list[str], classifier: Classifier, indent: str) -> None:
+    lines.append(
+        f'{indent}{_node_id(classifier)} [shape=record, label="{_classifier_label(classifier)}"];'
+    )
+
+
+def _emit_association(lines: list[str], association: Association, indent: str) -> None:
+    tail = _ARROWTAILS[association.aggregation]
+    label = f"+{association.target.name} [{association.target.multiplicity}]"
+    lines.append(
+        f"{indent}{_node_id(association.source.type)} -> {_node_id(association.target.type)} "
+        f'[dir=both, arrowtail={tail}, arrowhead=vee, label="{_escape(label)}"];'
+    )
+
+
+def _emit_dependency(lines: list[str], dependency: Dependency, indent: str) -> None:
+    stereo = "".join(f"\\<\\<{_escape(name)}\\>\\>" for name in dependency.stereotypes)
+    lines.append(
+        f"{indent}{_node_id(dependency.client)} -> {_node_id(dependency.supplier)} "
+        f'[style=dashed, arrowhead=open, label="{stereo}"];'
+    )
+
+
+def package_to_dot(package: Package, name: str = "G") -> str:
+    """Render one package's classes, associations and dependencies."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [fontsize=10];"]
+    for classifier in package.classifiers:
+        _emit_classifier(lines, classifier, "  ")
+    for association in package.associations:
+        _emit_association(lines, association, "  ")
+    for dependency in package.dependencies:
+        _emit_dependency(lines, dependency, "  ")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def model_to_dot(model: Model, name: str = "Model") -> str:
+    """Render the whole model: one cluster per stereotyped package.
+
+    Cross-package edges (associations drawn in one library whose classes
+    live in another, and basedOn dependencies across libraries) are emitted
+    at the top level so Graphviz routes them between clusters.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [fontsize=10];", "  compound=true;"]
+    cluster = 0
+    emitted: set[int] = set()
+
+    def walk(package: Package, indent: str) -> None:
+        nonlocal cluster
+        for sub in package.packages:
+            stereo = "".join(f"«{n}» " for n in sub.stereotypes)
+            lines.append(f"{indent}subgraph cluster_{cluster} {{")
+            cluster += 1
+            lines.append(f'{indent}  label="{_escape(stereo + sub.name)}";')
+            for classifier in sub.classifiers:
+                _emit_classifier(lines, classifier, indent + "  ")
+                emitted.add(id(classifier))
+            walk(sub, indent + "  ")
+            lines.append(f"{indent}}}")
+
+    walk(model, "  ")
+    # Catch classifiers owned by the model root itself.
+    for classifier in model.classifiers:
+        _emit_classifier(lines, classifier, "  ")
+        emitted.add(id(classifier))
+    for element in model.walk():
+        if isinstance(element, Association):
+            _emit_association(lines, element, "  ")
+        elif isinstance(element, Dependency):
+            _emit_dependency(lines, element, "  ")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""A read-only index over a model snapshot.
+
+``Model.associations_anywhere_from`` and ``Model.dependencies_of`` walk the
+whole tree per query, which makes whole-model passes (generation,
+validation) quadratic in model size.  :class:`ModelIndex` snapshots the
+associations and dependencies once and answers the same queries in O(1).
+
+The index is deliberately *not* self-invalidating: build it at the start of
+a pass that does not mutate the model (the generator and the validation
+engine qualify) and drop it afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ModelError
+from repro.uml.association import Association
+from repro.uml.classifier import Classifier
+from repro.uml.dependency import Dependency
+from repro.uml.elements import NamedElement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.uml.model import Model
+
+
+class ModelIndex:
+    """O(1) association / dependency lookups over a model snapshot."""
+
+    def __init__(self, model: "Model") -> None:
+        self.model = model
+        self._associations_by_source: dict[int, list[Association]] = {}
+        self._dependencies_by_client: dict[int, list[Dependency]] = {}
+        for element in model.walk():
+            if isinstance(element, Association):
+                self._associations_by_source.setdefault(id(element.source.type), []).append(element)
+            elif isinstance(element, Dependency):
+                self._dependencies_by_client.setdefault(id(element.client), []).append(element)
+
+    def associations_from(self, source: Classifier) -> list[Association]:
+        """All associations whose whole end attaches to ``source``."""
+        return list(self._associations_by_source.get(id(source), []))
+
+    def dependencies_of(self, client: NamedElement, stereotype: str | None = None) -> list[Dependency]:
+        """All dependencies whose client is ``client``, optionally filtered."""
+        found = self._dependencies_by_client.get(id(client), [])
+        if stereotype is None:
+            return list(found)
+        return [dependency for dependency in found if dependency.has_stereotype(stereotype)]
+
+    def based_on_target(self, client: NamedElement) -> NamedElement | None:
+        """The supplier of the client's single ``basedOn`` dependency."""
+        deps = self.dependencies_of(client, "basedOn")
+        if not deps:
+            return None
+        if len(deps) > 1:
+            raise ModelError(f"{client.name!r} has {len(deps)} basedOn dependencies, expected one")
+        return deps[0].supplier

@@ -1,0 +1,115 @@
+"""The model root: a package with whole-model registries and lookups."""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, TypeVar
+
+from repro.errors import ModelError
+from repro.uml.association import Association
+from repro.uml.classifier import Classifier
+from repro.uml.dependency import Dependency
+from repro.uml.elements import Element, NamedElement
+from repro.uml.package import Package
+
+ElementT = TypeVar("ElementT", bound=Element)
+
+
+class Model(Package):
+    """The root package of a core-components model.
+
+    Besides plain containment, the model offers whole-tree queries the
+    generator and the validation engine rely on: find classifiers by name or
+    stereotype anywhere, collect all associations whose whole-end is a given
+    class, and follow ``basedOn`` dependencies.
+
+    Whole-model passes that do not mutate the model can wrap themselves in
+    :meth:`indexed` to make those queries O(1) instead of O(model) -- the
+    generator and the validation engine do.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self._active_index = None
+        self._index_depth = 0
+
+    @contextlib.contextmanager
+    def indexed(self):
+        """Context manager: answer lookups from a one-shot snapshot index.
+
+        Reentrant; the snapshot is built on first entry and dropped when the
+        outermost context exits.  The model must not be mutated inside.
+        """
+        from repro.uml.index import ModelIndex
+
+        if self._index_depth == 0:
+            self._active_index = ModelIndex(self)
+        self._index_depth += 1
+        try:
+            yield self._active_index
+        finally:
+            self._index_depth -= 1
+            if self._index_depth == 0:
+                self._active_index = None
+
+    def all_elements(self) -> Iterator[Element]:
+        """Every element in the model, depth first."""
+        return self.walk()
+
+    def all_of_type(self, element_type: type[ElementT]) -> Iterator[ElementT]:
+        """Every element that is an instance of ``element_type``."""
+        for element in self.walk():
+            if isinstance(element, element_type):
+                yield element
+
+    def all_with_stereotype(self, stereotype: str) -> Iterator[Element]:
+        """Every element carrying ``stereotype``."""
+        for element in self.walk():
+            if element.has_stereotype(stereotype):
+                yield element
+
+    def find_classifier_anywhere(self, name: str) -> Classifier | None:
+        """The first classifier named ``name`` anywhere in the model."""
+        for classifier in self.all_of_type(Classifier):
+            if classifier.name == name:
+                return classifier
+        return None
+
+    def associations_anywhere_from(self, source: Classifier) -> list[Association]:
+        """All associations model-wide whose whole end attaches to ``source``.
+
+        The generator follows "every outgoing aggregation and composition
+        connector" (paper section 4.1) -- connectors may be owned by the
+        library that draws them, not the library owning the class, so the
+        search is model wide and result order is model order.
+        """
+        if self._active_index is not None:
+            return self._active_index.associations_from(source)
+        return [a for a in self.all_of_type(Association) if a.source.type is source]
+
+    def dependencies_of(self, client: NamedElement, stereotype: str | None = None) -> list[Dependency]:
+        """All dependencies whose client is ``client`` (optionally filtered)."""
+        if self._active_index is not None:
+            return self._active_index.dependencies_of(client, stereotype)
+        found = []
+        for dependency in self.all_of_type(Dependency):
+            if dependency.client is client:
+                if stereotype is None or dependency.has_stereotype(stereotype):
+                    found.append(dependency)
+        return found
+
+    def based_on_target(self, client: NamedElement) -> NamedElement | None:
+        """The supplier of the client's ``basedOn`` dependency, if any."""
+        deps = self.dependencies_of(client, "basedOn")
+        if not deps:
+            return None
+        if len(deps) > 1:
+            raise ModelError(f"{client.name!r} has {len(deps)} basedOn dependencies, expected one")
+        return deps[0].supplier
+
+    def owning_package_of(self, element: Element) -> Package | None:
+        """The nearest package owning ``element`` (None for the model itself)."""
+        owner = element.owner
+        while owner is not None and not isinstance(owner, Package):
+            owner = owner.owner
+        return owner

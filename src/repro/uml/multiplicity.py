@@ -1,0 +1,116 @@
+"""Multiplicities: ``lower..upper`` ranges with ``*`` for unbounded.
+
+The generator maps these straight onto XSD ``minOccurs``/``maxOccurs`` (see
+paper Figure 6 where ``0..*`` becomes ``minOccurs="0" maxOccurs="unbounded"``),
+so the class also knows how to render itself in XSD terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+UNBOUNDED: int | None = None
+
+
+@dataclass(frozen=True)
+class Multiplicity:
+    """An inclusive cardinality range ``lower..upper``.
+
+    ``upper is None`` means unbounded (``*``).  The common UML shorthands are
+    supported by :meth:`parse`: ``"1"`` -> 1..1, ``"0..1"``, ``"0..*"``,
+    ``"*"`` -> 0..*, ``"1..*"``.
+    """
+
+    lower: int = 1
+    upper: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.lower < 0:
+            raise ValueError(f"lower bound must be >= 0, got {self.lower}")
+        if self.upper is not None and self.upper < self.lower:
+            raise ValueError(f"upper bound {self.upper} < lower bound {self.lower}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Multiplicity":
+        """Parse a UML multiplicity string such as ``"0..1"`` or ``"*"``."""
+        text = text.strip()
+        if not text:
+            raise ValueError("empty multiplicity")
+        if ".." in text:
+            low_text, _, high_text = text.partition("..")
+            lower = int(low_text)
+            upper = None if high_text.strip() == "*" else int(high_text)
+            return cls(lower, upper)
+        if text == "*":
+            return cls(0, None)
+        value = int(text)
+        return cls(value, value)
+
+    @property
+    def is_optional(self) -> bool:
+        """True when the lower bound is zero."""
+        return self.lower == 0
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True when the upper bound is ``*``."""
+        return self.upper is None
+
+    @property
+    def is_single(self) -> bool:
+        """True when at most one value is allowed."""
+        return self.upper == 1
+
+    def contains(self, count: int) -> bool:
+        """True when ``count`` occurrences satisfy this multiplicity."""
+        if count < self.lower:
+            return False
+        return self.upper is None or count <= self.upper
+
+    def intersect(self, other: "Multiplicity") -> "Multiplicity | None":
+        """The overlap of two ranges, or None when they are disjoint."""
+        lower = max(self.lower, other.lower)
+        if self.upper is None:
+            upper = other.upper
+        elif other.upper is None:
+            upper = self.upper
+        else:
+            upper = min(self.upper, other.upper)
+        if upper is not None and upper < lower:
+            return None
+        return Multiplicity(lower, upper)
+
+    def is_restriction_of(self, other: "Multiplicity") -> bool:
+        """True when every count valid here is also valid in ``other``.
+
+        This is the check the derivation-by-restriction engine applies: a
+        BBIE multiplicity must be a restriction of its BCC's multiplicity.
+        """
+        if self.lower < other.lower:
+            return False
+        if other.upper is None:
+            return True
+        return self.upper is not None and self.upper <= other.upper
+
+    @property
+    def min_occurs(self) -> str:
+        """The XSD ``minOccurs`` value."""
+        return str(self.lower)
+
+    @property
+    def max_occurs(self) -> str:
+        """The XSD ``maxOccurs`` value (``unbounded`` for ``*``)."""
+        return "unbounded" if self.upper is None else str(self.upper)
+
+    def __str__(self) -> str:
+        upper = "*" if self.upper is None else str(self.upper)
+        if self.upper is not None and self.lower == self.upper:
+            return str(self.lower)
+        return f"{self.lower}..{upper}"
+
+
+#: Frequently used constants.
+ONE = Multiplicity(1, 1)
+OPTIONAL = Multiplicity(0, 1)
+MANY = Multiplicity(0, None)
+ONE_OR_MORE = Multiplicity(1, None)

@@ -1,0 +1,99 @@
+"""Traversal helpers: typed visits and a tree renderer.
+
+The tree renderer reproduces the "tree view" on the left hand side of the
+paper's Figure 4 -- packages, their stereotypes and their contents -- and is
+what the Figure 4 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, TypeVar
+
+from repro.uml.association import Association
+from repro.uml.classifier import Classifier, Enumeration
+from repro.uml.dependency import Dependency
+from repro.uml.elements import Element
+from repro.uml.package import Package
+
+ElementT = TypeVar("ElementT", bound=Element)
+
+
+def iter_elements(root: Element, element_type: type[ElementT]) -> Iterator[ElementT]:
+    """Yield every element under ``root`` matching ``element_type``."""
+    for element in root.walk():
+        if isinstance(element, element_type):
+            yield element
+
+
+def visit(root: Element, callback: Callable[[Element], None]) -> None:
+    """Apply ``callback`` to every element under ``root`` (depth first)."""
+    for element in root.walk():
+        callback(element)
+
+
+def _stereo(element: Element) -> str:
+    return "".join(f"«{name}» " for name in element.stereotypes)
+
+
+def render_tree(package: Package, indent: str = "") -> str:
+    """Render a package subtree as an indented text outline.
+
+    Classifiers list their attributes; enumerations list their literals;
+    associations render as ``source -> +role target [mult]`` lines.
+    """
+    lines = [f"{indent}{_stereo(package)}{package.name}"]
+    child_indent = indent + "  "
+    for classifier in package.classifiers:
+        lines.append(f"{child_indent}{_stereo(classifier)}{classifier.name}")
+        for prop in classifier.attributes:
+            lines.append(
+                f"{child_indent}  + {_stereo(prop)}{prop.name}: {prop.type_name} [{prop.multiplicity}]"
+            )
+        if isinstance(classifier, Enumeration):
+            for literal in classifier.literals:
+                lines.append(f"{child_indent}  * {literal.name} = {literal.value}")
+    for association in package.associations:
+        lines.append(
+            f"{child_indent}{_stereo(association)}{association.source.type.name} "
+            f"-> +{association.target.name} {association.target.type.name} "
+            f"[{association.target.multiplicity}] ({association.aggregation.value})"
+        )
+    for dependency in package.dependencies:
+        lines.append(
+            f"{child_indent}{_stereo(dependency)}{dependency.client.name} "
+            f"--> {dependency.supplier.name}"
+        )
+    for subpackage in package.packages:
+        lines.append(render_tree(subpackage, child_indent))
+    return "\n".join(lines)
+
+
+def census(package: Package) -> dict[str, int]:
+    """Count elements per applied stereotype under ``package``.
+
+    Used by the Figure 4 benchmark to compare the model census against the
+    element inventory visible in the paper's diagram.
+    """
+    counts: dict[str, int] = {}
+    for element in package.walk():
+        for stereotype in element.stereotypes:
+            counts[stereotype] = counts.get(stereotype, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def summarize(package: Package) -> dict[str, int]:
+    """Count elements per kernel metaclass under ``package``."""
+    counts: dict[str, int] = {}
+    for element in package.walk():
+        name = type(element).__name__
+        counts[name] = counts.get(name, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+__all__ = [
+    "census",
+    "iter_elements",
+    "render_tree",
+    "summarize",
+    "visit",
+]

@@ -1,0 +1,31 @@
+"""Model validation engine.
+
+The paper names a validation engine as the top-priority extension of the
+add-in: "allowing to check the syntactical and semantical correctness of a
+core component model" -- and notes that at generation time "the transformer
+performs a basic model validation allowing to track and report basic flaws".
+
+This package implements that engine:
+
+* :mod:`repro.validation.diagnostics` -- :class:`Diagnostic`,
+  :class:`Severity` and :class:`ValidationReport`,
+* :mod:`repro.validation.engine` -- the rule registry and runner,
+* :mod:`repro.validation.rules` -- the UPCC well-formedness rules, grouped
+  by concern (structure, data types, core components, BIEs, libraries,
+  naming).
+
+The generator runs the rules marked ``basic`` before producing schemas and
+aborts on errors, reproducing the error dialog of the paper's Figure 5.
+"""
+
+from repro.validation.diagnostics import Diagnostic, Severity, ValidationReport
+from repro.validation.engine import ValidationEngine, default_engine, validate_model
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "ValidationEngine",
+    "ValidationReport",
+    "default_engine",
+    "validate_model",
+]

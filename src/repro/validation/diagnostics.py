@@ -1,0 +1,88 @@
+"""Diagnostics produced by the validation engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings abort schema generation (the paper: "In case the UML
+    model is erroneous, the generation aborts and the user is presented an
+    error message"); ``WARNING`` findings are reported but non-fatal;
+    ``INFO`` findings are advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding."""
+
+    severity: Severity
+    code: str
+    message: str
+    location: str = ""
+
+    def __str__(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        return f"{self.severity.value.upper()} {self.code}: {self.message}{where}"
+
+
+@dataclass
+class ValidationReport:
+    """The collected findings of one validation run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, severity: Severity, code: str, message: str, location: str = "") -> None:
+        """Record one finding."""
+        self.diagnostics.append(Diagnostic(severity, code, message, location))
+
+    def error(self, code: str, message: str, location: str = "") -> None:
+        """Record an error finding."""
+        self.add(Severity.ERROR, code, message, location)
+
+    def warning(self, code: str, message: str, location: str = "") -> None:
+        """Record a warning finding."""
+        self.add(Severity.WARNING, code, message, location)
+
+    def info(self, code: str, message: str, location: str = "") -> None:
+        """Record an info finding."""
+        self.add(Severity.INFO, code, message, location)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """All error findings."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """All warning findings."""
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error findings were recorded."""
+        return not self.errors
+
+    def extend(self, other: "ValidationReport") -> None:
+        """Merge another report into this one."""
+        self.diagnostics.extend(other.diagnostics)
+
+    def summary(self) -> str:
+        """One-line summary for status displays."""
+        return (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.diagnostics)} finding(s) total"
+        )
+
+    def __str__(self) -> str:
+        if not self.diagnostics:
+            return "validation passed with no findings"
+        return "\n".join(str(diagnostic) for diagnostic in self.diagnostics)

@@ -1,0 +1,75 @@
+"""The validation engine: a registry of rules and a runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.validation.diagnostics import ValidationReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ccts.model import CctsModel
+
+#: A rule is a callable writing findings into a report.
+RuleFunc = Callable[["CctsModel", ValidationReport], None]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered validation rule."""
+
+    code: str
+    description: str
+    func: RuleFunc
+    basic: bool = False
+
+
+@dataclass
+class ValidationEngine:
+    """Runs a configurable set of rules over a model."""
+
+    rules: list[Rule] = field(default_factory=list)
+
+    def register(self, code: str, description: str, basic: bool = False) -> Callable[[RuleFunc], RuleFunc]:
+        """Decorator registering a rule function under ``code``."""
+
+        def decorate(func: RuleFunc) -> RuleFunc:
+            if any(rule.code == code for rule in self.rules):
+                raise ValueError(f"duplicate rule code {code!r}")
+            self.rules.append(Rule(code, description, func, basic))
+            return func
+
+        return decorate
+
+    def validate(self, model: "CctsModel", basic_only: bool = False) -> ValidationReport:
+        """Run all (or only the basic) rules; returns the merged report.
+
+        Rules only read the model, so the run executes under the model's
+        snapshot index (O(1) association/dependency lookups).
+        """
+        import contextlib
+
+        report = ValidationReport()
+        context = model.model.indexed() if model is not None else contextlib.nullcontext()
+        with context:
+            for rule in self.rules:
+                if basic_only and not rule.basic:
+                    continue
+                rule.func(model, report)
+        return report
+
+    def rule_codes(self) -> list[str]:
+        """All registered rule codes, in registration order."""
+        return [rule.code for rule in self.rules]
+
+
+def default_engine() -> ValidationEngine:
+    """The engine with the full UPCC rule set registered."""
+    from repro.validation.rules import build_default_rules
+
+    return build_default_rules()
+
+
+def validate_model(model: "CctsModel", basic_only: bool = False) -> ValidationReport:
+    """Validate ``model`` with the default rule set."""
+    return default_engine().validate(model, basic_only=basic_only)

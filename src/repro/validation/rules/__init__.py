@@ -1,0 +1,32 @@
+"""The UPCC well-formedness rule set.
+
+Rules are grouped by concern and carry stable codes:
+
+* ``UPCC-Pxx`` -- profile/structure rules (:mod:`.structure`),
+* ``UPCC-Dxx`` -- data-type rules (:mod:`.data_types`),
+* ``UPCC-Cxx`` -- core-component rules (:mod:`.components`),
+* ``UPCC-Bxx`` -- business-information-entity rules (:mod:`.bie`),
+* ``UPCC-Lxx`` -- library rules (:mod:`.libraries`),
+* ``UPCC-Nxx`` -- naming rules (:mod:`.naming`).
+
+Rules flagged ``basic`` form the pre-generation check the paper describes
+("the transformer performs a basic model validation").
+"""
+
+from repro.validation.engine import ValidationEngine
+from repro.validation.rules import bie, components, data_types, libraries, naming, structure
+
+
+def build_default_rules() -> ValidationEngine:
+    """Assemble the engine with every rule module registered."""
+    engine = ValidationEngine()
+    structure.register(engine)
+    data_types.register(engine)
+    components.register(engine)
+    bie.register(engine)
+    libraries.register(engine)
+    naming.register(engine)
+    return engine
+
+
+__all__ = ["build_default_rules"]

@@ -1,0 +1,105 @@
+"""Business-information-entity rules: derivation and document assembly."""
+
+from __future__ import annotations
+
+from repro.ccts.derivation import check_abie_restriction
+from repro.ccts.model import CctsModel
+from repro.profile import CDT, QDT
+from repro.validation.diagnostics import ValidationReport
+from repro.validation.engine import ValidationEngine
+
+
+def register(engine: ValidationEngine) -> None:
+    """Register the BIE rules."""
+
+    @engine.register("UPCC-B01", "every ABIE must be based on an ACC", basic=True)
+    def abie_based_on(model: CctsModel, report: ValidationReport) -> None:
+        for abie in model.abies():
+            if model.model.dependencies_of(abie.element, "basedOn"):
+                continue
+            report.error(
+                "UPCC-B01",
+                f"ABIE {abie.name!r} has no basedOn dependency; ABIEs are exclusively "
+                f"derived from ACCs by restriction",
+                abie.qualified_name,
+            )
+
+    @engine.register("UPCC-B02", "ABIE derivations must be genuine restrictions", basic=True)
+    def abie_restriction(model: CctsModel, report: ValidationReport) -> None:
+        for abie in model.abies():
+            if not model.model.dependencies_of(abie.element, "basedOn"):
+                continue  # UPCC-B01 reports the missing link
+            for problem in check_abie_restriction(abie):
+                report.error("UPCC-B02", problem, abie.qualified_name)
+
+    @engine.register("UPCC-B03", "BBIEs must be typed by CDTs or QDTs", basic=True)
+    def bbie_types(model: CctsModel, report: ValidationReport) -> None:
+        for abie in model.abies():
+            for bbie in abie.bbies:
+                type_ = bbie.element.type
+                if type_ is None:
+                    continue  # UPCC-P03 reports untyped attributes
+                if not (type_.has_stereotype(CDT) or type_.has_stereotype(QDT)):
+                    report.error(
+                        "UPCC-B03",
+                        f"BBIE {abie.name}.{bbie.name} is typed by {type_.name!r} which is "
+                        f"neither a CDT nor a QDT",
+                        bbie.qualified_name,
+                    )
+
+    @engine.register("UPCC-B04", "ASBIE role names must be unique per source ABIE", basic=True)
+    def asbie_role_uniqueness(model: CctsModel, report: ValidationReport) -> None:
+        for abie in model.abies():
+            seen: set[tuple[str, str]] = set()
+            for asbie in abie.asbies:
+                key = (asbie.role, asbie.target.name)
+                if key in seen:
+                    report.error(
+                        "UPCC-B04",
+                        f"ABIE {abie.name!r} has two ASBIEs with role {asbie.role!r} to "
+                        f"{asbie.target.name!r}; their NDR compound names would collide",
+                        abie.qualified_name,
+                    )
+                seen.add(key)
+
+    @engine.register("UPCC-B05", "ASBIE compound element names must be unique per ABIE", basic=True)
+    def asbie_compound_names(model: CctsModel, report: ValidationReport) -> None:
+        for abie in model.abies():
+            names = [bbie.name for bbie in abie.bbies]
+            for asbie in abie.asbies:
+                names.append(asbie.compound_name())
+            duplicates = {name for name in names if names.count(name) > 1}
+            for name in sorted(duplicates):
+                report.error(
+                    "UPCC-B05",
+                    f"ABIE {abie.name!r} would generate element name {name!r} more than once",
+                    abie.qualified_name,
+                )
+
+    @engine.register("UPCC-B06", "DOC libraries need at least one root candidate", basic=True)
+    def doc_roots(model: CctsModel, report: ValidationReport) -> None:
+        for library in model.doc_libraries():
+            if not library.abies:
+                report.error(
+                    "UPCC-B06",
+                    f"DOCLibrary {library.name!r} defines no ABIE; there is nothing to "
+                    f"select as the schema root",
+                    library.qualified_name,
+                )
+
+    @engine.register("UPCC-B07", "unused ABIEs in DOC libraries are reported")
+    def doc_unused(model: CctsModel, report: ValidationReport) -> None:
+        for library in model.doc_libraries():
+            targeted = {
+                asbie.target.element
+                for abie in model.abies()
+                for asbie in abie.asbies
+            }
+            for abie in library.abies:
+                if abie.element not in targeted and not abie.asbies and not abie.bbies:
+                    report.info(
+                        "UPCC-B07",
+                        f"ABIE {abie.name!r} in DOCLibrary {library.name!r} is empty and "
+                        f"never referenced",
+                        abie.qualified_name,
+                    )

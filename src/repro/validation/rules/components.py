@@ -1,0 +1,91 @@
+"""Core-component rules: ACC/BCC/ASCC well-formedness."""
+
+from __future__ import annotations
+
+from repro.ccts.model import CctsModel
+from repro.profile import CDT
+from repro.validation.diagnostics import ValidationReport
+from repro.validation.engine import ValidationEngine
+
+
+def register(engine: ValidationEngine) -> None:
+    """Register the core-component rules."""
+
+    @engine.register("UPCC-C01", "BCCs must be typed by core data types", basic=True)
+    def bcc_types(model: CctsModel, report: ValidationReport) -> None:
+        for acc in model.accs():
+            for bcc in acc.bccs:
+                type_ = bcc.element.type
+                if type_ is None:
+                    continue  # UPCC-P03 reports untyped attributes
+                if not type_.has_stereotype(CDT):
+                    report.error(
+                        "UPCC-C01",
+                        f"BCC {acc.name}.{bcc.name} is typed by {type_.name!r} which is "
+                        f"not a CDT (core components never use QDTs)",
+                        bcc.qualified_name,
+                    )
+
+    @engine.register("UPCC-C02", "ACCs should carry at least one BCC or ASCC")
+    def acc_not_empty(model: CctsModel, report: ValidationReport) -> None:
+        for acc in model.accs():
+            if not acc.bccs and not acc.asccs:
+                report.warning(
+                    "UPCC-C02",
+                    f"ACC {acc.name!r} has neither BCCs nor ASCCs; it carries no information",
+                    acc.qualified_name,
+                )
+
+    @engine.register("UPCC-C03", "ASCC (role, target) pairs must be unique per source ACC", basic=True)
+    def ascc_role_uniqueness(model: CctsModel, report: ValidationReport) -> None:
+        # The key is (role, target): Figure 4's HoardingPermit legitimately has
+        # two "Included" roles pointing at different targets, and the NDR
+        # compound names (role + target) stay distinct.
+        for acc in model.accs():
+            seen: set[tuple[str, str]] = set()
+            for ascc in acc.asccs:
+                key = (ascc.role, ascc.target.name)
+                if key in seen:
+                    report.error(
+                        "UPCC-C03",
+                        f"ACC {acc.name!r} has two ASCCs with role {ascc.role!r} to "
+                        f"{ascc.target.name!r}",
+                        acc.qualified_name,
+                    )
+                seen.add(key)
+
+    @engine.register("UPCC-C04", "core components must not reference the business layer", basic=True)
+    def no_downward_references(model: CctsModel, report: ValidationReport) -> None:
+        for acc in model.accs():
+            for ascc in acc.asccs:
+                # UPCC-P04 already checks the target is an ACC; this rule
+                # adds the direction statement for mixed-stereotype targets.
+                if ascc.element.target.type.has_stereotype("ABIE"):
+                    report.error(
+                        "UPCC-C04",
+                        f"ASCC {acc.name}.{ascc.role} points at the business layer "
+                        f"({ascc.element.target.type.name!r})",
+                        acc.qualified_name,
+                    )
+
+    @engine.register("UPCC-C05", "ASCC graphs should stay acyclic through compositions")
+    def no_composition_cycles(model: CctsModel, report: ValidationReport) -> None:
+        for acc in model.accs():
+            stack = [(acc, [acc.element])]
+            while stack:
+                current, path = stack.pop()
+                for ascc in current.asccs:
+                    if not ascc.element.is_composite:
+                        continue
+                    target = ascc.target
+                    if target.element in path:
+                        names = " -> ".join(element.name for element in path + [target.element])
+                        report.warning(
+                            "UPCC-C05",
+                            f"composition cycle among ACCs: {names}; schema generation "
+                            f"handles this, but instances can never terminate the nesting "
+                            f"unless some step is optional",
+                            acc.qualified_name,
+                        )
+                        continue
+                    stack.append((target, path + [target.element]))

@@ -1,0 +1,122 @@
+"""Data-type rules: CDT/QDT shape and derivation, ENUM content."""
+
+from __future__ import annotations
+
+from repro.ccts.derivation import check_qdt_restriction, qdt_widened_supplementaries
+from repro.ccts.model import CctsModel
+from repro.profile import CON, ENUM, PRIM
+from repro.uml.classifier import Enumeration, PrimitiveType
+from repro.validation.diagnostics import ValidationReport
+from repro.validation.engine import ValidationEngine
+
+
+def register(engine: ValidationEngine) -> None:
+    """Register the data-type rules."""
+
+    @engine.register("UPCC-D01", "a CDT has exactly one content component", basic=True)
+    def cdt_content(model: CctsModel, report: ValidationReport) -> None:
+        for cdt in model.cdts():
+            count = len(cdt.element.attributes_with_stereotype(CON))
+            if count != 1:
+                report.error(
+                    "UPCC-D01",
+                    f"CDT {cdt.name!r} has {count} content components, expected exactly one",
+                    cdt.qualified_name,
+                )
+
+    @engine.register("UPCC-D02", "a QDT has exactly one content component", basic=True)
+    def qdt_content(model: CctsModel, report: ValidationReport) -> None:
+        for qdt in model.qdts():
+            count = len(qdt.element.attributes_with_stereotype(CON))
+            if count != 1:
+                report.error(
+                    "UPCC-D02",
+                    f"QDT {qdt.name!r} has {count} content components, expected exactly one",
+                    qdt.qualified_name,
+                )
+
+    @engine.register("UPCC-D03", "a QDT must restrict its base CDT", basic=True)
+    def qdt_restriction(model: CctsModel, report: ValidationReport) -> None:
+        for qdt in model.qdts():
+            for problem in check_qdt_restriction(qdt):
+                report.error("UPCC-D03", problem, qdt.qualified_name)
+
+    @engine.register("UPCC-D04", "CON/SUP components must be typed by PRIM or ENUM", basic=True)
+    def component_types(model: CctsModel, report: ValidationReport) -> None:
+        for data_type in list(model.cdts()) + list(model.qdts()):
+            components = list(data_type.supplementary_components)
+            content = data_type.content_component
+            if content is not None:
+                components.append(content)
+            for component in components:
+                type_ = component.element.type
+                if type_ is None:
+                    continue  # UPCC-P03 reports untyped attributes
+                if not (type_.has_stereotype(PRIM) or type_.has_stereotype(ENUM)):
+                    report.error(
+                        "UPCC-D04",
+                        f"component {component.name!r} of {data_type.name!r} is typed by "
+                        f"{type_.name!r} which is neither a PRIM nor an ENUM",
+                        component.qualified_name,
+                    )
+
+    @engine.register("UPCC-D05", "enumerations must define at least one literal")
+    def enum_literals(model: CctsModel, report: ValidationReport) -> None:
+        for element in model.model.all_with_stereotype(ENUM):
+            if isinstance(element, Enumeration) and not element.literals:
+                report.warning(
+                    "UPCC-D05",
+                    f"enumeration {element.name!r} has no literals; the generated "
+                    f"simpleType would accept nothing",
+                    element.qualified_name,
+                )
+
+    @engine.register("UPCC-D06", "enumeration literal names must be unique")
+    def enum_literal_uniqueness(model: CctsModel, report: ValidationReport) -> None:
+        for element in model.model.all_with_stereotype(ENUM):
+            if not isinstance(element, Enumeration):
+                continue
+            seen: set[str] = set()
+            for literal in element.literals:
+                if literal.name in seen:
+                    report.error(
+                        "UPCC-D06",
+                        f"enumeration {element.name!r} defines literal {literal.name!r} twice",
+                        element.qualified_name,
+                    )
+                seen.add(literal.name)
+
+    @engine.register("UPCC-D07", "primitive names should map to XSD built-ins")
+    def prim_mapping(model: CctsModel, report: ValidationReport) -> None:
+        from repro.xsdgen.primitives import builtin_for_primitive_name
+
+        for element in model.model.all_with_stereotype(PRIM):
+            if isinstance(element, PrimitiveType):
+                if builtin_for_primitive_name(element.name) is None:
+                    report.warning(
+                        "UPCC-D07",
+                        f"primitive {element.name!r} has no known XSD built-in mapping; "
+                        f"the generator will fall back to xsd:string",
+                        element.qualified_name,
+                    )
+
+    @engine.register("UPCC-D09", "widened QDT supplementary multiplicities are reported")
+    def qdt_widening(model: CctsModel, report: ValidationReport) -> None:
+        for qdt in model.qdts():
+            for finding in qdt_widened_supplementaries(qdt):
+                report.warning("UPCC-D09", finding, qdt.qualified_name)
+
+    @engine.register("UPCC-D08", "QDT enum restrictions must reference ENUM elements")
+    def qdt_enum_links(model: CctsModel, report: ValidationReport) -> None:
+        for qdt in model.qdts():
+            content = qdt.content_component
+            if content is None:
+                continue
+            type_ = content.element.type
+            if isinstance(type_, Enumeration) and not type_.has_stereotype(ENUM):
+                report.error(
+                    "UPCC-D08",
+                    f"QDT {qdt.name!r} content is restricted by enumeration {type_.name!r} "
+                    f"which lacks the <<ENUM>> stereotype",
+                    qdt.qualified_name,
+                )

@@ -1,0 +1,130 @@
+"""Library rules: tagged values and allowed content per library kind."""
+
+from __future__ import annotations
+
+from repro.ccts.model import CctsModel
+from repro.profile import (
+    ABIE,
+    ACC,
+    BIE_LIBRARY,
+    CC_LIBRARY,
+    CDT,
+    CDT_LIBRARY,
+    DOC_LIBRARY,
+    ENUM,
+    ENUM_LIBRARY,
+    PRIM,
+    PRIM_LIBRARY,
+    QDT,
+    QDT_LIBRARY,
+)
+from repro.validation.diagnostics import ValidationReport
+from repro.validation.engine import ValidationEngine
+
+#: Library stereotype -> classifier stereotypes it may own.
+_ALLOWED_CONTENT = {
+    CC_LIBRARY: {ACC},
+    BIE_LIBRARY: {ABIE},
+    DOC_LIBRARY: {ABIE},
+    CDT_LIBRARY: {CDT},
+    QDT_LIBRARY: {QDT, CDT},  # a CDT may be *drawn* in a QDT diagram (Figure 4, package 3)
+    ENUM_LIBRARY: {ENUM},
+    PRIM_LIBRARY: {PRIM},
+}
+
+
+def register(engine: ValidationEngine) -> None:
+    """Register the library rules."""
+
+    @engine.register("UPCC-L01", "every library needs a baseURN for namespace generation", basic=True)
+    def base_urn_present(model: CctsModel, report: ValidationReport) -> None:
+        for library in model.libraries():
+            if not library.base_urn:
+                report.error(
+                    "UPCC-L01",
+                    f"library {library.name!r} has no baseURN tagged value; the generator "
+                    f"cannot build its target namespace",
+                    library.qualified_name,
+                )
+
+    @engine.register("UPCC-L02", "libraries may only own their designated element kind", basic=True)
+    def allowed_content(model: CctsModel, report: ValidationReport) -> None:
+        for library in model.libraries():
+            allowed = _ALLOWED_CONTENT.get(library.stereotype)
+            if allowed is None:
+                continue
+            for classifier in library.package.classifiers:
+                stereotypes = set(classifier.stereotypes)
+                if stereotypes and not (stereotypes & allowed):
+                    report.error(
+                        "UPCC-L02",
+                        f"{library.stereotype} {library.name!r} owns "
+                        f"{'/'.join(sorted(stereotypes))} element {classifier.name!r}; "
+                        f"allowed here: {'/'.join(sorted(allowed))}",
+                        classifier.qualified_name,
+                    )
+
+    @engine.register("UPCC-L03", "classifier names must be unique within a library", basic=True)
+    def unique_names(model: CctsModel, report: ValidationReport) -> None:
+        for library in model.libraries():
+            seen: set[str] = set()
+            for classifier in library.package.classifiers:
+                if classifier.name in seen:
+                    report.error(
+                        "UPCC-L03",
+                        f"library {library.name!r} defines {classifier.name!r} twice",
+                        library.qualified_name,
+                    )
+                seen.add(classifier.name)
+
+    @engine.register("UPCC-L04", "namespace prefixes should be unique across libraries")
+    def unique_prefixes(model: CctsModel, report: ValidationReport) -> None:
+        seen: dict[str, str] = {}
+        for library in model.libraries():
+            prefix = library.namespace_prefix
+            if not prefix:
+                continue
+            if prefix in seen and seen[prefix] != library.qualified_name:
+                report.warning(
+                    "UPCC-L04",
+                    f"namespace prefix {prefix!r} is used by both {seen[prefix]!r} and "
+                    f"{library.qualified_name!r}; one of them will fall back to a "
+                    f"generated prefix in importing schemas",
+                    library.qualified_name,
+                )
+            seen.setdefault(prefix, library.qualified_name)
+
+    @engine.register("UPCC-L06", "business libraries only aggregate other libraries")
+    def business_library_purity(model: CctsModel, report: ValidationReport) -> None:
+        for business in model.business_libraries():
+            for classifier in business.package.classifiers:
+                report.error(
+                    "UPCC-L06",
+                    f"BusinessLibrary {business.name!r} directly owns classifier "
+                    f"{classifier.name!r}; business libraries aggregate libraries only",
+                    classifier.qualified_name,
+                )
+            for package in business.package.packages:
+                if not any(package.has_stereotype(s) for s in _ALLOWED_CONTENT) and not any(
+                    package.has_stereotype(s)
+                    for s in ("BusinessLibrary",)
+                ):
+                    report.warning(
+                        "UPCC-L06",
+                        f"package {package.name!r} inside BusinessLibrary "
+                        f"{business.name!r} carries no library stereotype",
+                        package.qualified_name,
+                    )
+
+    @engine.register("UPCC-L05", "stereotyped classifiers should live inside a library")
+    def homeless_elements(model: CctsModel, report: ValidationReport) -> None:
+        library_packages = {library.package for library in model.libraries()}
+        for acc in model.accs():
+            owner = model.model.owning_package_of(acc.element)
+            if owner is not None and owner not in library_packages:
+                report.warning(
+                    "UPCC-L05",
+                    f"ACC {acc.name!r} lives in plain package {owner.name!r}; the "
+                    f"generator only processes libraries",
+                    acc.qualified_name,
+                )

@@ -1,0 +1,137 @@
+"""Profile/structure rules: stereotype placement and typedness."""
+
+from __future__ import annotations
+
+from repro.ccts.model import CctsModel
+from repro.profile import (
+    ABIE,
+    ACC,
+    ASBIE,
+    ASCC,
+    BBIE,
+    BCC,
+    CDT,
+    CON,
+    QDT,
+    SUP,
+)
+from repro.uml.association import Association
+from repro.uml.classifier import Classifier
+from repro.uml.property import Property
+from repro.validation.diagnostics import ValidationReport
+from repro.validation.engine import ValidationEngine
+
+#: Property stereotype -> stereotypes its owning classifier must carry.
+_PROPERTY_OWNERS = {
+    BCC: (ACC,),
+    BBIE: (ABIE,),
+    CON: (CDT, QDT),
+    SUP: (CDT, QDT),
+}
+
+#: Association stereotype -> required stereotype on both end classes.
+_ASSOCIATION_ENDS = {ASCC: ACC, ASBIE: ABIE}
+
+
+def register(engine: ValidationEngine) -> None:
+    """Register the structure rules."""
+
+    @engine.register("UPCC-P01", "stereotype applications must match the profile", basic=True)
+    def profile_conformance(model: CctsModel, report: ValidationReport) -> None:
+        for problem in model.profile_problems():
+            report.error("UPCC-P01", problem)
+
+    @engine.register("UPCC-P02", "stereotyped properties must sit in matching classifiers", basic=True)
+    def property_placement(model: CctsModel, report: ValidationReport) -> None:
+        for prop in model.model.all_of_type(Property):
+            for stereotype, owners in _PROPERTY_OWNERS.items():
+                if not prop.has_stereotype(stereotype):
+                    continue
+                owner = prop.owner
+                if owner is None or not any(owner.has_stereotype(required) for required in owners):
+                    owner_name = getattr(owner, "name", "?")
+                    report.error(
+                        "UPCC-P02",
+                        f"<<{stereotype}>> attribute {prop.name!r} must be owned by a "
+                        f"{'/'.join(owners)} classifier, found {owner_name!r}",
+                        prop.qualified_name,
+                    )
+
+    @engine.register("UPCC-P03", "every BCC/BBIE/CON/SUP attribute must be typed", basic=True)
+    def properties_typed(model: CctsModel, report: ValidationReport) -> None:
+        for prop in model.model.all_of_type(Property):
+            if any(prop.has_stereotype(stereotype) for stereotype in _PROPERTY_OWNERS):
+                if prop.type is None:
+                    report.error(
+                        "UPCC-P03",
+                        f"attribute {prop.name!r} has no type",
+                        prop.qualified_name,
+                    )
+
+    @engine.register("UPCC-P04", "ASCC/ASBIE ends must connect matching aggregates", basic=True)
+    def association_ends(model: CctsModel, report: ValidationReport) -> None:
+        for association in model.model.all_of_type(Association):
+            for stereotype, required in _ASSOCIATION_ENDS.items():
+                if not association.has_stereotype(stereotype):
+                    continue
+                for end, label in ((association.source, "source"), (association.target, "target")):
+                    if not end.type.has_stereotype(required):
+                        report.error(
+                            "UPCC-P04",
+                            f"<<{stereotype}>> {label} end attaches to {end.type.name!r} "
+                            f"which is not an {required}",
+                            association.qualified_name,
+                        )
+
+    @engine.register("UPCC-P05", "ASCC/ASBIE associations must carry a role name", basic=True)
+    def role_names(model: CctsModel, report: ValidationReport) -> None:
+        for association in model.model.all_of_type(Association):
+            if association.has_stereotype(ASCC) or association.has_stereotype(ASBIE):
+                if not association.target.name:
+                    report.error(
+                        "UPCC-P05",
+                        f"association from {association.source.type.name!r} to "
+                        f"{association.target.type.name!r} has no role name; the NDR cannot "
+                        f"build a compound element name without one",
+                        association.qualified_name,
+                    )
+
+    @engine.register("UPCC-P06", "classes should not mix core and business stereotypes")
+    def no_mixed_layers(model: CctsModel, report: ValidationReport) -> None:
+        for classifier in model.model.all_of_type(Classifier):
+            if classifier.has_stereotype(ACC) and classifier.has_stereotype(ABIE):
+                report.error(
+                    "UPCC-P06",
+                    f"classifier {classifier.name!r} is stereotyped both ACC and ABIE",
+                    classifier.qualified_name,
+                )
+
+    @engine.register("UPCC-P07", "basedOn must connect matching kinds", basic=True)
+    def based_on_pairs(model: CctsModel, report: ValidationReport) -> None:
+        """ABIE->ACC, ASBIE->ASCC, QDT->CDT -- never across kinds."""
+        from repro.uml.dependency import Dependency
+
+        expected = ((ABIE, ACC), (ASBIE, ASCC), (QDT, CDT))
+        for dependency in model.model.all_of_type(Dependency):
+            if not dependency.has_stereotype("basedOn"):
+                continue
+            client, supplier = dependency.client, dependency.supplier
+            matched = False
+            for client_kind, supplier_kind in expected:
+                if client.has_stereotype(client_kind):
+                    matched = True
+                    if not supplier.has_stereotype(supplier_kind):
+                        report.error(
+                            "UPCC-P07",
+                            f"<<{client_kind}>> {client.name!r} is basedOn "
+                            f"{supplier.name!r} which is not a {supplier_kind}",
+                            dependency.qualified_name,
+                        )
+                    break
+            if not matched:
+                report.warning(
+                    "UPCC-P07",
+                    f"basedOn from {client.name!r}: client carries none of "
+                    f"ABIE/ASBIE/QDT",
+                    dependency.qualified_name,
+                )

@@ -1,0 +1,214 @@
+"""Deserialize XMI documents back into UML models.
+
+Two-pass loading: the first pass materializes every element and records the
+id table plus unresolved references (property types, association ends,
+dependency client/supplier); the second pass resolves references and
+replays stereotype applications.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import XmiError
+from repro.uml.association import AggregationKind, Association, AssociationEnd
+from repro.uml.classifier import Class, Classifier, DataType, Enumeration, PrimitiveType
+from repro.uml.dependency import Dependency
+from repro.uml.elements import Element, NamedElement
+from repro.uml.model import Model
+from repro.uml.multiplicity import Multiplicity
+from repro.uml.package import Package
+from repro.uml.property import Property
+from repro.xmlutil.writer import XmlElement, parse_xml
+
+_CLASSIFIER_TYPES: dict[str, type[Classifier]] = {
+    "uml:Class": Class,
+    "uml:DataType": DataType,
+    "uml:PrimitiveType": PrimitiveType,
+    "uml:Enumeration": Enumeration,
+}
+
+
+class _Loader:
+    def __init__(self) -> None:
+        self.by_id: dict[str, Element] = {}
+        self.pending_types: list[tuple[Property, str]] = []
+        self.pending_ends: list[tuple[AssociationEnd, str]] = []
+        self.pending_dependencies: list[tuple[Dependency, str, str]] = []
+
+    # -- pass 1 ------------------------------------------------------------------
+
+    def register(self, node: XmlElement, element: Element) -> None:
+        xmi_id = node.attributes.get("xmi:id")
+        if xmi_id is None:
+            raise XmiError(f"element {node.tag!r} lacks an xmi:id")
+        if xmi_id in self.by_id:
+            raise XmiError(f"duplicate xmi:id {xmi_id!r}")
+        element.xmi_id = xmi_id
+        self.by_id[xmi_id] = element
+
+    def load_model(self, node: XmlElement) -> Model:
+        model = Model(node.attributes.get("name", ""))
+        self.register(node, model)
+        self._load_documentation(node, model)
+        for child in node.element_children:
+            if child.tag == "packagedElement":
+                self._load_packaged(child, model)
+        return model
+
+    def _load_documentation(self, node: XmlElement, element: Element) -> None:
+        comment = node.find("ownedComment")
+        if comment is not None:
+            element.documentation = comment.attributes.get("body", "")
+
+    def _load_packaged(self, node: XmlElement, owner: Package) -> None:
+        xmi_type = node.attributes.get("xmi:type", "")
+        if xmi_type == "uml:Package":
+            package = Package(node.attributes.get("name", ""))
+            package.owner = owner
+            owner.packages.append(package)
+            self.register(node, package)
+            self._load_documentation(node, package)
+            for child in node.element_children:
+                if child.tag == "packagedElement":
+                    self._load_packaged(child, package)
+        elif xmi_type in _CLASSIFIER_TYPES:
+            self._load_classifier(node, owner, _CLASSIFIER_TYPES[xmi_type])
+        elif xmi_type == "uml:Association":
+            self._load_association(node, owner)
+        elif xmi_type == "uml:Dependency":
+            self._load_dependency(node, owner)
+        else:
+            raise XmiError(f"unsupported packagedElement xmi:type {xmi_type!r}")
+
+    def _load_classifier(self, node: XmlElement, owner: Package, cls: type[Classifier]) -> None:
+        classifier = cls(node.attributes.get("name", ""))
+        classifier.owner = owner
+        owner.classifiers.append(classifier)
+        self.register(node, classifier)
+        self._load_documentation(node, classifier)
+        for child in node.element_children:
+            if child.tag == "ownedAttribute":
+                prop = Property(
+                    child.attributes.get("name", ""),
+                    None,
+                    self._multiplicity(child),
+                    child.attributes.get("default"),
+                )
+                prop.owner = classifier
+                classifier.attributes.append(prop)
+                self.register(child, prop)
+                type_ref = child.attributes.get("type")
+                if type_ref is not None:
+                    self.pending_types.append((prop, type_ref))
+            elif child.tag == "ownedLiteral" and isinstance(classifier, Enumeration):
+                literal = classifier.add_literal(
+                    child.attributes.get("name", ""), child.attributes.get("value")
+                )
+                literal.xmi_id = child.attributes.get("xmi:id")
+                if literal.xmi_id:
+                    self.by_id[literal.xmi_id] = literal
+
+    def _multiplicity(self, node: XmlElement) -> Multiplicity:
+        lower = int(node.attributes.get("lower", "1"))
+        upper_text = node.attributes.get("upper", "1")
+        upper = None if upper_text == "*" else int(upper_text)
+        return Multiplicity(lower, upper)
+
+    def _load_association(self, node: XmlElement, owner: Package) -> None:
+        ends: list[AssociationEnd] = []
+        end_nodes = node.find_all("ownedEnd")
+        if len(end_nodes) != 2:
+            raise XmiError(
+                f"association {node.attributes.get('xmi:id')!r} has {len(end_nodes)} ends, expected 2"
+            )
+        placeholder = Class("")  # replaced during reference resolution
+        for end_node in end_nodes:
+            end = AssociationEnd(
+                placeholder,
+                end_node.attributes.get("name", ""),
+                self._multiplicity(end_node),
+                AggregationKind(end_node.attributes.get("aggregation", "none")),
+                end_node.attributes.get("navigable", "true") == "true",
+            )
+            self.register(end_node, end)
+            self.pending_ends.append((end, end_node.attributes["type"]))
+            ends.append(end)
+        association = Association(ends[0], ends[1], node.attributes.get("name", ""))
+        association.owner = owner
+        owner.associations.append(association)
+        self.register(node, association)
+
+    def _load_dependency(self, node: XmlElement, owner: Package) -> None:
+        placeholder = NamedElement("")
+        dependency = Dependency(placeholder, placeholder, node.attributes.get("name", ""))
+        dependency.owner = owner
+        owner.dependencies.append(dependency)
+        self.register(node, dependency)
+        self.pending_dependencies.append(
+            (dependency, node.attributes["client"], node.attributes["supplier"])
+        )
+
+    # -- pass 2 --------------------------------------------------------------------
+
+    def resolve(self) -> None:
+        for prop, ref in self.pending_types:
+            target = self.by_id.get(ref)
+            if not isinstance(target, Classifier):
+                raise XmiError(f"property {prop.name!r} references non-classifier id {ref!r}")
+            prop.type = target
+        for end, ref in self.pending_ends:
+            target = self.by_id.get(ref)
+            if not isinstance(target, Class):
+                raise XmiError(f"association end references non-class id {ref!r}")
+            end.type = target
+        for dependency, client_ref, supplier_ref in self.pending_dependencies:
+            client = self.by_id.get(client_ref)
+            supplier = self.by_id.get(supplier_ref)
+            if not isinstance(client, NamedElement) or not isinstance(supplier, NamedElement):
+                raise XmiError(
+                    f"dependency references unresolved ids {client_ref!r}/{supplier_ref!r}"
+                )
+            dependency.client = client
+            dependency.supplier = supplier
+
+    def apply_stereotypes(self, root: XmlElement) -> None:
+        for child in root.element_children:
+            if not child.tag.startswith("upcc:"):
+                continue
+            stereotype = child.tag[len("upcc:"):]
+            base_ref = child.attributes.get("base")
+            element = self.by_id.get(base_ref or "")
+            if element is None:
+                raise XmiError(
+                    f"stereotype application <<{stereotype}>> references unknown id {base_ref!r}"
+                )
+            tags = {
+                name: value
+                for name, value in child.attributes.items()
+                if name not in ("base",) and not name.startswith("xmi:")
+            }
+            element.apply_stereotype(stereotype, **tags)
+
+
+def model_from_xmi(root: XmlElement) -> Model:
+    """Load a model from a parsed ``xmi:XMI`` element tree."""
+    if root.tag != "xmi:XMI":
+        raise XmiError(f"expected an xmi:XMI root, got {root.tag!r}")
+    model_node = root.find("uml:Model")
+    if model_node is None:
+        raise XmiError("document contains no uml:Model")
+    loader = _Loader()
+    model = loader.load_model(model_node)
+    loader.resolve()
+    loader.apply_stereotypes(root)
+    return model
+
+
+def read_xmi(source: str | Path) -> Model:
+    """Load a model from an XMI string or file path."""
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source and source.endswith(".xmi")):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = source
+    return model_from_xmi(parse_xml(text))

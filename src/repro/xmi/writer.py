@@ -1,0 +1,174 @@
+"""Serialize UML models to XMI.
+
+Document shape (XMI 2.1 style, with documented simplifications)::
+
+    <xmi:XMI xmlns:xmi="..." xmlns:uml="..." xmlns:upcc="...">
+      <uml:Model xmi:id="id_1" name="EasyBiz">
+        <packagedElement xmi:type="uml:Package" xmi:id="id_2" name="...">
+          <packagedElement xmi:type="uml:Class" xmi:id="id_3" name="Person">
+            <ownedAttribute xmi:id="id_4" name="FirstName" type="id_9"
+                            lower="1" upper="1"/>
+          </packagedElement>
+          <packagedElement xmi:type="uml:Association" xmi:id="...">
+            <ownedEnd xmi:id="..." type="id_3" aggregation="composite" .../>
+            <ownedEnd xmi:id="..." name="Private" type="id_7" lower="0" upper="1"/>
+          </packagedElement>
+          <packagedElement xmi:type="uml:Dependency" xmi:id="..."
+                           client="id_x" supplier="id_y"/>
+        </packagedElement>
+      </uml:Model>
+      <upcc:ACC xmi:id="..." base="id_3" definition="..."/>
+    </xmi:XMI>
+
+Simplifications vs. full OMG XMI: multiplicities are ``lower``/``upper``
+attributes instead of ``lowerValue``/``upperValue`` children; stereotype
+applications reference their element through a uniform ``base`` attribute;
+enumeration literal display values use a ``value`` attribute.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.uml.association import Association
+from repro.uml.classifier import Class, Classifier, DataType, Enumeration, PrimitiveType
+from repro.uml.dependency import Dependency
+from repro.uml.elements import Element
+from repro.uml.model import Model
+from repro.uml.multiplicity import Multiplicity
+from repro.uml.package import Package
+from repro.xmi.ids import assign_ids, id_of
+from repro.xmlutil.writer import XmlElement, XmlWriter
+
+#: Namespace URIs used in the XMI document.
+XMI_NS = "http://www.omg.org/XMI"
+UML_NS = "http://www.omg.org/spec/UML/20090901"
+UPCC_NS = "urn:un:unece:uncefact:profile:upcc:1.0"
+
+_XMI_TYPES: list[tuple[type, str]] = [
+    (PrimitiveType, "uml:PrimitiveType"),
+    (Enumeration, "uml:Enumeration"),
+    (DataType, "uml:DataType"),
+    (Class, "uml:Class"),
+    (Package, "uml:Package"),
+]
+
+
+def _xmi_type(element: Element) -> str:
+    for cls, name in _XMI_TYPES:
+        if isinstance(element, cls):
+            return name
+    raise ValueError(f"no XMI type mapping for {type(element).__name__}")
+
+
+def _set_multiplicity(node: XmlElement, multiplicity: Multiplicity) -> None:
+    node.set("lower", str(multiplicity.lower))
+    node.set("upper", "*" if multiplicity.upper is None else str(multiplicity.upper))
+
+
+def model_to_xmi(model: Model) -> XmlElement:
+    """Build the ``xmi:XMI`` element tree for ``model``."""
+    assign_ids(model)
+    root = XmlElement("xmi:XMI")
+    root.set("xmlns:xmi", XMI_NS)
+    root.set("xmlns:uml", UML_NS)
+    root.set("xmlns:upcc", UPCC_NS)
+    root.set("xmi:version", "2.1")
+    model_node = root.add("uml:Model", {"xmi:id": id_of(model), "name": model.name})
+    _write_documentation(model_node, model)
+    for package in model.packages:
+        model_node.append(_package_to_xml(package))
+    for classifier in model.classifiers:
+        model_node.append(_classifier_to_xml(classifier))
+    for element in model.walk():
+        for stereotype, tags in element.stereotype_applications.items():
+            application = root.add(f"upcc:{stereotype}", {"base": id_of(element)})
+            for tag, value in tags.items():
+                application.set(tag, value)
+    return root
+
+
+def write_xmi(model: Model, path: str | Path | None = None) -> str:
+    """Serialize ``model`` to an XMI string, optionally writing it to disk."""
+    text = XmlWriter().to_string(model_to_xmi(model))
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def _write_documentation(node: XmlElement, element: Element) -> None:
+    if element.documentation:
+        node.add("ownedComment", {"xmi:type": "uml:Comment", "body": element.documentation})
+
+
+def _package_to_xml(package: Package) -> XmlElement:
+    node = XmlElement(
+        "packagedElement",
+        {"xmi:type": _xmi_type(package), "xmi:id": id_of(package), "name": package.name},
+    )
+    _write_documentation(node, package)
+    for classifier in package.classifiers:
+        node.append(_classifier_to_xml(classifier))
+    for association in package.associations:
+        node.append(_association_to_xml(association))
+    for dependency in package.dependencies:
+        node.append(_dependency_to_xml(dependency))
+    for subpackage in package.packages:
+        node.append(_package_to_xml(subpackage))
+    return node
+
+
+def _classifier_to_xml(classifier: Classifier) -> XmlElement:
+    node = XmlElement(
+        "packagedElement",
+        {"xmi:type": _xmi_type(classifier), "xmi:id": id_of(classifier), "name": classifier.name},
+    )
+    _write_documentation(node, classifier)
+    for prop in classifier.attributes:
+        attribute = node.add("ownedAttribute", {"xmi:id": id_of(prop), "name": prop.name})
+        if prop.type is not None:
+            attribute.set("type", id_of(prop.type))
+        _set_multiplicity(attribute, prop.multiplicity)
+        if prop.default is not None:
+            attribute.set("default", prop.default)
+    if isinstance(classifier, Enumeration):
+        for literal in classifier.literals:
+            node.add(
+                "ownedLiteral",
+                {"xmi:id": id_of(literal), "name": literal.name, "value": literal.value},
+            )
+    return node
+
+
+def _association_to_xml(association: Association) -> XmlElement:
+    node = XmlElement(
+        "packagedElement",
+        {"xmi:type": "uml:Association", "xmi:id": id_of(association)},
+    )
+    if association.name:
+        node.set("name", association.name)
+    for end in (association.source, association.target):
+        end_node = node.add("ownedEnd", {"xmi:id": id_of(end)})
+        if end.name:
+            end_node.set("name", end.name)
+        end_node.set("type", id_of(end.type))
+        if end.aggregation.value != "none":
+            end_node.set("aggregation", end.aggregation.value)
+        _set_multiplicity(end_node, end.multiplicity)
+        end_node.set("navigable", "true" if end.navigable else "false")
+    return node
+
+
+def _dependency_to_xml(dependency: Dependency) -> XmlElement:
+    node = XmlElement(
+        "packagedElement",
+        {
+            "xmi:type": "uml:Dependency",
+            "xmi:id": id_of(dependency),
+            "client": id_of(dependency.client),
+            "supplier": id_of(dependency.supplier),
+        },
+    )
+    if dependency.name:
+        node.set("name", dependency.name)
+    return node

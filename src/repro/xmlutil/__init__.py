@@ -1,0 +1,28 @@
+"""Low-level XML utilities shared by the XMI, XSD and instance layers.
+
+The environment offers only the standard library, so this package provides
+the pieces a schema/XMI toolchain normally takes from lxml:
+
+* :mod:`repro.xmlutil.escape` -- context-sensitive escaping/unescaping,
+* :mod:`repro.xmlutil.qname` -- qualified names and prefix resolution,
+* :mod:`repro.xmlutil.writer` -- a deterministic pretty-printing writer
+  built around an explicit element tree (:class:`XmlElement`).
+
+Determinism matters: the figure benchmarks compare generated schemas
+byte-for-byte across runs.
+"""
+
+from repro.xmlutil.escape import escape_attribute, escape_text, is_valid_xml_name
+from repro.xmlutil.qname import QName, split_qname
+from repro.xmlutil.writer import XmlElement, XmlWriter, parse_xml
+
+__all__ = [
+    "QName",
+    "XmlElement",
+    "XmlWriter",
+    "escape_attribute",
+    "escape_text",
+    "is_valid_xml_name",
+    "parse_xml",
+    "split_qname",
+]

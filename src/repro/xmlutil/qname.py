@@ -1,0 +1,62 @@
+"""Qualified names (namespace URI + local part) and prefixed-name handling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class QName:
+    """An expanded XML name: a namespace URI (may be empty) plus local part.
+
+    ``QName("urn:x", "CodeType")`` renders as ``{urn:x}CodeType`` in Clark
+    notation via :meth:`clark` and compares/hashes by value, which makes it
+    usable as a dictionary key throughout the XSD component model.
+    """
+
+    namespace: str
+    local: str
+
+    def clark(self) -> str:
+        """Return the Clark-notation form ``{namespace}local``."""
+        if self.namespace:
+            return f"{{{self.namespace}}}{self.local}"
+        return self.local
+
+    def prefixed(self, prefix: str | None) -> str:
+        """Render as ``prefix:local`` (or just ``local`` for a None/empty prefix)."""
+        if prefix:
+            return f"{prefix}:{self.local}"
+        return self.local
+
+    @classmethod
+    def from_clark(cls, text: str) -> "QName":
+        """Parse Clark notation (``{ns}local`` or bare ``local``)."""
+        if text.startswith("{"):
+            namespace, _, local = text[1:].partition("}")
+            return cls(namespace, local)
+        return cls("", text)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.clark()
+
+
+def split_qname(text: str) -> tuple[str | None, str]:
+    """Split a prefixed name into ``(prefix, local)``; prefix is None if absent."""
+    if ":" in text:
+        prefix, _, local = text.partition(":")
+        return prefix, local
+    return None, text
+
+
+def resolve_prefixed(text: str, namespaces: dict[str | None, str]) -> QName:
+    """Resolve ``prefix:local`` against a prefix->URI map into a :class:`QName`.
+
+    A missing prefix resolves against the default namespace (key ``None``),
+    falling back to the empty namespace when no default is declared.
+    """
+    prefix, local = split_qname(text)
+    namespace = namespaces.get(prefix, "" if prefix is None else None)
+    if namespace is None:
+        raise KeyError(f"undeclared namespace prefix {prefix!r} in {text!r}")
+    return QName(namespace, local)

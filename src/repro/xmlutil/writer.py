@@ -1,0 +1,219 @@
+"""A deterministic XML element tree and pretty-printing writer.
+
+The standard library's ``xml.etree`` can serialize, but its namespace
+handling renames prefixes (``ns0``/``ns1``) which would destroy the
+prefix-bearing output the paper's Figures 6-8 show (``cdt1``, ``qdt1``,
+``commonAggregates``, ``bie2``).  This module keeps prefixes explicit:
+elements carry already-prefixed tags plus ``xmlns`` declarations as ordinary
+attributes, exactly as the generator computed them.
+
+:func:`parse_xml` is the matching reader used by the XSD parser and the
+instance validator; it preserves the declared prefix map per element.
+"""
+
+from __future__ import annotations
+
+import io
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from repro.xmlutil.escape import escape_attribute, escape_text, is_valid_xml_name
+
+
+class XmlElement:
+    """A mutable XML element with ordered attributes and mixed children.
+
+    ``tag`` is the name as written (possibly prefixed).  Children are either
+    :class:`XmlElement` instances or strings (text nodes).  Attribute order
+    is insertion order, which the writer preserves so output is stable.
+    """
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(self, tag: str, attributes: dict[str, str] | None = None) -> None:
+        if not is_valid_xml_name(tag.replace(":", "_", 1) if ":" in tag else tag):
+            raise ValueError(f"invalid XML element name: {tag!r}")
+        self.tag = tag
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list[XmlElement | str] = []
+
+    def set(self, name: str, value: str) -> "XmlElement":
+        """Set an attribute and return self (chainable)."""
+        self.attributes[name] = value
+        return self
+
+    def add(self, tag: str, attributes: dict[str, str] | None = None) -> "XmlElement":
+        """Append and return a new child element."""
+        child = XmlElement(tag, attributes)
+        self.children.append(child)
+        return child
+
+    def append(self, child: "XmlElement") -> "XmlElement":
+        """Append an existing element and return it."""
+        self.children.append(child)
+        return child
+
+    def text(self, value: str) -> "XmlElement":
+        """Append a text node and return self."""
+        self.children.append(value)
+        return self
+
+    @property
+    def element_children(self) -> list["XmlElement"]:
+        """Child elements only (text nodes skipped)."""
+        return [child for child in self.children if isinstance(child, XmlElement)]
+
+    @property
+    def text_content(self) -> str:
+        """Concatenated direct text content."""
+        return "".join(child for child in self.children if isinstance(child, str))
+
+    def find(self, tag: str) -> "XmlElement | None":
+        """First child element with the given (prefixed) tag, or None."""
+        for child in self.element_children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> list["XmlElement"]:
+        """All child elements with the given (prefixed) tag."""
+        return [child for child in self.element_children if child.tag == tag]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<XmlElement {self.tag} attrs={len(self.attributes)} children={len(self.children)}>"
+
+
+@dataclass
+class XmlWriter:
+    """Serializes an :class:`XmlElement` tree with two-space indentation.
+
+    ``sort_attributes`` keeps the writer deterministic even if callers build
+    attribute dicts in varying order; the generator leaves it off because it
+    controls ordering itself (namespace declarations first, as in Figure 6).
+    """
+
+    indent: str = "  "
+    declaration: bool = True
+    sort_attributes: bool = False
+
+    def to_string(self, root: XmlElement) -> str:
+        """Render the tree to a string."""
+        out = io.StringIO()
+        if self.declaration:
+            out.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+        self._write_element(out, root, 0)
+        out.write("\n")
+        return out.getvalue()
+
+    def write(self, root: XmlElement, path: str) -> None:
+        """Render the tree and write it to ``path`` as UTF-8."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_string(root))
+
+    def _write_element(self, out: io.StringIO, element: XmlElement, depth: int) -> None:
+        pad = self.indent * depth
+        out.write(f"{pad}<{element.tag}")
+        items = element.attributes.items()
+        if self.sort_attributes:
+            items = sorted(items)
+        for name, value in items:
+            out.write(f' {name}="{escape_attribute(value)}"')
+        if not element.children:
+            out.write("/>")
+            return
+        out.write(">")
+        has_elements = any(isinstance(child, XmlElement) for child in element.children)
+        if not has_elements:
+            # Pure text content stays on one line so values round-trip intact.
+            for child in element.children:
+                out.write(escape_text(str(child)))
+            out.write(f"</{element.tag}>")
+            return
+        for child in element.children:
+            out.write("\n")
+            if isinstance(child, XmlElement):
+                self._write_element(out, child, depth + 1)
+            else:
+                out.write(f"{self.indent * (depth + 1)}{escape_text(child)}")
+        out.write(f"\n{pad}</{element.tag}>")
+
+
+@dataclass
+class ParsedElement:
+    """Wrapper pairing an :class:`XmlElement` with its in-scope namespaces."""
+
+    element: XmlElement
+    namespaces: dict[str | None, str] = field(default_factory=dict)
+
+
+def parse_xml(text: str) -> XmlElement:
+    """Parse XML text into an :class:`XmlElement` tree, preserving prefixes.
+
+    Namespace declarations are kept as literal ``xmlns``/``xmlns:p``
+    attributes and tags keep their written prefixes, mirroring what the
+    writer produces.  Built on the stdlib pull parser so no third-party
+    dependency is needed.
+    """
+    events = ET.XMLPullParser(events=("start", "end", "start-ns"))
+    events.feed(text)
+    events.close()
+
+    # ElementTree expands names to Clark notation and drops prefixes, so we
+    # rebuild prefixed tags from the start-ns events with a scope stack.
+    pending_ns: list[tuple[str, str]] = []
+    uri_to_prefix_stack: list[dict[str, str]] = [{}]
+    stack: list[XmlElement] = []
+    root: XmlElement | None = None
+
+    for event, payload in events.read_events():
+        if event == "start-ns":
+            prefix, uri = payload
+            pending_ns.append((prefix, uri))
+            continue
+        if event == "start":
+            scope = dict(uri_to_prefix_stack[-1])
+            declared = list(pending_ns)
+            pending_ns.clear()
+            for prefix, uri in declared:
+                scope[uri] = prefix
+            uri_to_prefix_stack.append(scope)
+            tag = _prefixed_name(payload.tag, scope)
+            element = XmlElement(tag)
+            for prefix, uri in declared:
+                key = f"xmlns:{prefix}" if prefix else "xmlns"
+                element.attributes[key] = uri
+            for name, value in payload.attrib.items():
+                element.attributes[_prefixed_name(name, scope)] = value
+            if stack:
+                stack[-1].children.append(element)
+            else:
+                root = element
+            stack.append(element)
+        elif event == "end":
+            element = stack.pop()
+            if payload.text and payload.text.strip():
+                element.children.insert(0, payload.text)
+            elif payload.text and not element.element_children:
+                element.children.insert(0, payload.text)
+            uri_to_prefix_stack.pop()
+
+    if root is None:
+        raise ValueError("document contained no root element")
+    return root
+
+
+def _prefixed_name(clark: str, uri_to_prefix: dict[str, str]) -> str:
+    """Convert a Clark-notation name back to its written prefixed form."""
+    if not clark.startswith("{"):
+        return clark
+    uri, _, local = clark[1:].partition("}")
+    if uri == "http://www.w3.org/XML/1998/namespace":
+        return f"xml:{local}"
+    prefix = uri_to_prefix.get(uri)
+    if prefix is None:
+        # Namespace was declared on an ancestor parsed in an earlier scope
+        # snapshot; fall back to Clark notation rather than guessing.
+        return clark
+    if prefix == "":
+        return local
+    return f"{prefix}:{local}"

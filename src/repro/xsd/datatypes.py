@@ -1,0 +1,204 @@
+"""Built-in XSD datatype lexical checks and facet validation.
+
+The NDR maps CCTS primitives onto a small set of XSD built-ins (paper
+section 4.1: "Where primitive types are needed (String, Integer ...) the
+build-in types of the XSD schema are taken").  The validator needs lexical
+checks for those built-ins plus the facet machinery of simple-type
+restrictions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.xmlutil.qname import QName
+from repro.xsd.components import XSD_NS, Facet
+
+_INTEGER_RE = re.compile(r"^[+-]?\d+$")
+_DECIMAL_RE = re.compile(r"^[+-]?(\d+(\.\d*)?|\.\d+)$")
+_FLOAT_RE = re.compile(r"^([+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?|INF|-INF|NaN)$")
+_DATE_RE = re.compile(r"^-?\d{4,}-\d{2}-\d{2}(Z|[+-]\d{2}:\d{2})?$")
+_TIME_RE = re.compile(r"^\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?$")
+_DATETIME_RE = re.compile(
+    r"^-?\d{4,}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?$"
+)
+_GYEAR_RE = re.compile(r"^-?\d{4,}(Z|[+-]\d{2}:\d{2})?$")
+_GYEARMONTH_RE = re.compile(r"^-?\d{4,}-\d{2}(Z|[+-]\d{2}:\d{2})?$")
+_BASE64_RE = re.compile(r"^[A-Za-z0-9+/\s]*={0,2}\s*$")
+_HEX_RE = re.compile(r"^([0-9a-fA-F]{2})*$")
+_NCNAME_RE = re.compile(r"^[A-Za-z_][\w.\-]*$")
+_LANGUAGE_RE = re.compile(r"^[a-zA-Z]{1,8}(-[a-zA-Z0-9]{1,8})*$")
+_DURATION_RE = re.compile(
+    r"^-?P(?=.)(\d+Y)?(\d+M)?(\d+D)?(T(?=.)(\d+H)?(\d+M)?(\d+(\.\d+)?S)?)?$"
+)
+
+
+def _check_date(value: str) -> bool:
+    if not _DATE_RE.match(value):
+        return False
+    body = value.lstrip("-")[:10]
+    _, month, day = body.split("-")
+    return 1 <= int(month) <= 12 and 1 <= int(day) <= 31
+
+
+def _check_datetime(value: str) -> bool:
+    if not _DATETIME_RE.match(value):
+        return False
+    date_part = value.split("T", 1)[0]
+    return _check_date(date_part)
+
+
+def _check_boolean(value: str) -> bool:
+    return value in ("true", "false", "0", "1")
+
+
+def _bounded_integer(low: int | None, high: int | None) -> Callable[[str], bool]:
+    def check(value: str) -> bool:
+        if not _INTEGER_RE.match(value):
+            return False
+        number = int(value)
+        if low is not None and number < low:
+            return False
+        return high is None or number <= high
+
+    return check
+
+
+#: Lexical checks per built-in type local name.  ``string`` variants accept
+#: anything; list/union types are out of scope for the NDR subset.
+_BUILTIN_CHECKS: dict[str, Callable[[str], bool]] = {
+    "string": lambda value: True,
+    "normalizedString": lambda value: "\n" not in value and "\t" not in value and "\r" not in value,
+    "token": lambda value: value == " ".join(value.split()),
+    "language": lambda value: bool(_LANGUAGE_RE.match(value)),
+    "NCName": lambda value: bool(_NCNAME_RE.match(value)),
+    "Name": lambda value: bool(_NCNAME_RE.match(value.replace(":", "_"))),
+    "ID": lambda value: bool(_NCNAME_RE.match(value)),
+    "IDREF": lambda value: bool(_NCNAME_RE.match(value)),
+    "anyURI": lambda value: " " not in value.strip(),
+    "boolean": _check_boolean,
+    "integer": lambda value: bool(_INTEGER_RE.match(value)),
+    "nonNegativeInteger": _bounded_integer(0, None),
+    "positiveInteger": _bounded_integer(1, None),
+    "nonPositiveInteger": _bounded_integer(None, 0),
+    "negativeInteger": _bounded_integer(None, -1),
+    "long": _bounded_integer(-(2**63), 2**63 - 1),
+    "int": _bounded_integer(-(2**31), 2**31 - 1),
+    "short": _bounded_integer(-(2**15), 2**15 - 1),
+    "byte": _bounded_integer(-(2**7), 2**7 - 1),
+    "unsignedLong": _bounded_integer(0, 2**64 - 1),
+    "unsignedInt": _bounded_integer(0, 2**32 - 1),
+    "unsignedShort": _bounded_integer(0, 2**16 - 1),
+    "unsignedByte": _bounded_integer(0, 2**8 - 1),
+    "decimal": lambda value: bool(_DECIMAL_RE.match(value)),
+    "float": lambda value: bool(_FLOAT_RE.match(value)),
+    "double": lambda value: bool(_FLOAT_RE.match(value)),
+    "date": _check_date,
+    "time": lambda value: bool(_TIME_RE.match(value)),
+    "dateTime": _check_datetime,
+    "duration": lambda value: bool(_DURATION_RE.match(value)),
+    "gYear": lambda value: bool(_GYEAR_RE.match(value)),
+    "gYearMonth": lambda value: bool(_GYEARMONTH_RE.match(value)),
+    "base64Binary": lambda value: bool(_BASE64_RE.match(value)) and len(re.sub(r"\s", "", value)) % 4 == 0,
+    "hexBinary": lambda value: bool(_HEX_RE.match(value)),
+}
+
+#: Built-ins whose values compare numerically for range facets.
+_NUMERIC_TYPES = frozenset(
+    {
+        "integer", "nonNegativeInteger", "positiveInteger", "nonPositiveInteger",
+        "negativeInteger", "long", "int", "short", "byte", "unsignedLong",
+        "unsignedInt", "unsignedShort", "unsignedByte", "decimal", "float", "double",
+    }
+)
+
+
+def is_builtin(qname: QName) -> bool:
+    """True when ``qname`` names a supported XSD built-in type."""
+    return qname.namespace == XSD_NS and qname.local in _BUILTIN_CHECKS
+
+
+def check_builtin(qname: QName, value: str) -> bool:
+    """Lexically validate ``value`` against the built-in type ``qname``.
+
+    Unknown built-ins (an out-of-subset type slipped into a hand-written
+    schema) are accepted permissively.
+    """
+    if qname.namespace != XSD_NS:
+        return False
+    check = _BUILTIN_CHECKS.get(qname.local)
+    if check is None:
+        return True
+    value = normalize_whitespace(qname, value)
+    return check(value)
+
+
+def normalize_whitespace(qname: QName, value: str) -> str:
+    """Apply the built-in type's whiteSpace facet (collapse for non-strings)."""
+    if qname.namespace == XSD_NS and qname.local in ("string",):
+        return value
+    if qname.namespace == XSD_NS and qname.local == "normalizedString":
+        return value.replace("\n", " ").replace("\t", " ").replace("\r", " ")
+    return " ".join(value.split())
+
+
+def check_facets(facets: list[Facet], value: str, base: QName) -> list[str]:
+    """Validate ``value`` against constraining facets; returns problems.
+
+    Enumeration facets combine disjunctively (any match passes); all other
+    facets must each hold.
+    """
+    problems: list[str] = []
+    enumerations = [facet.value for facet in facets if facet.kind == "enumeration"]
+    if enumerations and value not in enumerations:
+        problems.append(
+            f"value {value!r} is not one of the enumerated values {enumerations!r}"
+        )
+    numeric = base.namespace == XSD_NS and base.local in _NUMERIC_TYPES
+    for facet in facets:
+        if facet.kind == "enumeration":
+            continue
+        problem = _check_single_facet(facet, value, numeric)
+        if problem is not None:
+            problems.append(problem)
+    return problems
+
+
+def _check_single_facet(facet: Facet, value: str, numeric: bool) -> str | None:
+    if facet.kind == "pattern":
+        if re.fullmatch(facet.value, value) is None:
+            return f"value {value!r} does not match pattern {facet.value!r}"
+        return None
+    if facet.kind == "length" and len(value) != int(facet.value):
+        return f"value {value!r} length {len(value)} != {facet.value}"
+    if facet.kind == "minLength" and len(value) < int(facet.value):
+        return f"value {value!r} shorter than minLength {facet.value}"
+    if facet.kind == "maxLength" and len(value) > int(facet.value):
+        return f"value {value!r} longer than maxLength {facet.value}"
+    if facet.kind in ("minInclusive", "maxInclusive", "minExclusive", "maxExclusive"):
+        try:
+            number = float(value) if numeric else None
+        except ValueError:
+            return f"value {value!r} is not numeric for facet {facet.kind}"
+        if number is None:
+            return None  # range facets on non-numeric bases are out of subset
+        bound = float(facet.value)
+        if facet.kind == "minInclusive" and number < bound:
+            return f"value {value} < minInclusive {facet.value}"
+        if facet.kind == "maxInclusive" and number > bound:
+            return f"value {value} > maxInclusive {facet.value}"
+        if facet.kind == "minExclusive" and number <= bound:
+            return f"value {value} <= minExclusive {facet.value}"
+        if facet.kind == "maxExclusive" and number >= bound:
+            return f"value {value} >= maxExclusive {facet.value}"
+        return None
+    if facet.kind == "totalDigits":
+        digits = sum(1 for ch in value if ch.isdigit())
+        if digits > int(facet.value):
+            return f"value {value!r} has more than {facet.value} digits"
+    if facet.kind == "fractionDigits":
+        _, _, fraction = value.partition(".")
+        if len(fraction) > int(facet.value):
+            return f"value {value!r} has more than {facet.value} fraction digits"
+    return None

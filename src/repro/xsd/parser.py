@@ -1,0 +1,243 @@
+"""Parse XSD documents back into the component model.
+
+Covers exactly the subset the writer produces (plus tolerant handling of
+annotations anywhere), so write->parse->write is the identity on generated
+schemas -- a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.xmlutil.qname import QName, split_qname
+from repro.xmlutil.writer import XmlElement, parse_xml
+from repro.xsd.components import (
+    XSD_NS,
+    Annotation,
+    AttributeDecl,
+    AttributeUse,
+    ChoiceGroup,
+    ComplexType,
+    ElementDecl,
+    Facet,
+    ImportDecl,
+    Schema,
+    SequenceGroup,
+    SimpleContent,
+    SimpleType,
+)
+
+
+class _Scope:
+    """Prefix resolution context while parsing one schema document."""
+
+    def __init__(self, root: XmlElement) -> None:
+        self.prefixes: dict[str, str] = {}
+        self.default_namespace = ""
+        for name, value in root.attributes.items():
+            if name == "xmlns":
+                self.default_namespace = value
+            elif name.startswith("xmlns:"):
+                self.prefixes[name[len("xmlns:"):]] = value
+
+    def resolve(self, text: str) -> QName:
+        prefix, local = split_qname(text)
+        if prefix is None:
+            return QName(self.default_namespace, local)
+        uri = self.prefixes.get(prefix)
+        if uri is None:
+            raise SchemaError(f"undeclared prefix {prefix!r} in type reference {text!r}")
+        return QName(uri, local)
+
+    def xsd_prefix(self) -> str | None:
+        for prefix, uri in self.prefixes.items():
+            if uri == XSD_NS:
+                return prefix
+        return None
+
+
+def _local(tag: str) -> str:
+    return tag.rpartition(":")[2]
+
+
+def _is_xsd(element: XmlElement, scope: _Scope, local: str) -> bool:
+    prefix, name = split_qname(element.tag)
+    if name != local:
+        return False
+    if prefix is None:
+        return scope.default_namespace == XSD_NS
+    return scope.prefixes.get(prefix) == XSD_NS
+
+
+def _occurs(element: XmlElement) -> tuple[int, int | None]:
+    min_occurs = int(element.attributes.get("minOccurs", "1"))
+    max_text = element.attributes.get("maxOccurs", "1")
+    max_occurs = None if max_text == "unbounded" else int(max_text)
+    return min_occurs, max_occurs
+
+
+def parse_schema(text: str) -> Schema:
+    """Parse an XSD document string into a :class:`Schema`."""
+    root = parse_xml(text)
+    scope = _Scope(root)
+    if _local(root.tag) != "schema":
+        raise SchemaError(f"expected an xsd:schema root, got {root.tag!r}")
+    schema = Schema(
+        target_namespace=root.attributes.get("targetNamespace", ""),
+        prefixes=dict(
+            [(name[len("xmlns:"):], value) for name, value in root.attributes.items() if name.startswith("xmlns:")]
+            + ([("", root.attributes["xmlns"])] if "xmlns" in root.attributes else [])
+        ),
+        element_form_default=root.attributes.get("elementFormDefault", "unqualified"),
+        attribute_form_default=root.attributes.get("attributeFormDefault", "unqualified"),
+        version=root.attributes.get("version"),
+    )
+    for child in root.element_children:
+        local = _local(child.tag)
+        if local == "import":
+            schema.imports.append(
+                ImportDecl(
+                    namespace=child.attributes.get("namespace", ""),
+                    schema_location=child.attributes.get("schemaLocation", ""),
+                )
+            )
+        elif local == "complexType":
+            schema.items.append(_parse_complex_type(child, scope))
+        elif local == "simpleType":
+            schema.items.append(_parse_simple_type(child, scope))
+        elif local == "element":
+            schema.items.append(_parse_element(child, scope, global_decl=True))
+        elif local == "annotation":
+            schema.annotation = _parse_annotation(child)
+        else:
+            raise SchemaError(f"unsupported top-level schema component {child.tag!r}")
+    return schema
+
+
+def _parse_annotation(node: XmlElement) -> Annotation:
+    entries: list[tuple[str, str]] = []
+    for documentation in node.element_children:
+        if _local(documentation.tag) != "documentation":
+            continue
+        for entry in documentation.element_children:
+            entries.append((_local(entry.tag), entry.text_content))
+        text = documentation.text_content.strip()
+        if text and not documentation.element_children:
+            entries.append(("Definition", text))
+    return Annotation(entries)
+
+
+def _pop_annotation(node: XmlElement) -> tuple[Annotation | None, list[XmlElement]]:
+    annotation = None
+    rest = []
+    for child in node.element_children:
+        if _local(child.tag) == "annotation":
+            annotation = _parse_annotation(child)
+        else:
+            rest.append(child)
+    return annotation, rest
+
+
+def _parse_element(node: XmlElement, scope: _Scope, global_decl: bool = False) -> ElementDecl:
+    annotation, _ = _pop_annotation(node)
+    min_occurs, max_occurs = (1, 1) if global_decl else _occurs(node)
+    ref_text = node.attributes.get("ref")
+    if ref_text is not None:
+        return ElementDecl(
+            ref=scope.resolve(ref_text),
+            min_occurs=min_occurs,
+            max_occurs=max_occurs,
+            annotation=annotation,
+        )
+    type_text = node.attributes.get("type")
+    return ElementDecl(
+        name=node.attributes["name"],
+        type=scope.resolve(type_text) if type_text is not None else None,
+        min_occurs=min_occurs,
+        max_occurs=max_occurs,
+        annotation=annotation,
+    )
+
+
+def _parse_attribute(node: XmlElement, scope: _Scope) -> AttributeDecl:
+    annotation, _ = _pop_annotation(node)
+    return AttributeDecl(
+        name=node.attributes["name"],
+        type=scope.resolve(node.attributes["type"]),
+        use=AttributeUse(node.attributes.get("use", "optional")),
+        annotation=annotation,
+    )
+
+
+def _parse_group(node: XmlElement, scope: _Scope) -> SequenceGroup | ChoiceGroup:
+    min_occurs, max_occurs = _occurs(node)
+    particles: list[ElementDecl | SequenceGroup | ChoiceGroup] = []
+    for child in node.element_children:
+        local = _local(child.tag)
+        if local == "element":
+            particles.append(_parse_element(child, scope))
+        elif local in ("sequence", "choice"):
+            particles.append(_parse_group(child, scope))
+        elif local == "annotation":
+            continue
+        else:
+            raise SchemaError(f"unsupported particle {child.tag!r}")
+    if _local(node.tag) == "sequence":
+        return SequenceGroup(particles, min_occurs, max_occurs)
+    return ChoiceGroup(particles, min_occurs, max_occurs)
+
+
+def _parse_facets(node: XmlElement) -> list[Facet]:
+    facets = []
+    for child in node.element_children:
+        local = _local(child.tag)
+        if local in ("attribute", "annotation"):
+            continue
+        facets.append(Facet(local, child.attributes.get("value", "")))
+    return facets
+
+
+def _parse_simple_content(node: XmlElement, scope: _Scope) -> SimpleContent:
+    for child in node.element_children:
+        derivation = _local(child.tag)
+        if derivation in ("extension", "restriction"):
+            attributes = [
+                _parse_attribute(attr, scope)
+                for attr in child.element_children
+                if _local(attr.tag) == "attribute"
+            ]
+            return SimpleContent(
+                base=scope.resolve(child.attributes["base"]),
+                derivation=derivation,
+                attributes=attributes,
+                facets=_parse_facets(child),
+            )
+    raise SchemaError("simpleContent without extension/restriction")
+
+
+def _parse_complex_type(node: XmlElement, scope: _Scope) -> ComplexType:
+    annotation, children = _pop_annotation(node)
+    complex_type = ComplexType(name=node.attributes["name"], annotation=annotation)
+    for child in children:
+        local = _local(child.tag)
+        if local in ("sequence", "choice"):
+            complex_type.particle = _parse_group(child, scope)
+        elif local == "simpleContent":
+            complex_type.simple_content = _parse_simple_content(child, scope)
+        elif local == "attribute":
+            complex_type.attributes.append(_parse_attribute(child, scope))
+        else:
+            raise SchemaError(f"unsupported complexType child {child.tag!r}")
+    return complex_type
+
+
+def _parse_simple_type(node: XmlElement, scope: _Scope) -> SimpleType:
+    annotation, children = _pop_annotation(node)
+    for child in children:
+        if _local(child.tag) == "restriction":
+            return SimpleType(
+                name=node.attributes["name"],
+                base=scope.resolve(child.attributes["base"]),
+                facets=_parse_facets(child),
+                annotation=annotation,
+            )
+    raise SchemaError(f"simpleType {node.attributes.get('name')!r} without restriction")

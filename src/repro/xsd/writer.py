@@ -1,0 +1,181 @@
+"""Serialize :class:`repro.xsd.components.Schema` trees to XSD text.
+
+Output mirrors the paper's Figures 6-8: namespace declarations on the root
+element (document prefix first), imports before type definitions, attribute
+order ``minOccurs maxOccurs name type`` on local elements with defaulted
+occurrence attributes omitted.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.ndr.annotations import CCTS_DOCUMENTATION_NS
+from repro.xmlutil.qname import QName
+from repro.xmlutil.writer import XmlElement, XmlWriter
+from repro.xsd.components import (
+    XSD_NS,
+    Annotation,
+    AttributeDecl,
+    ChoiceGroup,
+    ComplexType,
+    ElementDecl,
+    Schema,
+    SequenceGroup,
+    SimpleType,
+)
+
+#: Prefix used for the XML Schema namespace itself, as in the paper.
+XSD_PREFIX = "xsd"
+
+
+class _PrefixMap:
+    """Resolves QNames against the schema's declared prefixes."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._by_namespace: dict[str, str] = {}
+        for prefix, uri in schema.prefixes.items():
+            self._by_namespace.setdefault(uri, prefix)
+        self._by_namespace.setdefault(XSD_NS, XSD_PREFIX)
+        self._target = schema.target_namespace
+
+    def render(self, qname: QName) -> str:
+        prefix = self._by_namespace.get(qname.namespace)
+        if prefix is None:
+            raise SchemaError(
+                f"no prefix declared for namespace {qname.namespace!r} (needed by {qname.local!r})"
+            )
+        return f"{prefix}:{qname.local}"
+
+
+def schema_to_xml(schema: Schema) -> XmlElement:
+    """Build the ``xsd:schema`` element tree for ``schema``."""
+    prefixes = _PrefixMap(schema)
+    root = XmlElement(f"{XSD_PREFIX}:schema")
+    for prefix, uri in schema.prefixes.items():
+        if uri == XSD_NS:
+            continue  # the xsd binding is always emitted last, as in Figure 6
+        root.set(f"xmlns:{prefix}" if prefix else "xmlns", uri)
+    root.set("attributeFormDefault", schema.attribute_form_default)
+    root.set("elementFormDefault", schema.element_form_default)
+    root.set("targetNamespace", schema.target_namespace)
+    if schema.version is not None:
+        root.set("version", schema.version)
+    root.set(f"xmlns:{XSD_PREFIX}", XSD_NS)
+
+    if schema.annotation is not None and not schema.annotation.is_empty():
+        root.append(_annotation_to_xml(schema.annotation))
+    for import_decl in schema.imports:
+        root.add(
+            f"{XSD_PREFIX}:import",
+            {"schemaLocation": import_decl.schema_location, "namespace": import_decl.namespace},
+        )
+    for item in schema.items:
+        if isinstance(item, ComplexType):
+            root.append(_complex_type_to_xml(item, prefixes))
+        elif isinstance(item, SimpleType):
+            root.append(_simple_type_to_xml(item, prefixes))
+        elif isinstance(item, ElementDecl):
+            root.append(_element_to_xml(item, prefixes, global_decl=True))
+        else:  # pragma: no cover - the component model is closed
+            raise SchemaError(f"cannot serialize schema item {item!r}")
+    return root
+
+
+def schema_to_string(schema: Schema) -> str:
+    """Render ``schema`` as an XSD document string."""
+    return XmlWriter().to_string(schema_to_xml(schema))
+
+
+def _annotation_to_xml(annotation: Annotation) -> XmlElement:
+    node = XmlElement(f"{XSD_PREFIX}:annotation")
+    documentation = node.add(f"{XSD_PREFIX}:documentation")
+    for name, text in annotation.entries:
+        entry = documentation.add(f"ccts:{name}")
+        if text:
+            entry.text(text)
+    return node
+
+
+def _maybe_annotate(node: XmlElement, annotation: Annotation | None) -> None:
+    if annotation is not None and not annotation.is_empty():
+        node.append(_annotation_to_xml(annotation))
+
+
+def _element_to_xml(element: ElementDecl, prefixes: _PrefixMap, global_decl: bool = False) -> XmlElement:
+    node = XmlElement(f"{XSD_PREFIX}:element")
+    if not global_decl:
+        if element.min_occurs != 1:
+            node.set("minOccurs", str(element.min_occurs))
+        if element.max_occurs is None:
+            node.set("maxOccurs", "unbounded")
+        elif element.max_occurs != 1:
+            node.set("maxOccurs", str(element.max_occurs))
+    if element.is_ref:
+        node.set("ref", prefixes.render(element.ref))
+    else:
+        node.set("name", element.name)
+        if element.type is not None:
+            node.set("type", prefixes.render(element.type))
+    _maybe_annotate(node, element.annotation)
+    return node
+
+
+def _attribute_to_xml(attribute: AttributeDecl, prefixes: _PrefixMap) -> XmlElement:
+    node = XmlElement(f"{XSD_PREFIX}:attribute")
+    node.set("name", attribute.name)
+    node.set("type", prefixes.render(attribute.type))
+    node.set("use", attribute.use.value)
+    _maybe_annotate(node, attribute.annotation)
+    return node
+
+
+def _group_to_xml(group: SequenceGroup | ChoiceGroup, prefixes: _PrefixMap) -> XmlElement:
+    tag = "sequence" if isinstance(group, SequenceGroup) else "choice"
+    node = XmlElement(f"{XSD_PREFIX}:{tag}")
+    if group.min_occurs != 1:
+        node.set("minOccurs", str(group.min_occurs))
+    if group.max_occurs is None:
+        node.set("maxOccurs", "unbounded")
+    elif group.max_occurs != 1:
+        node.set("maxOccurs", str(group.max_occurs))
+    for particle in group.particles:
+        if isinstance(particle, ElementDecl):
+            node.append(_element_to_xml(particle, prefixes))
+        else:
+            node.append(_group_to_xml(particle, prefixes))
+    return node
+
+
+def _complex_type_to_xml(complex_type: ComplexType, prefixes: _PrefixMap) -> XmlElement:
+    node = XmlElement(f"{XSD_PREFIX}:complexType")
+    node.set("name", complex_type.name)
+    _maybe_annotate(node, complex_type.annotation)
+    if complex_type.simple_content is not None:
+        content = node.add(f"{XSD_PREFIX}:simpleContent")
+        derivation = content.add(
+            f"{XSD_PREFIX}:{complex_type.simple_content.derivation}",
+            {"base": prefixes.render(complex_type.simple_content.base)},
+        )
+        for facet in complex_type.simple_content.facets:
+            derivation.add(f"{XSD_PREFIX}:{facet.kind}", {"value": facet.value})
+        for attribute in complex_type.simple_content.attributes:
+            derivation.append(_attribute_to_xml(attribute, prefixes))
+    elif complex_type.particle is not None:
+        node.append(_group_to_xml(complex_type.particle, prefixes))
+    for attribute in complex_type.attributes:
+        node.append(_attribute_to_xml(attribute, prefixes))
+    return node
+
+
+def _simple_type_to_xml(simple_type: SimpleType, prefixes: _PrefixMap) -> XmlElement:
+    node = XmlElement(f"{XSD_PREFIX}:simpleType")
+    node.set("name", simple_type.name)
+    _maybe_annotate(node, simple_type.annotation)
+    restriction = node.add(f"{XSD_PREFIX}:restriction", {"base": prefixes.render(simple_type.base)})
+    for facet in simple_type.facets:
+        restriction.add(f"{XSD_PREFIX}:{facet.kind}", {"value": facet.value})
+    return node
+
+
+# Schemas that annotate must declare the ccts prefix; exported for reuse.
+CCTS_PREFIX_BINDING = ("ccts", CCTS_DOCUMENTATION_NS)

@@ -1,0 +1,37 @@
+"""The XSD generator: UPCC model -> XML schemas per the NDR.
+
+This is the paper's section-4 contribution.  The entry point is
+:class:`SchemaGenerator`; one call generates the schema for a chosen
+library plus -- transitively -- a schema for every library it references
+("Relevant schemas are automatically generated and imported for every
+element defined in a different package and used in the DOCLibrary").
+
+Per-library generation rules live in their own modules, one per Figure of
+the paper:
+
+* :mod:`repro.xsdgen.doc_library` (Figure 6) and
+  :mod:`repro.xsdgen.bie_library` (Figure 7) -- ABIE complex types, ASBIE
+  compound names, composition-inline vs shared-aggregation global+ref,
+* :mod:`repro.xsdgen.cdt_library` (Figure 8) -- simpleContent extension
+  with supplementary-component attributes,
+* :mod:`repro.xsdgen.qdt_library` -- enum-restricted extension or
+  CDT restriction,
+* :mod:`repro.xsdgen.enum_library` -- token-based enumeration simple types.
+"""
+
+from repro.xsdgen.docgen import document_schemas, write_documentation
+from repro.xsdgen.generator import GeneratedSchema, GenerationResult, SchemaGenerator
+from repro.xsdgen.primitives import builtin_for_primitive_name, builtin_or_string
+from repro.xsdgen.session import GenerationOptions, GenerationSession
+
+__all__ = [
+    "GeneratedSchema",
+    "GenerationOptions",
+    "GenerationResult",
+    "GenerationSession",
+    "SchemaGenerator",
+    "builtin_for_primitive_name",
+    "builtin_or_string",
+    "document_schemas",
+    "write_documentation",
+]

@@ -1,0 +1,106 @@
+"""Shared ABIE-to-complexType translation for DOC and BIE libraries.
+
+Implements the core rules of the paper's section 4.1:
+
+* "For every aggregate business information entity a complexType is defined
+  which is named after the business entity plus a Type postfix" -- a
+  sequence of the BBIE elements first, then the ASBIE elements;
+* BBIE data types and multiplicities are "taken according to the definition
+  in the UML model and transferred into the XML schema";
+* ASBIE names are compound (role + target ABIE name), the type is the
+  target ABIE's type, multiplicities come from the aggregation;
+* an ASBIE connected by *shared aggregation* is "first declared globally
+  and then referenced" (Figure 7), while composition-connected ASBIEs are
+  typed inline (Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ccts.bie import Abie
+from repro.ndr.names import asbie_element_name, bbie_element_name, complex_type_name
+from repro.uml.association import AggregationKind
+from repro.xsd.components import ComplexType, ElementDecl, SequenceGroup
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xsdgen.generator import SchemaBuilder
+
+
+def build_abie_complex_type(
+    builder: "SchemaBuilder", abie: Abie
+) -> tuple[list[ElementDecl], ComplexType]:
+    """Translate one ABIE; returns (global element declarations, complexType)."""
+    sequence = SequenceGroup()
+    global_elements: list[ElementDecl] = []
+
+    for bbie in abie.bbies:
+        data_type = bbie.data_type
+        if data_type is None:
+            builder.generator.session.fail(
+                f"BBIE {abie.name}.{bbie.name} has no CDT/QDT type; cannot generate an element"
+            )
+        type_library = builder.generator.library_of(data_type)
+        type_qname = builder.qname_in(type_library, complex_type_name(data_type.name))
+        sequence.particles.append(
+            ElementDecl(
+                name=bbie_element_name(bbie.name),
+                type=type_qname,
+                min_occurs=bbie.multiplicity.lower,
+                max_occurs=bbie.multiplicity.upper,
+                annotation=builder.annotation_for(bbie, "BBIE", bbie.den()),
+            )
+        )
+
+    for asbie in abie.asbies:
+        target = asbie.target
+        target_library = builder.generator.library_of(target)
+        type_qname = builder.qname_in(target_library, complex_type_name(target.name))
+        element_name = asbie_element_name(asbie.role, target.name)
+        as_ref = (
+            asbie.aggregation is AggregationKind.SHARED
+            and builder.generator.options.shared_aggregation_as_ref
+        )
+        if as_ref:
+            if not any(g.name == element_name for g in global_elements):
+                global_elements.append(
+                    ElementDecl(
+                        name=element_name,
+                        type=type_qname,
+                        annotation=builder.annotation_for(asbie, "ASBIE", asbie.den()),
+                    )
+                )
+            sequence.particles.append(
+                ElementDecl(
+                    ref=builder.own_qname(element_name),
+                    min_occurs=asbie.multiplicity.lower,
+                    max_occurs=asbie.multiplicity.upper,
+                )
+            )
+        else:
+            sequence.particles.append(
+                ElementDecl(
+                    name=element_name,
+                    type=type_qname,
+                    min_occurs=asbie.multiplicity.lower,
+                    max_occurs=asbie.multiplicity.upper,
+                    annotation=builder.annotation_for(asbie, "ASBIE", asbie.den()),
+                )
+            )
+
+    complex_type = ComplexType(
+        name=complex_type_name(abie.name),
+        particle=sequence,
+        annotation=builder.annotation_for(abie, "ABIE", abie.den()),
+    )
+    return global_elements, complex_type
+
+
+def append_abie(builder: "SchemaBuilder", abie: Abie) -> None:
+    """Append an ABIE's globals-then-complexType to the schema (Figure-7 order)."""
+    global_elements, complex_type = build_abie_complex_type(builder, abie)
+    existing_globals = {item.name for item in builder.schema.global_elements}
+    for element in global_elements:
+        if element.name not in existing_globals:
+            builder.schema.items.append(element)
+    builder.schema.items.append(complex_type)

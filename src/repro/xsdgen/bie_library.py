@@ -1,0 +1,27 @@
+"""BIELibrary schema generation (the paper's Figure 7).
+
+"The generation of a schema from a BIELibrary follows the same principle as
+the generation of a DOCLibrary schema" -- every ABIE of the library gets a
+complexType; shared-aggregation ASBIEs become global elements plus ``ref``
+(Figure 7's ``AssignedAddress``); imports are added for ABIEs and data
+types defined in other libraries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ccts.libraries import BieLibrary
+from repro.xsdgen.abie_types import append_abie
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xsdgen.generator import SchemaBuilder
+
+
+def build(builder: "SchemaBuilder") -> None:
+    """Populate the builder's schema for a BIELibrary."""
+    library = builder.library
+    assert isinstance(library, BieLibrary)
+    for abie in library.abies:
+        builder.generator.session.status(f"Processing ABIE {abie.name!r}")
+        append_abie(builder, abie)

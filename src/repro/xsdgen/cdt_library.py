@@ -1,0 +1,79 @@
+"""CDTLibrary schema generation (the paper's Figure 8).
+
+"A core data type is defined as complexType in XML.  However, it does not
+contain a sequence of elements but a simpleContent element whose extension
+base is the data type specified in the content component of the core data
+type. ... The supplementary components are defined as attributes of the
+complexType.  The data type of an attribute and its multiplicity is again
+retrieved from the definition in the UML model."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ccts.data_types import CoreDataType
+from repro.ccts.libraries import CdtLibrary
+from repro.ndr.names import attribute_name, complex_type_name, enum_simple_type_name
+from repro.uml.classifier import Classifier, Enumeration
+from repro.xmlutil.qname import QName
+from repro.xsd.components import AttributeDecl, AttributeUse, ComplexType, SimpleContent
+from repro.xsdgen.primitives import builtin_or_string
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xsdgen.generator import SchemaBuilder
+
+
+def component_type_qname(builder: "SchemaBuilder", type_: Classifier) -> QName:
+    """The XSD type for a CON/SUP component: built-in or imported ENUM type."""
+    if isinstance(type_, Enumeration):
+        from repro.ccts.data_types import EnumerationType
+
+        enum_wrapper = EnumerationType(type_, builder.generator.model.model)
+        enum_library = builder.generator.library_of(enum_wrapper)
+        return builder.qname_in(enum_library, enum_simple_type_name(type_.name))
+    return builtin_or_string(type_.name)
+
+
+def supplementary_attributes(builder: "SchemaBuilder", data_type: CoreDataType) -> list[AttributeDecl]:
+    """Attribute declarations for a data type's supplementary components."""
+    attributes = []
+    for sup in data_type.supplementary_components:
+        type_ = sup.element.type
+        if type_ is None:
+            builder.generator.session.fail(
+                f"supplementary component {data_type.name}.{sup.name} has no type"
+            )
+        use = AttributeUse.REQUIRED if sup.multiplicity.lower >= 1 else AttributeUse.OPTIONAL
+        attributes.append(
+            AttributeDecl(
+                name=attribute_name(sup.name),
+                type=component_type_qname(builder, type_),
+                use=use,
+                annotation=builder.annotation_for(sup, "SUP"),
+            )
+        )
+    return attributes
+
+
+def build(builder: "SchemaBuilder") -> None:
+    """Populate the builder's schema for a CDTLibrary."""
+    library = builder.library
+    assert isinstance(library, CdtLibrary)
+    session = builder.generator.session
+    for cdt in library.cdts:
+        session.status(f"Processing CDT {cdt.name!r}")
+        content = cdt.content_component
+        if content is None or content.element.type is None:
+            session.fail(f"CDT {cdt.name!r} has no typed content component")
+        builder.schema.items.append(
+            ComplexType(
+                name=complex_type_name(cdt.name),
+                simple_content=SimpleContent(
+                    base=component_type_qname(builder, content.element.type),
+                    derivation="extension",
+                    attributes=supplementary_attributes(builder, cdt),
+                ),
+                annotation=builder.annotation_for(cdt, "CDT", cdt.name),
+            )
+        )

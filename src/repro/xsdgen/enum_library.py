@@ -1,0 +1,46 @@
+"""ENUMLibrary schema generation.
+
+"For every element stereotyped as ENUM in an ENUMLibrary a simpleType is
+created.  The simpleType contains a restriction with base xsd:token.  The
+values are then defined in enumeration tags."
+
+The enumerated values are the literal *names* (the codes: ``USA``,
+``AUT``); the display values (``United States of America``) go into the
+CCTS annotation when annotations are enabled.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ccts.libraries import EnumLibrary
+from repro.ndr.names import enum_simple_type_name
+from repro.xmlutil.qname import QName
+from repro.xsd.components import XSD_NS, Annotation, Facet, SimpleType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xsdgen.generator import SchemaBuilder
+
+
+def build(builder: "SchemaBuilder") -> None:
+    """Populate the builder's schema for an ENUMLibrary."""
+    library = builder.library
+    assert isinstance(library, EnumLibrary)
+    for enum in library.enumerations:
+        builder.generator.session.status(f"Processing ENUM {enum.name!r}")
+        annotation = builder.annotation_for(enum, "ENUM", enum.name)
+        if annotation is not None:
+            code_names = [
+                ("CodeName", f"{literal.name}: {literal.value}")
+                for literal in enum.literals
+                if literal.value and literal.value != literal.name
+            ]
+            annotation = Annotation(annotation.entries + code_names)
+        builder.schema.items.append(
+            SimpleType(
+                name=enum_simple_type_name(enum.name),
+                base=QName(XSD_NS, "token"),
+                facets=[Facet("enumeration", literal.name) for literal in enum.literals],
+                annotation=annotation,
+            )
+        )

@@ -1,0 +1,270 @@
+"""The generation orchestrator.
+
+:class:`SchemaGenerator` walks the library dependency graph, memoizes one
+schema per library, and resolves cross-library type references into imports
+with NDR-conformant prefixes.  :class:`SchemaBuilder` is the per-document
+working context the library builders write into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.ccts.base import ElementWrapper
+from repro.ccts.libraries import Library
+from repro.ccts.model import CctsModel
+from repro.errors import GenerationError
+from repro.ndr.annotations import CCTS_DOCUMENTATION_NS, annotation_entries_for
+from repro.ndr.namespaces import LibraryNamespace, NamespacePolicy, PrefixAllocator, prefix_stem
+from repro.profile import (
+    BIE_LIBRARY,
+    CDT_LIBRARY,
+    DOC_LIBRARY,
+    ENUM_LIBRARY,
+    PRIM_LIBRARY,
+    QDT_LIBRARY,
+)
+from repro.xmlutil.qname import QName
+from repro.xsd.components import Annotation, ImportDecl, Schema
+from repro.xsd.validator import SchemaSet
+from repro.xsd.writer import schema_to_string
+from repro.xsdgen.session import GenerationOptions, GenerationSession
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ccts.bie import Abie
+
+
+@dataclass
+class GeneratedSchema:
+    """One generated schema document plus its namespace facts."""
+
+    library: Library
+    namespace: LibraryNamespace
+    schema: Schema
+
+    def to_string(self) -> str:
+        """Render the schema document."""
+        return schema_to_string(self.schema)
+
+
+@dataclass
+class GenerationResult:
+    """All schemas produced by one generation run, keyed by namespace URN."""
+
+    schemas: dict[str, GeneratedSchema] = field(default_factory=dict)
+    session: GenerationSession = field(default_factory=GenerationSession)
+    root_namespace: str | None = None
+
+    @property
+    def root(self) -> GeneratedSchema:
+        """The schema generated for the library the run started from."""
+        if self.root_namespace is None:
+            raise GenerationError("generation produced no root schema")
+        return self.schemas[self.root_namespace]
+
+    def schema_set(self) -> SchemaSet:
+        """All generated schemas as a validator-ready :class:`SchemaSet`."""
+        return SchemaSet([generated.schema for generated in self.schemas.values()])
+
+    def write_to(self, directory: str | Path) -> list[Path]:
+        """Write every schema into ``directory`` using the NDR folder layout.
+
+        Each schema lands in ``{underscored-baseURN}/{file}.xsd`` so that the
+        relative ``../folder/file`` schemaLocations of the imports resolve.
+        Returns the written paths in namespace order.
+        """
+        directory = Path(directory)
+        written: list[Path] = []
+        for urn in sorted(self.schemas):
+            generated = self.schemas[urn]
+            folder = directory / generated.namespace.folder
+            folder.mkdir(parents=True, exist_ok=True)
+            path = folder / generated.namespace.file_name
+            path.write_text(generated.to_string(), encoding="utf-8")
+            written.append(path)
+        return written
+
+
+class SchemaBuilder:
+    """Per-document context: the schema plus prefix/import management."""
+
+    def __init__(self, generator: "SchemaGenerator", library: Library) -> None:
+        self.generator = generator
+        self.library = library
+        self.namespace = generator.policy.namespace_for(library)
+        self.allocator = PrefixAllocator()
+        self_prefix = library.namespace_prefix or prefix_stem(library.stereotype)
+        self.allocator.reserve(self_prefix, self.namespace.urn)
+        self.schema = Schema(
+            target_namespace=self.namespace.urn,
+            prefixes={self_prefix: self.namespace.urn},
+            version=library.library_version,
+        )
+        self._imported: set[str] = set()
+        # Figure 6 line 1 declares xmlns:ccts even with annotations omitted:
+        # the add-in always binds the CCTS documentation namespace.
+        self._bind_ccts_prefix()
+
+    def _bind_ccts_prefix(self) -> None:
+        if "ccts" not in self.schema.prefixes:
+            self.schema.prefixes["ccts"] = CCTS_DOCUMENTATION_NS
+            self.allocator.reserve("ccts", CCTS_DOCUMENTATION_NS)
+
+    # -- cross-library references ------------------------------------------------
+
+    def qname_in(self, library: Library, local_name: str) -> QName:
+        """A QName for ``local_name`` defined by ``library``'s schema.
+
+        When the library is not the one being generated, its schema is
+        (transitively) generated, an import is recorded and a prefix bound.
+        """
+        if library.element is self.library.element:
+            return QName(self.namespace.urn, local_name)
+        generated = self.generator.ensure_library(library)
+        if generated.namespace.urn not in self._imported:
+            self._imported.add(generated.namespace.urn)
+            self.schema.imports.append(
+                ImportDecl(generated.namespace.urn, generated.namespace.location)
+            )
+            prefix = self.allocator.allocate(generated.namespace)
+            self.schema.prefixes[prefix] = generated.namespace.urn
+            self.generator.session.status(
+                f"Imported {generated.namespace.urn} as prefix "
+                f"{self.schema.prefix_for(generated.namespace.urn)!r}"
+            )
+        return QName(generated.namespace.urn, local_name)
+
+    def own_qname(self, local_name: str) -> QName:
+        """A QName in the schema being generated."""
+        return QName(self.namespace.urn, local_name)
+
+    # -- annotations -----------------------------------------------------------------
+
+    def annotation_for(self, wrapper: ElementWrapper, acronym: str, den: str | None = None) -> Annotation | None:
+        """A CCTS annotation block, or None when annotations are off."""
+        if not self.generator.options.annotated:
+            return None
+        self._bind_ccts_prefix()
+        return Annotation(annotation_entries_for(wrapper, acronym, den))
+
+
+class SchemaGenerator:
+    """Generates NDR-conformant schemas from a core-components model."""
+
+    def __init__(self, model: CctsModel, options: GenerationOptions | None = None) -> None:
+        self.model = model
+        self.options = options or GenerationOptions()
+        self.policy = NamespacePolicy(include_version_in_urn=self.options.include_version_in_urn)
+        self.session = GenerationSession()
+        self._generated: dict[int, GeneratedSchema] = {}
+        self._in_progress: set[int] = set()
+
+    # -- public API -----------------------------------------------------------------
+
+    def generate(self, library: Library | str, root: "Abie | str | None" = None) -> GenerationResult:
+        """Generate the schema for ``library`` plus everything it imports.
+
+        ``library`` may be a wrapper or a library name; ``root`` selects the
+        DOCLibrary root element (required for DOC libraries with more than
+        one ABIE, mirroring the Figure-5 dialog).
+        """
+        if isinstance(library, str):
+            library = self.model.library_named(library)
+        if self.options.validate_first:
+            self._validate_first()
+        self.session.status(f"Generating schema for {library.stereotype} {library.name!r}")
+        with self.model.model.indexed():
+            generated = self.ensure_library(library, root)
+        result = GenerationResult(
+            schemas={g.namespace.urn: g for g in self._generated.values()},
+            session=self.session,
+            root_namespace=generated.namespace.urn,
+        )
+        self.session.status(f"Generation finished: {len(result.schemas)} schema(s)")
+        if self.options.target_directory is not None:
+            paths = result.write_to(self.options.target_directory)
+            self.session.status(f"Wrote {len(paths)} schema file(s) to {self.options.target_directory}")
+        return result
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _validate_first(self) -> None:
+        from repro.validation.engine import validate_model
+
+        report = validate_model(self.model, basic_only=True)
+        for warning in report.warnings:
+            self.session.status(f"WARNING: {warning.message}")
+        if not report.ok:
+            details = "; ".join(str(error) for error in report.errors[:5])
+            self.session.fail(
+                f"the UML model is erroneous ({len(report.errors)} error(s)): {details}"
+            )
+
+    def ensure_library(self, library: Library, root: "Abie | str | None" = None) -> GeneratedSchema:
+        """Generate (memoized) the schema of one library.
+
+        Cyclic library references are legal: the namespace facts needed by
+        importers are computed before the schema body, so re-entrant calls
+        return the in-progress entry.
+        """
+        key = id(library.element)
+        existing = self._generated.get(key)
+        if existing is not None:
+            return existing
+        if key in self._in_progress:
+            # Cycle: hand back namespace facts with a placeholder schema.
+            namespace = self.policy.namespace_for(library)
+            placeholder = GeneratedSchema(library, namespace, Schema(namespace.urn))
+            self._generated[key] = placeholder
+            return placeholder
+        self._in_progress.add(key)
+        try:
+            generated = self._build(library, root)
+        finally:
+            self._in_progress.discard(key)
+        # A cycle may have installed a placeholder; replace its schema body.
+        placeholder = self._generated.get(key)
+        if placeholder is not None:
+            placeholder.schema = generated.schema
+            generated = placeholder
+        else:
+            self._generated[key] = generated
+        return generated
+
+    def _build(self, library: Library, root: "Abie | str | None") -> GeneratedSchema:
+        from repro.xsdgen import bie_library, cdt_library, doc_library, enum_library, qdt_library
+
+        stereotype = library.stereotype
+        if stereotype == PRIM_LIBRARY:
+            self.session.fail(
+                f"no schema generation mechanism is implemented for PRIMLibraries "
+                f"({library.name!r}); XSD built-in types are used instead"
+            )
+        builder = SchemaBuilder(self, library)
+        self.session.status(f"Building {stereotype} schema {builder.namespace.urn}")
+        if stereotype == DOC_LIBRARY:
+            doc_library.build(builder, root)
+        elif stereotype == BIE_LIBRARY:
+            bie_library.build(builder)
+        elif stereotype == CDT_LIBRARY:
+            cdt_library.build(builder)
+        elif stereotype == QDT_LIBRARY:
+            qdt_library.build(builder)
+        elif stereotype == ENUM_LIBRARY:
+            enum_library.build(builder)
+        else:
+            self.session.fail(f"cannot generate a schema for library stereotype {stereotype!r}")
+        return GeneratedSchema(library, builder.namespace, builder.schema)
+
+    def library_of(self, wrapper: ElementWrapper) -> Library:
+        """The library owning a wrapped element (error when homeless)."""
+        library = self.model.owning_library_of(wrapper)
+        if library is None:
+            raise GenerationError(
+                f"element {wrapper.name!r} is not owned by any library; "
+                f"cannot determine its schema"
+            )
+        return library
+

@@ -1,0 +1,92 @@
+"""QDTLibrary schema generation.
+
+"A schema generated from a QDTLibrary looks very similar to a schema
+generated from a CDTLibrary.  Again, the data type specified in the content
+component determines the base for the extension.  If an enumeration is used
+to restrict the possible values for the content component, the complexType
+of the enumeration is used for the restriction.  In case the content
+component has no enumeration assigned to it, the complexType of the
+underlying core data type is used for the restriction."
+
+Concretely:
+
+* **enum-restricted content** -> ``simpleContent/extension`` whose base is
+  the enumeration's simpleType (imported from the ENUMLibrary schema), plus
+  the kept supplementary components as attributes;
+* **no enumeration** -> ``simpleContent/restriction`` whose base is the
+  underlying CDT's complexType (imported from the CDTLibrary schema); kept
+  supplementary components are re-declared, dropped ones are explicitly
+  prohibited -- making the schema-level derivation an honest restriction of
+  the CDT, mirroring the model-level derivation-by-restriction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ccts.libraries import QdtLibrary
+from repro.ndr.names import attribute_name, complex_type_name
+from repro.xsd.components import AttributeDecl, AttributeUse, ComplexType, SimpleContent
+from repro.xsdgen.cdt_library import component_type_qname, supplementary_attributes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xsdgen.generator import SchemaBuilder
+
+
+def build(builder: "SchemaBuilder") -> None:
+    """Populate the builder's schema for a QDTLibrary."""
+    library = builder.library
+    assert isinstance(library, QdtLibrary)
+    session = builder.generator.session
+    for qdt in library.qdts:
+        session.status(f"Processing QDT {qdt.name!r}")
+        content = qdt.content_component
+        if content is None or content.element.type is None:
+            session.fail(f"QDT {qdt.name!r} has no typed content component")
+        base_cdt = qdt.based_on
+        if base_cdt is None:
+            session.fail(f"QDT {qdt.name!r} has no basedOn dependency to a CDT")
+        enum = qdt.content_enum
+        attributes = supplementary_attributes(builder, qdt)
+        if enum is not None:
+            simple_content = SimpleContent(
+                base=component_type_qname(builder, enum.element),
+                derivation="extension",
+                attributes=attributes,
+            )
+        else:
+            cdt_library = builder.generator.library_of(base_cdt)
+            base_qname = builder.qname_in(cdt_library, complex_type_name(base_cdt.name))
+            kept = {sup.name for sup in qdt.supplementary_components}
+            dropped: list[AttributeDecl] = []
+            for sup in base_cdt.supplementary_components:
+                if sup.name in kept or sup.element.type is None:
+                    continue
+                if sup.multiplicity.lower >= 1:
+                    # XSD forbids prohibiting a required attribute in a
+                    # restriction; the inherited (required) declaration stays.
+                    session.status(
+                        f"WARNING: QDT {qdt.name!r} drops required supplementary "
+                        f"{sup.name!r} of CDT {base_cdt.name!r}; XSD restriction cannot "
+                        f"remove it, instances must still carry it"
+                    )
+                    continue
+                dropped.append(
+                    AttributeDecl(
+                        name=attribute_name(sup.name),
+                        type=component_type_qname(builder, sup.element.type),
+                        use=AttributeUse.PROHIBITED,
+                    )
+                )
+            simple_content = SimpleContent(
+                base=base_qname,
+                derivation="restriction",
+                attributes=attributes + dropped,
+            )
+        builder.schema.items.append(
+            ComplexType(
+                name=complex_type_name(qdt.name),
+                simple_content=simple_content,
+                annotation=builder.annotation_for(qdt, "QDT", qdt.name),
+            )
+        )

@@ -1,0 +1,41 @@
+"""Shared fixtures: catalog models and generated schema sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.easybiz import build_easybiz_model
+from repro.catalog.ecommerce import build_ecommerce_model
+from repro.catalog.figure1 import build_figure1_model
+from repro.xsdgen import GenerationOptions, SchemaGenerator
+
+
+@pytest.fixture
+def figure1():
+    """A fresh Figure-1 model."""
+    return build_figure1_model()
+
+
+@pytest.fixture
+def easybiz():
+    """A fresh Figure-4 EasyBiz model."""
+    return build_easybiz_model()
+
+
+@pytest.fixture
+def ecommerce():
+    """A fresh purchase-order model."""
+    return build_ecommerce_model()
+
+
+@pytest.fixture
+def easybiz_result(easybiz):
+    """The schemas generated from the EasyBiz DOCLibrary (Figure 6 run)."""
+    generator = SchemaGenerator(easybiz.model, GenerationOptions())
+    return generator.generate(easybiz.doc_library, root="HoardingPermit")
+
+
+@pytest.fixture
+def easybiz_schema_set(easybiz_result):
+    """The EasyBiz schemas as a validator-ready SchemaSet."""
+    return easybiz_result.schema_set()

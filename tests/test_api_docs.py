@@ -1,0 +1,35 @@
+"""docs/api.md must stay in sync with the code's docstrings."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_api_reference_is_current():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import gen_api_docs
+
+        generated = gen_api_docs.generate()
+    finally:
+        sys.path.pop(0)
+    committed = (ROOT / "docs" / "api.md").read_text(encoding="utf-8")
+    assert committed == generated, (
+        "docs/api.md is stale; regenerate with `python tools/gen_api_docs.py`"
+    )
+
+
+def test_every_subpackage_is_covered():
+    text = (ROOT / "docs" / "api.md").read_text(encoding="utf-8")
+    assert "## Not covered above" not in text
+
+
+def test_generator_runs_as_script(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_api_docs.py")],
+        capture_output=True, text=True, cwd=ROOT,
+    )
+    assert result.returncode == 0
+    assert "wrote" in result.stdout

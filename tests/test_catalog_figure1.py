@@ -1,0 +1,59 @@
+"""Figure 1 / sections 2.1-2.2: the derived element sets, verbatim."""
+
+from repro.catalog.figure1 import (
+    PAPER_PERSON_SET,
+    PAPER_US_PERSON_SET,
+    build_figure1_model,
+)
+from repro.validation import validate_model
+
+
+class TestPaperElementSets:
+    def test_person_acc_set_matches_section_21(self, figure1):
+        assert figure1.person.component_set() == PAPER_PERSON_SET
+
+    def test_us_person_abie_set_matches_section_22(self, figure1):
+        assert figure1.us_person.component_set() == PAPER_US_PERSON_SET
+
+    def test_paper_constants_are_the_published_lists(self):
+        assert PAPER_PERSON_SET[0] == "Person (ACC)"
+        assert PAPER_PERSON_SET[-1] == "Person.Work.Address (ASCC)"
+        assert PAPER_US_PERSON_SET[-1] == "US_Person.US_Work.US_Address (ASBIE)"
+
+
+class TestRestriction:
+    def test_us_address_misses_country(self, figure1):
+        # "Please note that US_Address is missing the attribute Country."
+        assert [b.name for b in figure1.address.bccs] == ["Country", "PostalCode", "Street"]
+        assert [b.name for b in figure1.us_address.bbies] == ["PostalCode", "Street"]
+
+    def test_based_on_dependencies_drawn(self, figure1):
+        assert figure1.us_person.based_on.element is figure1.person.element
+        assert figure1.us_address.based_on.element is figure1.address.element
+
+    def test_asbies_are_based_on_asccs(self, figure1):
+        private = figure1.us_person.asbie("US_Private")
+        assert private.based_on.element is figure1.person.ascc("Private").element
+
+    def test_aggregation_kinds_mirror_core(self, figure1):
+        from repro.uml.association import AggregationKind
+
+        assert figure1.us_person.asbie("US_Private").aggregation is AggregationKind.COMPOSITE
+        assert figure1.us_person.asbie("US_Work").aggregation is AggregationKind.SHARED
+
+
+class TestModelHealth:
+    def test_model_validates_clean(self, figure1):
+        report = validate_model(figure1.model)
+        assert report.ok
+
+    def test_builds_are_independent(self):
+        first = build_figure1_model()
+        second = build_figure1_model()
+        assert first.model.model is not second.model.model
+        first.person.add_bcc("Mutation", first.cdt_library.cdt("Text"))
+        assert len(second.person.bccs) == 2
+
+    def test_dens(self, figure1):
+        assert figure1.us_person.den() == "US_ Person. Details"
+        assert figure1.person.bcc("DateofBirth").den() == "Person. Dateof Birth. Date"

@@ -1,0 +1,164 @@
+"""Unit tests for context-driven entity resolution."""
+
+import pytest
+
+from repro.ccts.assembly import ContextRegistry
+from repro.ccts.context import BusinessContext
+from repro.ccts.derivation import derive_abie
+from repro.errors import CctsError
+
+
+@pytest.fixture
+def world(figure1):
+    registry = ContextRegistry(figure1.model)
+    return figure1, registry
+
+
+US = BusinessContext.build("US", geopolitical="US")
+US_RETAIL = BusinessContext.build("US retail", geopolitical="US", industry_classification="Retail")
+AT = BusinessContext.build("AT", geopolitical="AT")
+ANY = BusinessContext()
+
+
+class TestRegistration:
+    def test_register_and_list(self, world):
+        figure1, registry = world
+        registry.register(figure1.us_person, US)
+        entities = registry.entities_of(figure1.person)
+        assert [(abie.name, str(ctx)) for abie, ctx in entities] == [("US_Person", "US")]
+
+    def test_registration_stamps_tagged_value(self, world):
+        figure1, registry = world
+        registry.register(figure1.us_person, US)
+        assert figure1.us_person.business_context == "US"
+
+    def test_duplicate_context_rejected(self, world):
+        figure1, registry = world
+        registry.register(figure1.us_person, US)
+        other = derive_abie(figure1.bie_library, figure1.person, qualifier="USX").abie
+        with pytest.raises(CctsError, match="already has an entity"):
+            registry.register(other, US)
+
+    def test_orphan_abie_rejected(self, world):
+        figure1, registry = world
+        loner = figure1.bie_library.add_abie("Loner")
+        with pytest.raises(CctsError, match="not based on"):
+            registry.register(loner, US)
+
+    def test_register_all_unqualified(self, easybiz):
+        registry = ContextRegistry(easybiz.model)
+        count = registry.register_all_unqualified()
+        assert count == len(easybiz.model.abies())
+        permit = registry.resolve(easybiz.model.acc("HoardingPermit"), ANY)
+        assert permit.name == "HoardingPermit"
+
+
+class TestResolution:
+    def test_exact_context(self, world):
+        figure1, registry = world
+        registry.register(figure1.us_person, US)
+        assert registry.resolve(figure1.person, US).name == "US_Person"
+
+    def test_subcontext_matches(self, world):
+        figure1, registry = world
+        registry.register(figure1.us_person, US)
+        assert registry.resolve(figure1.person, US_RETAIL).name == "US_Person"
+
+    def test_most_specific_wins(self, world):
+        figure1, registry = world
+        registry.register(figure1.us_person, US)
+        retail = derive_abie(figure1.bie_library, figure1.person, qualifier="USRetail").abie
+        registry.register(retail, US_RETAIL)
+        assert registry.resolve(figure1.person, US_RETAIL).name == "USRetail_Person"
+        assert registry.resolve(figure1.person, US).name == "US_Person"
+
+    def test_default_entity_for_unmatched_context(self, world):
+        figure1, registry = world
+        registry.register(figure1.us_person, US)
+        generic = derive_abie(figure1.bie_library, figure1.person, qualifier="Generic").abie
+        registry.register(generic, ANY)
+        assert registry.resolve(figure1.person, AT).name == "Generic_Person"
+
+    def test_no_candidate_raises(self, world):
+        figure1, registry = world
+        registry.register(figure1.us_person, US)
+        with pytest.raises(CctsError, match="no business information entity"):
+            registry.resolve(figure1.person, AT)
+
+    def test_ambiguity_raises(self, world):
+        figure1, registry = world
+        registry.register(figure1.us_person, US)
+        ambiguous = derive_abie(figure1.bie_library, figure1.person, qualifier="Fed").abie
+        registry.register(
+            ambiguous, BusinessContext.build("US official", official_constraints="Federal")
+        )
+        with pytest.raises(CctsError, match="ambiguous"):
+            registry.resolve(
+                figure1.person,
+                BusinessContext.build(geopolitical="US", official_constraints="Federal"),
+            )
+
+
+class TestDocumentAssembly:
+    def _world(self):
+        from repro.catalog.primitives import add_standard_prim_library
+        from repro.ccts.assembly import assemble_document
+        from repro.ccts.derivation import derive_abie
+        from repro.ccts.model import CctsModel
+        from repro.ccts.assembly import ContextRegistry
+
+        model = CctsModel("Assembly")
+        business = model.add_business_library("B", "urn:assembly")
+        prims = add_standard_prim_library(business)
+        string = prims.primitive("String").element
+        cdts = business.add_cdt_library("Cdts")
+        text = cdts.add_cdt("Text")
+        text.set_content(string)
+        ccs = business.add_cc_library("Ccs")
+        address = ccs.add_acc("Address")
+        address.add_bcc("Street", text, "0..1")
+        address.add_bcc("State", text, "0..1")
+        address.add_bcc("Province", text, "0..1")
+        order = ccs.add_acc("Order")
+        order.add_bcc("Identification", text, "1")
+        order.add_ascc("Delivery", address, "0..1")
+        bies = business.add_bie_library("Bies")
+        us_address = derive_abie(bies, address, qualifier="US")
+        us_address.include("Street", "0..1")
+        us_address.include("State", "0..1")
+        at_address = derive_abie(bies, address, qualifier="AT")
+        at_address.include("Street", "0..1")
+        at_address.include("Province", "0..1")
+        registry = ContextRegistry(model)
+        registry.register(us_address.abie, US)
+        registry.register(at_address.abie, AT)
+        doc = business.add_doc_library("Orders")
+        return model, doc, order, registry, assemble_document
+
+    def test_context_selects_entities(self):
+        model, doc, order, registry, assemble = self._world()
+        us_doc = assemble(doc, order, US, registry, name="USOrder")
+        at_doc = assemble(doc, order, AT, registry, name="ATOrder")
+        assert us_doc.asbie("Delivery").target.name == "US_Address"
+        assert at_doc.asbie("Delivery").target.name == "AT_Address"
+        assert us_doc.business_context == "US"
+
+    def test_assembled_documents_generate_distinct_schemas(self):
+        from repro.xsdgen import SchemaGenerator
+
+        model, doc, order, registry, assemble = self._world()
+        assemble(doc, order, US, registry, name="USOrder")
+        assemble(doc, order, AT, registry, name="ATOrder")
+        us_schema = SchemaGenerator(model).generate(doc, root="USOrder").root.schema
+        at_schema = SchemaGenerator(model).generate(doc, root="ATOrder").root.schema
+        us_type = us_schema.complex_type("USOrderType").particle.particles
+        at_type = at_schema.complex_type("ATOrderType").particle.particles
+        assert us_type[-1].name == "DeliveryUS_Address"
+        assert at_type[-1].name == "DeliveryAT_Address"
+
+    def test_unresolvable_context_aborts_assembly(self):
+        import pytest as _pytest
+
+        model, doc, order, registry, assemble = self._world()
+        with _pytest.raises(CctsError, match="no business information entity"):
+            assemble(doc, order, BusinessContext.build(geopolitical="DE"), registry)

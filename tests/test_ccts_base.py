@@ -1,0 +1,86 @@
+"""Unit tests for the wrapper base class and annotation edge cases."""
+
+from repro.ccts.base import ElementWrapper
+from repro.ccts.model import CctsModel
+from repro.ndr.annotations import annotation_entries_for
+
+
+def _wrapped_pair():
+    model = CctsModel("W")
+    business = model.add_business_library("B", "urn:w")
+    library = business.add_cc_library("L")
+    acc = library.add_acc("Thing")
+    return model, acc
+
+
+class TestWrapperIdentity:
+    def test_equality_by_wrapped_element(self):
+        model, acc = _wrapped_pair()
+        again = model.acc("Thing")
+        assert acc == again
+        assert hash(acc) == hash(again)
+
+    def test_inequality_across_elements(self):
+        model, acc = _wrapped_pair()
+        library = model.cc_libraries()[0]
+        other = library.add_acc("Other")
+        assert acc != other
+        assert acc != "Thing"
+
+    def test_qualified_name(self):
+        model, acc = _wrapped_pair()
+        assert acc.qualified_name == "W.B.L.Thing"
+
+    def test_definition_and_version_setters(self):
+        model, acc = _wrapped_pair()
+        acc.definition = "A thing."
+        acc.version = "2.0"
+        assert acc.definition == "A thing."
+        assert acc.version == "2.0"
+        assert acc.element.tagged_value("ACC", "definition") == "A thing."
+
+    def test_dictionary_entry_name_tag(self):
+        model, acc = _wrapped_pair()
+        assert acc.dictionary_entry_name is None
+        acc.element.set_tagged_value("ACC", "dictionaryEntryName", "Thing. Details")
+        assert acc.dictionary_entry_name == "Thing. Details"
+
+    def test_repr(self):
+        model, acc = _wrapped_pair()
+        assert repr(acc) == "<Acc 'Thing'>"
+
+
+class TestAnnotationEntries:
+    def test_optional_fields_included_when_set(self):
+        model, acc = _wrapped_pair()
+        acc.element.apply_stereotype(
+            "ACC",
+            businessTerm="gadget",
+            usageRule="only on weekdays",
+            uniqueIdentifier="UN01000123",
+        )
+        entries = dict(annotation_entries_for(acc, "ACC"))
+        assert entries["BusinessTerm"] == "gadget"
+        assert entries["UsageRule"] == "only on weekdays"
+        assert entries["UniqueID"] == "UN01000123"
+
+    def test_acronym_always_first(self):
+        model, acc = _wrapped_pair()
+        entries = annotation_entries_for(acc, "ACC")
+        assert entries[0] == ("AcronymCode", "ACC")
+
+
+class TestGlobalLocationEdge:
+    def test_foreign_imports_left_untouched(self, easybiz):
+        from repro.console import set_global_schema_location
+        from repro.xsd.components import ImportDecl
+        from repro.xsdgen import SchemaGenerator
+
+        result = SchemaGenerator(easybiz.model).generate(
+            easybiz.doc_library, root="HoardingPermit"
+        )
+        # Inject an import of a namespace outside the generated set.
+        result.root.schema.imports.append(ImportDecl("urn:external", "http://x/y.xsd"))
+        set_global_schema_location(result, "https://schemas.example.org")
+        foreign = [i for i in result.root.schema.imports if i.namespace == "urn:external"]
+        assert foreign[0].schema_location == "http://x/y.xsd"

@@ -1,0 +1,59 @@
+"""Unit tests for business contexts."""
+
+from repro.ccts.context import BusinessContext, ContextCategory
+
+
+class TestConstruction:
+    def test_build_with_string_and_list(self):
+        ctx = BusinessContext.build("US retail", geopolitical="US", industry_classification=["Retail"])
+        assert ctx.value_of(ContextCategory.GEOPOLITICAL) == ("US",)
+        assert ctx.value_of(ContextCategory.INDUSTRY_CLASSIFICATION) == ("Retail",)
+
+    def test_unused_category_is_empty(self):
+        ctx = BusinessContext.build(geopolitical="US")
+        assert ctx.value_of(ContextCategory.BUSINESS_PROCESS) == ()
+
+    def test_eight_categories_exist(self):
+        assert len(ContextCategory) == 8
+
+    def test_unconstrained(self):
+        assert BusinessContext().is_unconstrained
+        assert not BusinessContext.build(geopolitical="US").is_unconstrained
+
+
+class TestSubcontext:
+    def test_everything_is_subcontext_of_unconstrained(self):
+        us = BusinessContext.build(geopolitical="US")
+        assert us.is_subcontext_of(BusinessContext())
+
+    def test_matching_token(self):
+        us = BusinessContext.build(geopolitical="US")
+        north_america = BusinessContext.build(geopolitical=["US", "CA"])
+        assert us.is_subcontext_of(north_america)
+        assert not north_america.is_subcontext_of(us)
+
+    def test_unconstrained_category_fails_against_constrained(self):
+        anything = BusinessContext()
+        us = BusinessContext.build(geopolitical="US")
+        assert not anything.is_subcontext_of(us)
+
+    def test_disjoint_tokens_fail(self):
+        at = BusinessContext.build(geopolitical="AT")
+        us = BusinessContext.build(geopolitical="US")
+        assert not at.is_subcontext_of(us)
+
+    def test_reflexive(self):
+        ctx = BusinessContext.build(geopolitical="US", business_process="Procurement")
+        assert ctx.is_subcontext_of(ctx)
+
+
+class TestDescribe:
+    def test_describe_unconstrained(self):
+        assert BusinessContext().describe() == "(all contexts)"
+
+    def test_describe_lists_assignments(self):
+        ctx = BusinessContext.build(geopolitical=["US", "CA"])
+        assert "Geopolitical=US|CA" in ctx.describe()
+
+    def test_str_prefers_name(self):
+        assert str(BusinessContext.build("retail", geopolitical="US")) == "retail"

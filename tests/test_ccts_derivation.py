@@ -1,0 +1,200 @@
+"""Unit tests for the derivation-by-restriction engine."""
+
+import pytest
+
+from repro.ccts.derivation import (
+    check_abie_restriction,
+    check_qdt_restriction,
+    derive_abie,
+    derive_qdt,
+    qdt_widened_supplementaries,
+)
+from repro.ccts.model import CctsModel
+from repro.errors import DerivationError
+from repro.uml.association import AggregationKind
+
+
+@pytest.fixture
+def world():
+    model = CctsModel("D")
+    business = model.add_business_library("B", "urn:d")
+    prims = business.add_prim_library("Prims")
+    string = prims.add_primitive("String")
+    enums = business.add_enum_library("Enums")
+    country_enum = enums.add_enumeration("Country_Code", {"US": "United States"})
+    cdts = business.add_cdt_library("Cdts")
+    code = cdts.add_cdt("Code")
+    code.set_content(string.element)
+    code.add_supplementary("ListName", string.element, "0..1")
+    code.add_supplementary("ListAgency", string.element, "0..1")
+    text = cdts.add_cdt("Text")
+    text.set_content(string.element)
+    ccs = business.add_cc_library("Ccs")
+    address = ccs.add_acc("Address")
+    address.add_bcc("Street", text, "0..1")
+    address.add_bcc("Country", code, "0..1")
+    person = ccs.add_acc("Person")
+    person.add_bcc("Name", text, "1")
+    person.add_ascc("Home", address, "0..1", AggregationKind.COMPOSITE)
+    qdts = business.add_qdt_library("Qdts")
+    bies = business.add_bie_library("Bies")
+    return model, business, code, text, country_enum, qdts, bies, address, person
+
+
+class TestDeriveQdt:
+    def test_keeps_selected_sups_and_enum(self, world):
+        model, _, code, _, enum, qdts, *_ = world
+        qdt = derive_qdt(qdts, code, "CountryType", ["ListName"], content_enum=enum)
+        assert qdt.based_on.element is code.element
+        assert [s.name for s in qdt.supplementary_components] == ["ListName"]
+        assert qdt.content_enum.element is enum.element
+        assert check_qdt_restriction(qdt) == []
+
+    def test_without_enum_keeps_cdt_content_type(self, world):
+        model, _, code, _, _, qdts, *_ = world
+        qdt = derive_qdt(qdts, code, "PlainCode")
+        assert qdt.content_enum is None
+        assert qdt.content_component.element.type is code.content_component.element.type
+
+    def test_unknown_sup_rejected(self, world):
+        model, _, code, _, _, qdts, *_ = world
+        with pytest.raises(DerivationError):
+            derive_qdt(qdts, code, "Bad", ["NotASup"])
+
+    def test_base_without_content_rejected(self, world):
+        model, business, *_ = world
+        broken_lib = business.add_cdt_library("Broken")
+        broken = broken_lib.add_cdt("Empty")
+        qdts = business.add_qdt_library("Qdts2")
+        with pytest.raises(DerivationError):
+            derive_qdt(qdts, broken, "FromEmpty")
+
+    def test_tightened_multiplicity(self, world):
+        model, _, code, _, _, qdts, *_ = world
+        qdt = derive_qdt(qdts, code, "Tight", {"ListName": "1"})
+        assert str(qdt.supplementary("ListName").multiplicity) == "1"
+        assert qdt_widened_supplementaries(qdt) == []
+
+    def test_widening_reported_not_rejected(self, world):
+        model, business, code, *_ = world
+        # Re-declare a CDT whose SUP is required, then widen it in the QDT.
+        cdts2 = business.add_cdt_library("Cdts2")
+        strict = cdts2.add_cdt("Strict")
+        strict.set_content(code.content_component.element.type)
+        strict.add_supplementary("Must", code.content_component.element.type, "1")
+        qdts2 = business.add_qdt_library("Qdts3")
+        widened = derive_qdt(qdts2, strict, "Loose", {"Must": "0..1"})
+        findings = qdt_widened_supplementaries(widened)
+        assert len(findings) == 1 and "widens" in findings[0]
+
+
+class TestDeriveAbie:
+    def test_include_and_qualifier(self, world):
+        *_, bies, address, person = world
+        derivation = derive_abie(bies, person, qualifier="US")
+        assert derivation.abie.name == "US_Person"
+        bbie = derivation.include("Name")
+        assert bbie.element.type is person.bcc("Name").element.type
+        assert derivation.abie.based_on.element is person.element
+
+    def test_explicit_name_wins(self, world):
+        *_, bies, address, person = world
+        derivation = derive_abie(bies, person, name="Traveller")
+        assert derivation.abie.name == "Traveller"
+
+    def test_unknown_bcc_rejected(self, world):
+        *_, bies, address, person = world
+        derivation = derive_abie(bies, person)
+        with pytest.raises(Exception):
+            derivation.include("NotThere")
+
+    def test_multiplicity_widening_rejected(self, world):
+        *_, bies, address, person = world
+        derivation = derive_abie(bies, person, qualifier="X")
+        with pytest.raises(DerivationError):
+            derivation.include("Name", "0..*")
+
+    def test_retyping_to_unrelated_qdt_rejected(self, world):
+        model, _, code, text, enum, qdts, bies, address, person = world
+        code_qdt = derive_qdt(qdts, code, "CodeQdt")
+        derivation = derive_abie(bies, person, qualifier="Y")
+        # Name is typed Text; CodeQdt is based on Code -> must be rejected.
+        with pytest.raises(DerivationError):
+            derivation.include("Name", data_type=code_qdt)
+
+    def test_retyping_to_matching_qdt_allowed(self, world):
+        model, _, code, text, enum, qdts, bies, address, person = world
+        country_qdt = derive_qdt(qdts, code, "CountryQdt", content_enum=enum)
+        addr = derive_abie(bies, address, qualifier="US")
+        bbie = addr.include("Country", data_type=country_qdt)
+        assert bbie.element.type is country_qdt.element
+
+    def test_include_all(self, world):
+        *_, bies, address, person = world
+        derivation = derive_abie(bies, address, qualifier="Z")
+        bbies = derivation.include_all()
+        assert [b.name for b in bbies] == ["Street", "Country"]
+
+    def test_connect_with_based_on(self, world):
+        *_, bies, address, person = world
+        us_address = derive_abie(bies, address, qualifier="US")
+        us_person = derive_abie(bies, person, qualifier="US")
+        asbie = us_person.connect("Home", us_address.abie, based_on="Home")
+        assert asbie.based_on.element is person.ascc("Home").element
+        assert asbie.aggregation is AggregationKind.COMPOSITE
+
+    def test_connect_multiplicity_widening_rejected(self, world):
+        *_, bies, address, person = world
+        us_address = derive_abie(bies, address, qualifier="A")
+        us_person = derive_abie(bies, person, qualifier="A")
+        with pytest.raises(DerivationError):
+            us_person.connect("Home", us_address.abie, "0..*", based_on="Home")
+
+    def test_connect_wrong_target_base_rejected(self, world):
+        *_, bies, address, person = world
+        other_person = derive_abie(bies, person, qualifier="B")
+        me = derive_abie(bies, person, qualifier="C")
+        with pytest.raises(DerivationError):
+            me.connect("Home", other_person.abie, based_on="Home")
+
+    def test_connect_without_based_on_is_free(self, world):
+        *_, bies, address, person = world
+        a = derive_abie(bies, address, qualifier="F1")
+        b = derive_abie(bies, person, qualifier="F2")
+        asbie = b.connect("Anything", a.abie, "0..*")
+        assert asbie.based_on is None
+
+
+class TestRestrictionChecks:
+    def test_clean_derivation_checks_clean(self, world):
+        *_, bies, address, person = world
+        us_address = derive_abie(bies, address, qualifier="US")
+        us_address.include("Street")
+        assert check_abie_restriction(us_address.abie) == []
+
+    def test_missing_based_on_reported(self, world):
+        *_, bies, address, person = world
+        abie = bies.add_abie("Orphan")
+        problems = check_abie_restriction(abie)
+        assert problems and "basedOn" in problems[0]
+
+    def test_added_bbie_reported(self, world):
+        model, _, code, text, *_ , bies, address, person = world
+        abie = derive_abie(bies, address, qualifier="Q").abie
+        abie.element.add_attribute("Invented", text.element, "1", stereotype="BBIE")
+        problems = check_abie_restriction(abie)
+        assert any("no corresponding BCC" in p for p in problems)
+
+    def test_widened_multiplicity_reported(self, world):
+        model, _, code, text, *_, bies, address, person = world
+        abie = derive_abie(bies, address, qualifier="W").abie
+        abie.element.add_attribute("Street", text.element, "1..*", stereotype="BBIE")
+        problems = check_abie_restriction(abie)
+        assert any("multiplicity" in p for p in problems)
+
+    def test_qdt_missing_based_on_reported(self, world):
+        model, business, *_ = world
+        qdts = business.add_qdt_library("Qdts9")
+        loner = qdts.add_qdt("Loner")
+        problems = check_qdt_restriction(loner)
+        assert problems and "basedOn" in problems[0]

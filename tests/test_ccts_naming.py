@@ -1,0 +1,127 @@
+"""Unit tests for dictionary entry names and qualifiers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NamingError
+from repro.ccts.naming import (
+    apply_qualifier,
+    ccts_den_for_acc,
+    ccts_den_for_ascc,
+    ccts_den_for_bcc,
+    compact_component_set,
+    compact_den,
+    join_den,
+    qualified_term,
+    split_words,
+    strip_qualifier,
+    words_to_term,
+)
+
+
+class TestSplitWords:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("DateOfBirth", ["Date", "Of", "Birth"]),
+            ("FirstName", ["First", "Name"]),
+            ("US_Address", ["US", "Address"]),
+            ("code", ["code"]),
+            ("XMLSchema", ["XML", "Schema"]),
+            ("snake_case_name", ["snake", "case", "name"]),
+            ("dotted.name", ["dotted", "name"]),
+            ("ABC", ["ABC"]),
+        ],
+    )
+    def test_splitting(self, name, expected):
+        assert split_words(name) == expected
+
+    def test_empty_raises(self):
+        with pytest.raises(NamingError):
+            split_words("")
+
+    def test_separator_only_raises(self):
+        with pytest.raises(NamingError):
+            split_words("___")
+
+
+class TestDenConstruction:
+    def test_acc_den(self):
+        assert ccts_den_for_acc("Person") == "Person. Details"
+
+    def test_qualified_acc_den(self):
+        assert ccts_den_for_acc("Person", "US") == "US_ Person. Details"
+
+    def test_bcc_den(self):
+        assert ccts_den_for_bcc("Person", "DateOfBirth", "Date") == "Person. Date Of Birth. Date"
+
+    def test_ascc_den(self):
+        assert ccts_den_for_ascc("Person", "Private", "Address") == "Person. Private. Address"
+
+    def test_ascc_den_with_qualifiers(self):
+        den = ccts_den_for_ascc("Person", "Private", "Address", "US", "US")
+        assert den == "US_ Person. Private. US_ Address"
+
+    def test_join_den_skips_empty(self):
+        assert join_den("A", "", "B") == "A. B"
+
+    def test_join_den_empty_raises(self):
+        with pytest.raises(NamingError):
+            join_den("", "")
+
+    def test_words_to_term(self):
+        assert words_to_term("CodeListName") == "Code List Name"
+
+    def test_qualified_term(self):
+        assert qualified_term("Person", "US") == "US_ Person"
+        assert qualified_term("Person", None) == "Person"
+
+
+class TestCompactStyle:
+    def test_compact_den(self):
+        assert compact_den("Person", "Private", "Address") == "Person.Private.Address"
+
+    def test_compact_den_empty_raises(self):
+        with pytest.raises(NamingError):
+            compact_den()
+
+    def test_component_set_matches_paper_section_21(self):
+        entries = compact_component_set(
+            "Person",
+            ["DateofBirth", "FirstName"],
+            [("Private", "Address"), ("Work", "Address")],
+        )
+        assert entries == [
+            "Person (ACC)",
+            "Person.DateofBirth (BCC)",
+            "Person.FirstName (BCC)",
+            "Person.Private.Address (ASCC)",
+            "Person.Work.Address (ASCC)",
+        ]
+
+    def test_component_set_business_labels(self):
+        entries = compact_component_set(
+            "US_Person", ["FirstName"], [], kind_labels=("ABIE", "BBIE", "ASBIE")
+        )
+        assert entries == ["US_Person (ABIE)", "US_Person.FirstName (BBIE)"]
+
+
+class TestQualifiers:
+    def test_strip(self):
+        assert strip_qualifier("US_Person") == ("US", "Person")
+        assert strip_qualifier("Person") == (None, "Person")
+        assert strip_qualifier("_Person") == (None, "_Person")
+        assert strip_qualifier("Person_") == (None, "Person_")
+
+    def test_apply(self):
+        assert apply_qualifier("US", "Person") == "US_Person"
+        assert apply_qualifier(None, "Person") == "Person"
+
+    @given(st.from_regex(r"[A-Z]{1,4}", fullmatch=True), st.from_regex(r"[A-Z][a-z]{1,8}", fullmatch=True))
+    def test_apply_strip_round_trip(self, qualifier, name):
+        assert strip_qualifier(apply_qualifier(qualifier, name)) == (qualifier, name)
+
+    @given(st.from_regex(r"[A-Z][a-zA-Z0-9]{0,10}", fullmatch=True))
+    def test_split_words_rejoin_preserves_letters(self, name):
+        assert "".join(split_words(name)) == name

@@ -1,0 +1,132 @@
+"""Unit tests for the management console (the paper's future-work amenities)."""
+
+import pytest
+
+from repro.console import (
+    bump_version,
+    find_unused,
+    impact_of,
+    move_classifier,
+    rename_classifier,
+    set_global_schema_location,
+    update_base_urns,
+)
+from repro.errors import CctsError
+from repro.xsdgen import SchemaGenerator
+
+
+class TestUpdateBaseUrns:
+    def test_all_libraries_retagged(self, easybiz):
+        changed = update_base_urns(easybiz.model, "urn:au:gov:vic:easybiz", "urn:au:gov:nsw:easybiz")
+        assert len(changed) == 9  # 8 libraries + the business library
+        result = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit")
+        assert result.root.schema.target_namespace.startswith("urn:au:gov:nsw:easybiz")
+        for import_decl in result.root.schema.imports:
+            assert import_decl.namespace.startswith("urn:au:gov:nsw:easybiz")
+
+    def test_non_matching_untouched(self, easybiz):
+        assert update_base_urns(easybiz.model, "urn:something:else", "urn:new") == []
+
+
+class TestVersionAndRename:
+    def test_bump_version_changes_urn_file(self, easybiz):
+        previous = bump_version(easybiz.doc_library, "0.5")
+        assert previous == "0.4"
+        result = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit")
+        assert result.root.namespace.file_name.endswith("_0.5.xsd")
+
+    def test_rename_keeps_references_intact(self, easybiz):
+        attachment = easybiz.model.abie("Attachment")
+        rename_classifier(easybiz.model, attachment, "Enclosure")
+        result = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit")
+        particles = result.root.schema.complex_type("HoardingPermitType").particle.particles
+        names = [p.name for p in particles]
+        # The ASBIE compound name follows the rename automatically.
+        assert "IncludedEnclosure" in names and "IncludedAttachment" not in names
+
+    def test_rename_collision_rejected(self, easybiz):
+        attachment = easybiz.model.abie("Attachment")
+        with pytest.raises(CctsError, match="taken"):
+            rename_classifier(easybiz.model, attachment, "Signature")
+
+    def test_rename_invalid_name_rejected(self, easybiz):
+        attachment = easybiz.model.abie("Attachment")
+        with pytest.raises(CctsError):
+            rename_classifier(easybiz.model, attachment, "!!!")
+
+
+class TestMove:
+    def test_move_abie_between_bie_libraries(self, easybiz):
+        attachment = easybiz.model.abie("Attachment")
+        move_classifier(easybiz.model, attachment, easybiz.local_law_aggregates)
+        assert easybiz.common_aggregates.package.find_classifier("Attachment") is None
+        assert easybiz.local_law_aggregates.package.find_classifier("Attachment") is not None
+        # Generation follows the move: IncludedAttachment now types into bie2.
+        result = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit")
+        particle = next(
+            p for p in result.root.schema.complex_type("HoardingPermitType").particle.particles
+            if p.name == "IncludedAttachment"
+        )
+        assert particle.type.namespace.endswith("LocalLawAggregates")
+
+    def test_move_into_wrong_kind_rejected(self, easybiz):
+        attachment = easybiz.model.abie("Attachment")
+        with pytest.raises(CctsError, match="cannot move"):
+            move_classifier(easybiz.model, attachment, easybiz.cdt_library)
+
+    def test_move_name_collision_rejected(self, easybiz):
+        registration = easybiz.local_law_aggregates.abie("Registration")
+        move_classifier(easybiz.model, registration, easybiz.common_aggregates)
+        with pytest.raises(CctsError):
+            move_classifier(easybiz.model, easybiz.common_aggregates.abie("Registration"),
+                            easybiz.common_aggregates)
+
+
+class TestFindUnused:
+    def test_easybiz_unused_report(self, easybiz):
+        unused = find_unused(easybiz.model)
+        # Name CDT exists in the paper catalog but nothing types with it.
+        assert any(name.endswith(".Name") for name in unused["CDT"])
+        # CouncilType QDT is defined (Figure 4) but never used by a BBIE.
+        assert any(name.endswith(".CouncilType") for name in unused["QDT"])
+        # Every ACC is used (all ABIEs derive from one).
+        assert unused["ACC"] == []
+
+    def test_used_elements_not_reported(self, easybiz):
+        unused = find_unused(easybiz.model)
+        assert not any(name.endswith(".Code") for name in unused["CDT"])
+        assert not any(name.endswith(".CountryType") for name in unused["QDT"])
+
+
+class TestImpact:
+    def test_cdt_change_touches_everything_typed_by_it(self, easybiz):
+        code = easybiz.cdt_library.cdt("Code")
+        affected = impact_of(easybiz.model, code)
+        assert set(affected) >= {
+            "coredatatypes", "CommonDataTypes", "CandidateCoreComponents",
+            "CommonAggregates", "LocalLawAggregates", "EB005-HoardingPermit",
+        }
+
+    def test_leaf_abie_impact_is_local_plus_users(self, easybiz):
+        registration = easybiz.local_law_aggregates.abie("Registration")
+        affected = impact_of(easybiz.model, registration)
+        assert "LocalLawAggregates" in affected
+        assert "EB005-HoardingPermit" in affected
+        assert "CommonAggregates" not in affected
+
+
+class TestGlobalSchemaLocation:
+    def test_rewrite_to_absolute_base(self, easybiz):
+        result = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit")
+        rewritten = set_global_schema_location(result, "https://schemas.example.org/easybiz/")
+        assert rewritten > 0
+        for generated in result.schemas.values():
+            for import_decl in generated.schema.imports:
+                assert import_decl.schema_location.startswith("https://schemas.example.org/easybiz/")
+                assert import_decl.schema_location.endswith(".xsd")
+
+    def test_rewritten_schemas_still_render(self, easybiz):
+        result = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit")
+        set_global_schema_location(result, "https://x.test/s")
+        text = result.root.to_string()
+        assert 'schemaLocation="https://x.test/s/types_draft_coredatatypes_1.0.xsd"' in text

@@ -1,0 +1,64 @@
+"""Tests for the HTML schema-documentation generator."""
+
+import pytest
+
+from repro.xsdgen import GenerationOptions, SchemaGenerator, document_schemas, write_documentation
+
+
+@pytest.fixture
+def annotated_result(easybiz):
+    easybiz.hoarding_permit.definition = "Permit to erect a hoarding on public land."
+    options = GenerationOptions(annotated=True)
+    return SchemaGenerator(easybiz.model, options).generate(
+        easybiz.doc_library, root="HoardingPermit"
+    )
+
+
+class TestDocumentation:
+    def test_page_structure(self, annotated_result):
+        page = document_schemas(annotated_result, title="EasyBiz document types")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<title>EasyBiz document types</title>" in page
+        assert page.count("<h2") == 6  # one section per schema
+
+    def test_namespace_index(self, annotated_result):
+        page = document_schemas(annotated_result)
+        assert "urn:au:gov:vic:easybiz:data:draft:EB005-HoardingPermit" in page
+        assert "data_draft_EB005-HoardingPermit_0.4.xsd" in page
+
+    def test_types_and_members_listed(self, annotated_result):
+        page = document_schemas(annotated_result)
+        assert "HoardingPermitType" in page
+        assert "<td>IncludedAttachment</td>" in page
+        assert "<td>0..*</td>" in page
+        assert "CodeListAgName" in page
+
+    def test_cross_links_between_types(self, annotated_result):
+        page = document_schemas(annotated_result)
+        # The DOC page links the ASBIE's type to the CommonAggregates section.
+        assert '<a href="#t-' in page
+        # Builtins render as plain code, not links.
+        assert "<code>xsd:string</code>" in page
+
+    def test_ccts_annotations_shown(self, annotated_result):
+        page = document_schemas(annotated_result)
+        assert "Permit to erect a hoarding on public land." in page
+        assert 'class="den"' in page  # dictionary entry names present
+
+    def test_enumeration_values_listed(self, annotated_result):
+        page = document_schemas(annotated_result)
+        assert "<code>USA</code>" in page and "<code>kingston</code>" in page
+
+    def test_root_element_called_out(self, annotated_result):
+        page = document_schemas(annotated_result)
+        assert "root element" in page
+        assert "<strong>HoardingPermit</strong>" in page
+
+    def test_write_documentation(self, annotated_result, tmp_path):
+        path = write_documentation(annotated_result, tmp_path / "doc.html")
+        assert path.exists()
+        assert path.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+    def test_unannotated_result_still_documents(self, easybiz_result):
+        page = document_schemas(easybiz_result)
+        assert "HoardingPermitType" in page

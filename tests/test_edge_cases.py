@@ -1,0 +1,203 @@
+"""Edge cases across layers: recursion, empty inputs, error paths."""
+
+import pytest
+
+from repro.ccts.model import CctsModel
+from repro.errors import GenerationError, SchemaError
+from repro.uml.association import AggregationKind
+from repro.xsdgen import GenerationOptions, SchemaGenerator
+
+
+def _recursive_model():
+    """Person -optionally-> Person: legal, generates a recursive schema."""
+    from repro.catalog.primitives import add_standard_prim_library
+    from repro.ccts.derivation import derive_abie
+
+    model = CctsModel("Recursive")
+    business = model.add_business_library("B", "urn:recursive")
+    prims = add_standard_prim_library(business)
+    string = prims.primitive("String").element
+    cdts = business.add_cdt_library("Cdts")
+    text = cdts.add_cdt("Text")
+    text.set_content(string)
+    ccs = business.add_cc_library("Ccs")
+    person = ccs.add_acc("Person")
+    person.add_bcc("Name", text, "1")
+    person.add_ascc("Supervisor", person, "0..1", AggregationKind.COMPOSITE)
+    doc = business.add_doc_library("People")
+    derivation = derive_abie(doc, person)
+    derivation.include("Name")
+    derivation.connect("Supervisor", derivation.abie, "0..1", based_on="Supervisor")
+    return model, doc
+
+
+class TestRecursiveModels:
+    def test_recursive_schema_generates(self):
+        model, doc = _recursive_model()
+        result = SchemaGenerator(model).generate(doc, root="Person")
+        schema = result.root.schema
+        particles = schema.complex_type("PersonType").particle.particles
+        assert particles[1].name == "SupervisorPerson"
+        assert particles[1].type.local == "PersonType"
+
+    def test_recursive_instances_bounded_by_max_depth(self):
+        from repro.instances import InstanceGenerator
+        from repro.xsd.validator import validate_instance
+
+        model, doc = _recursive_model()
+        result = SchemaGenerator(model).generate(doc, root="Person")
+        schema_set = result.schema_set()
+        generator = InstanceGenerator(schema_set, max_depth=6)
+        document = generator.generate("Person")
+        assert validate_instance(schema_set, document) == []
+        # Count the nesting depth actually produced.
+        depth = 0
+        node = document
+        while True:
+            nested = [c for c in node.element_children if c.tag.endswith("SupervisorPerson")]
+            if not nested:
+                break
+            node = nested[0]
+            depth += 1
+        # The cut triggers once depth exceeds max_depth: at most one extra level.
+        assert 0 < depth <= 7
+
+    def test_required_infinite_recursion_rejected(self):
+        from repro.catalog.primitives import add_standard_prim_library
+        from repro.ccts.derivation import derive_abie
+        from repro.instances import InstanceGenerator
+
+        model = CctsModel("Doom")
+        business = model.add_business_library("B", "urn:doom")
+        prims = add_standard_prim_library(business)
+        string = prims.primitive("String").element
+        cdts = business.add_cdt_library("Cdts")
+        text = cdts.add_cdt("Text")
+        text.set_content(string)
+        ccs = business.add_cc_library("Ccs")
+        node = ccs.add_acc("Node")
+        node.add_bcc("Label", text, "1")
+        node.add_ascc("Child", node, "1", AggregationKind.COMPOSITE)  # mandatory!
+        doc = business.add_doc_library("Docs")
+        derivation = derive_abie(doc, node)
+        derivation.include("Label")
+        derivation.connect("Child", derivation.abie, "1", based_on="Child")
+        result = SchemaGenerator(model).generate(doc, root="Node")
+        with pytest.raises(SchemaError, match="recursion"):
+            InstanceGenerator(result.schema_set()).generate("Node")
+
+    def test_recursive_model_validation_warns_on_cycle(self):
+        from repro.validation import validate_model
+
+        model, _ = _recursive_model()
+        report = validate_model(model)
+        assert report.ok
+        assert any(d.code == "UPCC-C05" for d in report.warnings)
+
+
+class TestGeneratorErrorPaths:
+    def test_untyped_bbie_aborts_generation(self):
+        model = CctsModel("Untyped")
+        business = model.add_business_library("B", "urn:untyped")
+        ccs = business.add_cc_library("Ccs")
+        acc = ccs.add_acc("Thing")
+        bies = business.add_bie_library("Bies")
+        abie = bies.add_abie("Thing")
+        bies.package.add_dependency(abie.element, acc.element, stereotype="basedOn")
+        abie.element.add_attribute("Mystery", None, "1", stereotype="BBIE")
+        generator = SchemaGenerator(model, GenerationOptions(validate_first=False))
+        with pytest.raises(GenerationError):
+            generator.generate(bies)
+
+    def test_homeless_type_aborts_generation(self):
+        from repro.catalog.primitives import add_standard_prim_library
+
+        model = CctsModel("Homeless")
+        business = model.add_business_library("B", "urn:homeless")
+        prims = add_standard_prim_library(business)
+        string = prims.primitive("String").element
+        # A CDT living in a plain (non-library) package.
+        loose = model.model.add_package("Loose")
+        stray = loose.add_data_type("Stray", stereotype="CDT")
+        stray.add_attribute("Content", string, "1", stereotype="CON")
+        ccs = business.add_cc_library("Ccs")
+        acc = ccs.add_acc("Thing")
+        from repro.ccts.data_types import CoreDataType
+
+        acc.add_bcc("Field", CoreDataType(stray, model.model), "1")
+        bies = business.add_bie_library("Bies")
+        from repro.ccts.derivation import derive_abie
+
+        derivation = derive_abie(bies, acc)
+        derivation.include("Field")
+        generator = SchemaGenerator(model, GenerationOptions(validate_first=False))
+        with pytest.raises(GenerationError, match="not owned by any library"):
+            generator.generate(bies)
+
+
+class TestEmptyInputs:
+    def test_empty_bie_library_generates_empty_schema(self):
+        model = CctsModel("Empty")
+        business = model.add_business_library("B", "urn:empty")
+        bies = business.add_bie_library("Nothing")
+        result = SchemaGenerator(model).generate(bies)
+        assert result.root.schema.items == []
+
+    def test_schema_set_from_empty_directory(self, tmp_path):
+        from repro.xsd.validator import SchemaSet
+
+        schema_set = SchemaSet.from_directory(tmp_path)
+        assert schema_set.namespaces == []
+
+    def test_validate_against_empty_schema_set(self):
+        from repro.xsd.validator import SchemaSet, validate_instance
+
+        problems = validate_instance(SchemaSet(), "<a/>")
+        assert problems and "no global element" in problems[0].message
+
+    def test_empty_model_validates(self):
+        from repro.validation import validate_model
+
+        assert validate_model(CctsModel("Nothing")).ok
+
+    def test_diff_of_empty_models(self):
+        from repro.interchange import diff_models
+
+        assert diff_models(CctsModel("A"), CctsModel("B")) == []
+
+
+class TestDeepNesting:
+    def test_fifteen_level_composition_chain(self):
+        from repro.catalog.primitives import add_standard_prim_library
+        from repro.ccts.derivation import derive_abie
+        from repro.instances import InstanceGenerator
+        from repro.xsd.validator import validate_instance
+
+        model = CctsModel("Deep")
+        business = model.add_business_library("B", "urn:deep")
+        prims = add_standard_prim_library(business)
+        string = prims.primitive("String").element
+        cdts = business.add_cdt_library("Cdts")
+        text = cdts.add_cdt("Text")
+        text.set_content(string)
+        ccs = business.add_cc_library("Ccs")
+        accs = [ccs.add_acc(f"Level{i}") for i in range(15)]
+        for acc in accs:
+            acc.add_bcc("Label", text, "0..1")
+        for parent, child in zip(accs, accs[1:]):
+            parent.add_ascc("Next", child, "1")
+        bies = business.add_bie_library("Bies")
+        abies = []
+        for acc in reversed(accs):
+            derivation = derive_abie(bies, acc)
+            derivation.include("Label", "0..1")
+            if abies:
+                derivation.connect("Next", abies[-1], based_on="Next")
+            abies.append(derivation.abie)
+        doc = business.add_doc_library("Doc")
+        root = derive_abie(doc, accs[0], name="Chain")
+        root.connect("Top", abies[-1], "1")
+        result = SchemaGenerator(model).generate(doc, root="Chain")
+        schema_set = result.schema_set()
+        document = InstanceGenerator(schema_set).generate("Chain")
+        assert validate_instance(schema_set, document) == []

@@ -1,0 +1,101 @@
+"""Figure 7: the BIELibrary schema and the aggregation/composition rule."""
+
+import pytest
+
+from repro.xmlutil.qname import QName
+from repro.xsdgen import GenerationOptions, SchemaGenerator
+
+COMMON_NS = "urn:au:gov:vic:easybiz:data:draft:CommonAggregates"
+CDT_NS = "urn:au:gov:vic:easybiz:types:draft:coredatatypes"
+
+
+@pytest.fixture
+def common_schema(easybiz_result):
+    return easybiz_result.schemas[COMMON_NS].schema
+
+
+class TestPersonIdentificationType:
+    """The paper's Figure 7 fragment, line by line."""
+
+    def test_global_assigned_address_declared(self, common_schema):
+        shared = common_schema.global_element("AssignedAddress")
+        assert shared.type == QName(COMMON_NS, "AddressType")
+
+    def test_global_element_precedes_its_user(self, common_schema):
+        names = [
+            getattr(item, "name", None)
+            for item in common_schema.items
+        ]
+        assert names.index("AssignedAddress") < names.index("Person_IdentificationType")
+
+    def test_sequence_matches_figure7(self, common_schema):
+        particles = common_schema.complex_type("Person_IdentificationType").particle.particles
+        # Line 24: Designation, typed by the Identifier data type.
+        assert particles[0].name == "Designation"
+        assert particles[0].type == QName(CDT_NS, "IdentifierType")
+        # Line 25: composition-connected ASBIE is inlined.
+        assert particles[1].name == "PersonalSignature"
+        assert particles[1].type == QName(COMMON_NS, "SignatureType")
+        # Line 26: shared-aggregation ASBIE is a ref to the global element.
+        assert particles[2].is_ref
+        assert particles[2].ref == QName(COMMON_NS, "AssignedAddress")
+
+    def test_rendered_fragment_contains_figure7_lines(self, easybiz_result):
+        text = easybiz_result.schemas[COMMON_NS].to_string()
+        assert '<xsd:element name="AssignedAddress" type="commonAggregates:AddressType"/>' in text
+        assert '<xsd:complexType name="Person_IdentificationType">' in text
+        assert '<xsd:element ref="commonAggregates:AssignedAddress"/>' in text
+        assert '<xsd:element name="PersonalSignature" type="commonAggregates:SignatureType"/>' in text
+
+
+class TestBieLibraryShape:
+    def test_every_abie_gets_a_complex_type(self, common_schema):
+        names = {ct.name for ct in common_schema.complex_types}
+        assert names == {
+            "SignatureType", "AddressType", "Person_IdentificationType",
+            "ApplicationType", "AttachmentType",
+        }
+
+    def test_application_restriction_kept_two_bbies(self, common_schema):
+        # "Of the initially eleven basic core components ... only two are
+        # actually used" (paper section 3).
+        particles = common_schema.complex_type("ApplicationType").particle.particles
+        assert [p.name for p in particles] == ["CreatedDate", "Type"]
+
+    def test_address_uses_qualified_data_type(self, common_schema):
+        particles = common_schema.complex_type("AddressType").particle.particles
+        assert particles[0].name == "CountryName"
+        assert particles[0].type.local == "CountryTypeType"
+
+    def test_no_root_element_in_bie_library(self, common_schema):
+        # Only the shared-aggregation global element exists; a BIELibrary
+        # defines no document root.
+        assert [el.name for el in common_schema.global_elements] == ["AssignedAddress"]
+
+
+class TestInlineAblation:
+    """The DESIGN.md ablation: inline every ASBIE instead of global + ref."""
+
+    def test_inline_option_removes_globals(self, easybiz):
+        options = GenerationOptions(shared_aggregation_as_ref=False)
+        result = SchemaGenerator(easybiz.model, options).generate(
+            easybiz.doc_library, root="HoardingPermit"
+        )
+        schema = result.schemas[COMMON_NS].schema
+        assert schema.global_elements == []
+        particles = schema.complex_type("Person_IdentificationType").particle.particles
+        assert particles[2].name == "AssignedAddress"
+        assert not particles[2].is_ref
+        assert particles[2].type == QName(COMMON_NS, "AddressType")
+
+    def test_inline_option_still_validates_instances(self, easybiz):
+        from repro.instances import InstanceGenerator
+        from repro.xsd.validator import validate_instance
+
+        options = GenerationOptions(shared_aggregation_as_ref=False)
+        result = SchemaGenerator(easybiz.model, options).generate(
+            easybiz.doc_library, root="HoardingPermit"
+        )
+        schema_set = result.schema_set()
+        document = InstanceGenerator(schema_set).generate("HoardingPermit")
+        assert validate_instance(schema_set, document) == []

@@ -1,0 +1,88 @@
+"""Unit tests for NDR name derivation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NamingError
+from repro.ndr.names import (
+    asbie_element_name,
+    attribute_name,
+    bbie_element_name,
+    complex_type_name,
+    enum_simple_type_name,
+    sanitize_ncname,
+    truncate_den,
+    xml_name_from_den,
+)
+from repro.xmlutil.escape import is_valid_ncname
+
+
+class TestSanitize:
+    def test_plain_name_unchanged(self):
+        assert sanitize_ncname("HoardingPermit") == "HoardingPermit"
+
+    def test_underscores_survive(self):
+        # Figure 6 line 15: BillingPerson_Identification
+        assert sanitize_ncname("Person_Identification") == "Person_Identification"
+
+    def test_den_separators_removed(self):
+        assert sanitize_ncname("Person. First Name. Text") == "PersonFirstNameText"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_ncname("1stChoice") == "_1stChoice"
+
+    def test_empty_after_cleanup_raises(self):
+        with pytest.raises(NamingError):
+            sanitize_ncname("!!!")
+
+    @given(st.from_regex(r"[A-Za-z][A-Za-z0-9_. \-]{0,20}", fullmatch=True))
+    def test_always_produces_valid_ncname(self, name):
+        assert is_valid_ncname(sanitize_ncname(name))
+
+
+class TestTypeNames:
+    def test_complex_type_postfix(self):
+        assert complex_type_name("HoardingPermit") == "HoardingPermitType"
+
+    def test_enum_type_postfix(self):
+        assert enum_simple_type_name("CountryType_Code") == "CountryType_CodeType"
+
+    def test_bbie_element_name_is_attribute_name(self):
+        assert bbie_element_name("ClosureReason") == "ClosureReason"
+
+    def test_attribute_name(self):
+        assert attribute_name("CodeListAgName") == "CodeListAgName"
+
+
+class TestAsbieCompoundNames:
+    @pytest.mark.parametrize(
+        "role,target,expected",
+        [
+            ("Included", "Attachment", "IncludedAttachment"),
+            ("Current", "Application", "CurrentApplication"),
+            ("Included", "Registration", "IncludedRegistration"),
+            ("Billing", "Person_Identification", "BillingPerson_Identification"),
+            ("Assigned", "Address", "AssignedAddress"),
+            ("Personal", "Signature", "PersonalSignature"),
+        ],
+    )
+    def test_figure6_and_7_names(self, role, target, expected):
+        assert asbie_element_name(role, target) == expected
+
+
+class TestTruncation:
+    def test_repeated_word_dropped(self):
+        assert truncate_den("Address. Country Name. Name") == "Address. Country Name"
+
+    def test_text_representation_dropped(self):
+        assert truncate_den("Person. First Name. Text") == "Person. First Name"
+
+    def test_distinct_terms_kept(self):
+        assert truncate_den("Person. Birth. Date") == "Person. Birth. Date"
+
+    def test_single_component_unchanged(self):
+        assert truncate_den("Person") == "Person"
+
+    def test_den_to_xml_name(self):
+        assert xml_name_from_den("Person. First Name. Text") == "PersonFirstNameText"

@@ -1,0 +1,143 @@
+"""Unit tests for URN construction, file naming and prefix allocation."""
+
+import pytest
+
+from repro.ccts.model import CctsModel
+from repro.ndr.namespaces import (
+    LibraryNamespace,
+    NamespacePolicy,
+    PrefixAllocator,
+    library_kind_token,
+    prefix_stem,
+)
+from repro.profile import BIE_LIBRARY, CDT_LIBRARY, DOC_LIBRARY, QDT_LIBRARY
+
+
+def _library(kind="BIELibrary", name="CommonAggregates", prefix=None, version="0.1", status="draft"):
+    model = CctsModel("M")
+    business = model.add_business_library("B", "urn:au:gov:vic:easybiz")
+    tags = {"version": version, "status": status}
+    if prefix:
+        tags["namespacePrefix"] = prefix
+    adders = {
+        "BIELibrary": business.add_bie_library,
+        "DOCLibrary": business.add_doc_library,
+        "CDTLibrary": business.add_cdt_library,
+        "QDTLibrary": business.add_qdt_library,
+        "ENUMLibrary": business.add_enum_library,
+    }
+    return adders[kind](name, **tags)
+
+
+class TestKindTokens:
+    def test_data_kinds(self):
+        for stereotype in (BIE_LIBRARY, DOC_LIBRARY):
+            assert library_kind_token(stereotype) == "data"
+
+    def test_types_kinds(self):
+        for stereotype in (CDT_LIBRARY, QDT_LIBRARY):
+            assert library_kind_token(stereotype) == "types"
+
+    def test_prefix_stems(self):
+        assert prefix_stem(CDT_LIBRARY) == "cdt"
+        assert prefix_stem(QDT_LIBRARY) == "qdt"
+        assert prefix_stem(BIE_LIBRARY) == "bie"
+        assert prefix_stem(DOC_LIBRARY) == "doc"
+
+
+class TestNamespacePolicy:
+    def test_figure6_doc_namespace(self):
+        library = _library("DOCLibrary", "EB005-HoardingPermit", version="0.4")
+        ns = NamespacePolicy().namespace_for(library)
+        assert ns.urn == "urn:au:gov:vic:easybiz:data:draft:EB005-HoardingPermit"
+        assert ns.folder == "urn_au_gov_vic_easybiz_"
+        assert ns.file_name == "data_draft_EB005-HoardingPermit_0.4.xsd"
+        assert ns.location == "../urn_au_gov_vic_easybiz_/data_draft_EB005-HoardingPermit_0.4.xsd"
+
+    def test_figure6_cdt_schema_location(self):
+        library = _library("CDTLibrary", "coredatatypes", version="1.0")
+        ns = NamespacePolicy().namespace_for(library)
+        assert ns.file_name == "types_draft_coredatatypes_1.0.xsd"
+
+    def test_version_in_urn_variant(self):
+        library = _library("CDTLibrary", "coredatatypes", version="1.0")
+        ns = NamespacePolicy(include_version_in_urn=True).namespace_for(library)
+        assert ns.urn.endswith(":types:draft:coredatatypes:1.0")
+        assert ns.file_name == "types_draft_coredatatypes_1.0.xsd"
+
+    def test_status_token(self):
+        library = _library("BIELibrary", "Std", status="standard")
+        ns = NamespacePolicy().namespace_for(library)
+        assert ":standard:" in ns.urn
+
+    def test_preferred_prefix_carried(self):
+        library = _library(prefix="commonAggregates")
+        ns = NamespacePolicy().namespace_for(library)
+        assert ns.preferred_prefix == "commonAggregates"
+
+
+class TestPrefixAllocator:
+    def _ns(self, urn, stereotype=BIE_LIBRARY, preferred=None):
+        return LibraryNamespace(urn, "f", "x.xsd", preferred, stereotype)
+
+    def test_user_prefix_used(self):
+        allocator = PrefixAllocator()
+        assert allocator.allocate(self._ns("urn:a", preferred="common")) == "common"
+
+    def test_counter_counts_user_prefixed_libraries_too(self):
+        # Figure 6: commonAggregates is the 1st BIELibrary, LocalLaw the 2nd
+        # -> generated prefix "bie2".
+        allocator = PrefixAllocator()
+        allocator.allocate(self._ns("urn:a", preferred="commonAggregates"))
+        assert allocator.allocate(self._ns("urn:b")) == "bie2"
+
+    def test_counters_are_per_stem(self):
+        allocator = PrefixAllocator()
+        assert allocator.allocate(self._ns("urn:a", CDT_LIBRARY)) == "cdt1"
+        assert allocator.allocate(self._ns("urn:b", QDT_LIBRARY)) == "qdt1"
+        assert allocator.allocate(self._ns("urn:c", CDT_LIBRARY)) == "cdt2"
+
+    def test_stable_per_namespace(self):
+        allocator = PrefixAllocator()
+        first = allocator.allocate(self._ns("urn:a"))
+        again = allocator.allocate(self._ns("urn:a"))
+        assert first == again
+
+    def test_collision_with_reserved_falls_back(self):
+        allocator = PrefixAllocator()
+        allocator.reserve("common", "urn:self")
+        assert allocator.allocate(self._ns("urn:a", preferred="common")) == "bie1"
+
+    def test_generated_collision_skips_taken(self):
+        allocator = PrefixAllocator()
+        allocator.reserve("bie1", "urn:self")
+        assert allocator.allocate(self._ns("urn:a")) == "bie2"
+
+
+class TestAnnotations:
+    def test_entries_contain_mandatory_fields(self):
+        from repro.ndr.annotations import annotation_entries_for
+        from repro.ccts.model import CctsModel
+
+        model = CctsModel("M")
+        business = model.add_business_library("B", "urn:b")
+        bies = business.add_bie_library("L")
+        abie = bies.add_abie("Thing")
+        abie.element.apply_stereotype("ABIE", definition="a thing", version="2.1")
+        entries = dict(annotation_entries_for(abie, "ABIE", "Thing. Details"))
+        assert entries["AcronymCode"] == "ABIE"
+        assert entries["Version"] == "2.1"
+        assert entries["Definition"] == "a thing"
+        assert entries["DictionaryEntryName"] == "Thing. Details"
+
+    def test_defaults_when_unset(self):
+        from repro.ndr.annotations import annotation_entries_for
+        from repro.ccts.model import CctsModel
+
+        model = CctsModel("M")
+        business = model.add_business_library("B", "urn:b")
+        bies = business.add_bie_library("L")
+        abie = bies.add_abie("Bare")
+        entries = dict(annotation_entries_for(abie, "ABIE"))
+        assert entries["Version"] == "1.0"
+        assert "Definition" in entries

@@ -1,0 +1,125 @@
+"""The UPCC profile must match the paper's Figure 3 exactly."""
+
+import pytest
+
+from repro.profile import (
+    COMMON_STEREOTYPES,
+    DATATYPE_STEREOTYPES,
+    MANAGEMENT_STEREOTYPES,
+    UPCC,
+    build_upcc_profile,
+)
+from repro.uml.association import AggregationKind
+from repro.uml.classifier import Class, DataType, Enumeration, PrimitiveType
+from repro.uml.dependency import Dependency
+from repro.uml.elements import NamedElement
+from repro.uml.package import Package
+from repro.uml.property import Property
+
+
+class TestFigure3Inventory:
+    def test_management_package_has_eight_libraries(self):
+        assert sorted(UPCC.stereotype_names("Management")) == [
+            "BIELibrary", "BusinessLibrary", "CCLibrary", "CDTLibrary",
+            "DOCLibrary", "ENUMLibrary", "PRIMLibrary", "QDTLibrary",
+        ]
+
+    def test_datatypes_package_has_six(self):
+        assert sorted(UPCC.stereotype_names("DataTypes")) == [
+            "CDT", "CON", "ENUM", "PRIM", "QDT", "SUP",
+        ]
+
+    def test_common_package_has_nine(self):
+        assert sorted(UPCC.stereotype_names("Common")) == [
+            "ABIE", "ACC", "ASBIE", "ASCC", "BBIE", "BCC", "BIE", "CC", "basedOn",
+        ]
+
+    def test_total_is_twenty_three(self):
+        assert len(UPCC.stereotype_names()) == 23
+
+    def test_constant_tuples_match_packages(self):
+        assert sorted(MANAGEMENT_STEREOTYPES) == sorted(UPCC.stereotype_names("Management"))
+        assert sorted(DATATYPE_STEREOTYPES) == sorted(UPCC.stereotype_names("DataTypes"))
+        assert sorted(COMMON_STEREOTYPES) == sorted(UPCC.stereotype_names("Common"))
+
+    def test_builder_returns_equivalent_fresh_profile(self):
+        fresh = build_upcc_profile()
+        assert fresh.stereotype_names() == UPCC.stereotype_names()
+
+
+class TestMetaclassConstraints:
+    @pytest.mark.parametrize("library", MANAGEMENT_STEREOTYPES)
+    def test_libraries_extend_package(self, library):
+        assert UPCC.get(library).extends(Package("p"))
+        assert not UPCC.get(library).extends(Class("c"))
+
+    @pytest.mark.parametrize(
+        "stereotype,element",
+        [
+            ("ACC", Class("x")),
+            ("ABIE", Class("x")),
+            ("BCC", Property("x")),
+            ("BBIE", Property("x")),
+            ("CON", Property("x")),
+            ("SUP", Property("x")),
+            ("CDT", DataType("x")),
+            ("QDT", DataType("x")),
+            ("PRIM", PrimitiveType("x")),
+            ("ENUM", Enumeration("x")),
+            ("basedOn", Dependency(NamedElement("a"), NamedElement("b"))),
+        ],
+    )
+    def test_concrete_extensions(self, stereotype, element):
+        assert UPCC.get(stereotype).extends(element)
+
+    def test_acc_does_not_extend_property(self):
+        assert not UPCC.get("ACC").extends(Property("x"))
+
+    def test_bcc_does_not_extend_class(self):
+        assert not UPCC.get("BCC").extends(Class("x"))
+
+    def test_abstract_parents(self):
+        assert UPCC.get("CC").abstract
+        assert UPCC.get("BIE").abstract
+        for name in ("ACC", "BCC", "ASCC", "ABIE", "BBIE", "ASBIE"):
+            assert not UPCC.get(name).abstract
+
+
+class TestTaggedValueDefinitions:
+    def test_libraries_require_base_urn(self):
+        tag = UPCC.get("BIELibrary").tag("baseURN")
+        assert tag is not None and tag.required
+
+    def test_libraries_offer_namespace_prefix(self):
+        assert UPCC.get("BIELibrary").tag("namespacePrefix") is not None
+
+    def test_annotation_tags_on_abie(self):
+        abie = UPCC.get("ABIE")
+        assert abie.tag("definition") is not None
+        assert abie.tag("version") is not None
+        assert abie.tag("businessContext") is not None
+
+    def test_based_on_has_no_tags(self):
+        assert UPCC.get("basedOn").tags == ()
+
+
+class TestApplicationOnRealModel:
+    def test_easybiz_model_is_profile_clean(self):
+        from repro.catalog.easybiz import build_easybiz_model
+
+        model = build_easybiz_model().model
+        assert model.profile_problems() == []
+
+    def test_wrong_placement_detected(self):
+        from repro.ccts.model import CctsModel
+
+        model = CctsModel("X")
+        package = model.model.add_package("p")
+        cls = package.add_class("C")
+        cls.apply_stereotype("BCC")  # BCC extends Property, not Class
+        problems = model.profile_problems()
+        assert any("BCC" in p and "Property" in p for p in problems)
+
+    def test_aggregation_kind_values(self):
+        # sanity: the enum the profile semantics rely on
+        assert {kind.value for kind in AggregationKind} == {"none", "shared", "composite"}

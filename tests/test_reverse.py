@@ -1,0 +1,153 @@
+"""Tests for reverse engineering schema sets into UPCC models."""
+
+import pytest
+
+from repro.reverse import reverse_engineer
+from repro.validation import validate_model
+from repro.xsdgen import SchemaGenerator
+
+
+@pytest.fixture
+def reversed_easybiz(easybiz_result):
+    return reverse_engineer(easybiz_result.schema_set()), easybiz_result
+
+
+class TestReconstruction:
+    def test_model_validates_clean(self, reversed_easybiz):
+        report, _ = reversed_easybiz
+        validation = validate_model(report.model)
+        assert validation.ok, str(validation)
+
+    def test_document_detection(self, reversed_easybiz):
+        report, _ = reversed_easybiz
+        assert report.doc_library_names == ["EB005-HoardingPermit"]
+        assert report.root_elements == ["HoardingPermit"]
+
+    def test_libraries_recovered_from_urns(self, reversed_easybiz):
+        report, _ = reversed_easybiz
+        names = {library.name for library in report.model.libraries()}
+        assert {"EB005-HoardingPermit", "CommonAggregates", "LocalLawAggregates",
+                "CommonDataTypes", "coredatatypes", "EnumerationTypes"} <= names
+
+    def test_abies_and_bbies_recovered(self, reversed_easybiz):
+        report, _ = reversed_easybiz
+        permit = report.model.abie("HoardingPermit")
+        assert [b.name for b in permit.bbies] == [
+            "ClosureReason", "IsClosedFootpath", "IsClosedRoad", "SafetyPrecaution",
+        ]
+
+    def test_compound_names_split_back(self, reversed_easybiz):
+        report, _ = reversed_easybiz
+        permit = report.model.abie("HoardingPermit")
+        pairs = {(a.role, a.target.name) for a in permit.asbies}
+        assert pairs == {
+            ("Included", "Attachment"), ("Current", "Application"),
+            ("Included", "Registration"), ("Billing", "Person_Identification"),
+        }
+
+    def test_aggregation_kinds_recovered(self, reversed_easybiz):
+        from repro.uml.association import AggregationKind
+
+        report, _ = reversed_easybiz
+        person = report.model.abie("Person_Identification")
+        assert person.asbie("Assigned").aggregation is AggregationKind.SHARED
+        assert person.asbie("Personal").aggregation is AggregationKind.COMPOSITE
+
+    def test_qdts_and_enums_recovered(self, reversed_easybiz):
+        report, _ = reversed_easybiz
+        qdts = {q.name for q in report.model.qdts()}
+        assert {"CountryType", "CouncilType", "Indicator_Code", "RegistrationType_Code"} <= qdts
+        country = next(q for q in report.model.qdts() if q.name == "CountryType")
+        assert country.content_enum is not None
+        assert country.content_enum.literal_names == ["USA", "AUT", "AUS"]
+
+    def test_shadow_core_layer_synthesized(self, reversed_easybiz):
+        report, _ = reversed_easybiz
+        accs = {acc.name for acc in report.model.accs()}
+        assert {"HoardingPermit", "Attachment", "Application",
+                "Person_Identification", "Signature", "Address", "Registration"} <= accs
+        for abie in report.model.abies():
+            assert abie.based_on is not None
+
+    def test_user_prefix_recovered(self, reversed_easybiz):
+        report, _ = reversed_easybiz
+        common = report.model.library_named("CommonAggregates")
+        assert common.namespace_prefix == "commonAggregates"
+
+
+class TestRoundTrip:
+    def test_regenerated_doc_schema_structurally_identical(self, reversed_easybiz):
+        report, original = reversed_easybiz
+        doc_library = report.model.library_named(report.doc_library_names[0])
+        regenerated = SchemaGenerator(report.model).generate(
+            doc_library, root=report.root_elements[0]
+        )
+        old = original.root.schema
+        new = regenerated.root.schema
+        assert new.target_namespace == old.target_namespace
+        assert sorted(i.namespace for i in new.imports) == sorted(i.namespace for i in old.imports)
+        old_particles = old.complex_type("HoardingPermitType").particle.particles
+        new_particles = new.complex_type("HoardingPermitType").particle.particles
+        assert [(p.name, p.type, p.min_occurs, p.max_occurs) for p in old_particles] == [
+            (p.name, p.type, p.min_occurs, p.max_occurs) for p in new_particles
+        ]
+        assert new.global_element("HoardingPermit").type == old.global_element("HoardingPermit").type
+
+    def test_regenerated_schemas_accept_original_instances(self, reversed_easybiz):
+        from repro.instances import InstanceGenerator
+        from repro.xsd.validator import validate_instance
+
+        report, original = reversed_easybiz
+        message = InstanceGenerator(original.schema_set()).generate("HoardingPermit")
+        doc_library = report.model.library_named(report.doc_library_names[0])
+        regenerated = SchemaGenerator(report.model).generate(
+            doc_library, root=report.root_elements[0]
+        )
+        assert validate_instance(regenerated.schema_set(), message) == []
+
+    def test_backward_compatibility_both_ways(self, reversed_easybiz):
+        from repro.xsd.compat import check_compatibility
+
+        report, original = reversed_easybiz
+        doc_library = report.model.library_named(report.doc_library_names[0])
+        regenerated = SchemaGenerator(report.model).generate(
+            doc_library, root=report.root_elements[0]
+        )
+        forward = check_compatibility(original.schema_set(), regenerated.schema_set())
+        assert forward.is_backward_compatible, [str(c) for c in forward.breaking]
+
+    def test_ecommerce_reverse_round_trip(self, ecommerce):
+        result = SchemaGenerator(ecommerce.model).generate(
+            ecommerce.doc_library, root="PurchaseOrder"
+        )
+        report = reverse_engineer(result.schema_set())
+        assert validate_model(report.model).ok
+        assert report.root_elements == ["PurchaseOrder"]
+        doc_library = report.model.library_named(report.doc_library_names[0])
+        regenerated = SchemaGenerator(report.model).generate(doc_library, root="PurchaseOrder")
+        from repro.instances import InstanceGenerator
+        from repro.xsd.validator import validate_instance
+
+        message = InstanceGenerator(result.schema_set()).generate("PurchaseOrder")
+        assert validate_instance(regenerated.schema_set(), message) == []
+
+
+class TestAnnotationRecovery:
+    def test_definitions_survive_the_round_trip(self, easybiz):
+        from repro.xsdgen import GenerationOptions
+
+        easybiz.hoarding_permit.definition = "Permit to erect a hoarding."
+        easybiz.hoarding_permit.element.set_tagged_value("ABIE", "version", "0.4")
+        options = GenerationOptions(annotated=True)
+        result = SchemaGenerator(easybiz.model, options).generate(
+            easybiz.doc_library, root="HoardingPermit"
+        )
+        report = reverse_engineer(result.schema_set())
+        permit = report.model.abie("HoardingPermit")
+        assert permit.definition == "Permit to erect a hoarding."
+        assert permit.version == "0.4"
+
+    def test_unannotated_schemas_reverse_without_metadata(self, easybiz_result):
+        report = reverse_engineer(easybiz_result.schema_set())
+        permit = report.model.abie("HoardingPermit")
+        assert permit.definition == ""

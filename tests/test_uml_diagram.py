@@ -1,0 +1,71 @@
+"""Unit tests for DOT diagram rendering (Figure 4's diagram side)."""
+
+from repro.uml.diagram import model_to_dot, package_to_dot
+
+
+class TestPackageDiagrams:
+    def test_class_boxes_with_stereotypes_and_attributes(self, easybiz):
+        dot = package_to_dot(easybiz.cc_library.package, "Components")
+        assert dot.startswith("digraph Components {")
+        assert dot.endswith("}")
+        assert "\\<\\<ACC\\>\\> Application" in dot
+        assert "+ CreatedDate: Date [0..1]" in dot
+        assert "shape=record" in dot
+
+    def test_aggregation_diamonds(self, easybiz):
+        dot = package_to_dot(easybiz.cc_library.package)
+        # Composite ASCCs use a filled diamond tail.
+        assert "arrowtail=diamond" in dot
+        # Person_Identification's Assigned ASCC is shared: hollow diamond.
+        assert "arrowtail=odiamond" in dot
+
+    def test_role_names_and_multiplicities_on_edges(self, easybiz):
+        dot = package_to_dot(easybiz.cc_library.package)
+        assert 'label="+Applicant [1]"' in dot
+        assert 'label="+Included [0..*]"' in dot
+
+    def test_based_on_dependencies_dashed(self, easybiz):
+        dot = package_to_dot(easybiz.common_aggregates.package)
+        assert "style=dashed" in dot
+        assert "\\<\\<basedOn\\>\\>" in dot
+
+    def test_enumeration_literals_listed(self, easybiz):
+        dot = package_to_dot(easybiz.enum_library.package)
+        assert "USA = United States of America" in dot
+
+
+class TestModelDiagram:
+    def test_clusters_per_library(self, easybiz):
+        dot = model_to_dot(easybiz.model.model)
+        assert dot.count("subgraph cluster_") >= 8
+        assert '«DOCLibrary» EB005-HoardingPermit' in dot
+        assert '«CCLibrary» CandidateCoreComponents' in dot
+
+    def test_cross_library_edges_present(self, easybiz):
+        dot = model_to_dot(easybiz.model.model)
+        # The DOC library's ASBIE to LocalLaw's Registration crosses clusters.
+        registration = next(
+            line for line in dot.splitlines()
+            if "label=\"+Included [1]\"" in line
+        )
+        assert "->" in registration
+
+    def test_every_stereotyped_classifier_rendered_once(self, easybiz):
+        dot = model_to_dot(easybiz.model.model)
+        for acc in easybiz.model.accs():
+            assert dot.count(f"\\<\\<ACC\\>\\> {acc.name}|") == 1
+
+    def test_figure1_model_diagram(self, figure1):
+        dot = model_to_dot(figure1.model.model)
+        assert "\\<\\<ABIE\\>\\> US_Person" in dot
+        assert "\\<\\<basedOn\\>\\>" in dot
+
+    def test_quoting_of_special_characters(self):
+        from repro.uml.model import Model
+
+        model = Model("Q")
+        package = model.add_package("P")
+        cls = package.add_class("Weird", stereotype="ACC")
+        cls.documentation = 'has "quotes"'
+        dot = model_to_dot(model)
+        assert 'digraph' in dot  # renders without raising

@@ -1,0 +1,94 @@
+"""Unit tests for the model snapshot index."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml.index import ModelIndex
+from repro.uml.model import Model
+
+
+def _model():
+    model = Model("M")
+    lib = model.add_package("lib")
+    a = lib.add_class("A")
+    b = lib.add_class("B")
+    c = lib.add_class("C")
+    other = model.add_package("other")
+    first = other.add_association(a, b, "x")
+    second = lib.add_association(a, c, "y")
+    dep = lib.add_dependency(b, a, stereotype="basedOn")
+    plain = lib.add_dependency(c, a)
+    return model, a, b, c, first, second, dep, plain
+
+
+class TestModelIndex:
+    def test_associations_from(self):
+        model, a, b, c, first, second, *_ = _model()
+        index = ModelIndex(model)
+        # Results come back in model walk order, matching the scan variant.
+        assert index.associations_from(a) == model.associations_anywhere_from(a)
+        assert set(index.associations_from(a)) == {first, second}
+        assert index.associations_from(b) == []
+
+    def test_dependency_lookup(self):
+        model, a, b, c, first, second, dep, plain = _model()
+        index = ModelIndex(model)
+        assert index.dependencies_of(b) == [dep]
+        assert index.dependencies_of(c, "basedOn") == []
+        assert index.dependencies_of(c) == [plain]
+
+    def test_based_on_target(self):
+        model, a, b, *_ = _model()
+        index = ModelIndex(model)
+        assert index.based_on_target(b) is a
+        assert index.based_on_target(a) is None
+
+    def test_duplicate_based_on_raises(self):
+        model, a, b, *_ = _model()
+        model.package("lib").add_dependency(b, a, stereotype="basedOn")
+        index = ModelIndex(model)
+        with pytest.raises(ModelError):
+            index.based_on_target(b)
+
+    def test_index_agrees_with_scan_on_easybiz(self, easybiz):
+        model = easybiz.model.model
+        index = ModelIndex(model)
+        for abie in easybiz.model.abies():
+            scanned = model.associations_anywhere_from(abie.element)
+            assert index.associations_from(abie.element) == scanned
+
+
+class TestIndexedContext:
+    def test_queries_identical_inside_and_outside(self, easybiz):
+        model = easybiz.model.model
+        permit = easybiz.hoarding_permit.element
+        outside = model.associations_anywhere_from(permit)
+        with model.indexed():
+            inside = model.associations_anywhere_from(permit)
+        assert inside == outside
+
+    def test_reentrant(self, easybiz):
+        model = easybiz.model.model
+        with model.indexed() as outer:
+            with model.indexed() as inner:
+                assert inner is outer
+            assert model._active_index is outer
+        assert model._active_index is None
+
+    def test_index_dropped_on_exception(self, easybiz):
+        model = easybiz.model.model
+        with pytest.raises(RuntimeError):
+            with model.indexed():
+                raise RuntimeError("boom")
+        assert model._active_index is None
+
+    def test_generation_results_identical_with_and_without_index(self, easybiz):
+        # The generator uses the index internally; a manual no-index run
+        # through the same builders must match.
+        from repro.xsdgen import SchemaGenerator
+
+        first = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit")
+        second = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit")
+        assert {u: g.to_string() for u, g in first.schemas.items()} == {
+            u: g.to_string() for u, g in second.schemas.items()
+        }

@@ -1,0 +1,147 @@
+"""Unit and property tests for multiplicities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uml.multiplicity import MANY, ONE, ONE_OR_MORE, OPTIONAL, Multiplicity
+
+
+class TestConstruction:
+    def test_defaults_to_exactly_one(self):
+        assert Multiplicity() == Multiplicity(1, 1)
+
+    def test_negative_lower_rejected(self):
+        with pytest.raises(ValueError):
+            Multiplicity(-1, 1)
+
+    def test_upper_below_lower_rejected(self):
+        with pytest.raises(ValueError):
+            Multiplicity(2, 1)
+
+    def test_unbounded_upper(self):
+        assert Multiplicity(0, None).is_unbounded
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1", Multiplicity(1, 1)),
+            ("0..1", Multiplicity(0, 1)),
+            ("0..*", Multiplicity(0, None)),
+            ("*", Multiplicity(0, None)),
+            ("1..*", Multiplicity(1, None)),
+            ("2..5", Multiplicity(2, 5)),
+            (" 0..1 ", Multiplicity(0, 1)),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert Multiplicity.parse(text) == expected
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(ValueError):
+            Multiplicity.parse("")
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(ValueError):
+            Multiplicity.parse("lots")
+
+
+class TestPredicates:
+    def test_optional(self):
+        assert OPTIONAL.is_optional
+        assert not ONE.is_optional
+
+    def test_single(self):
+        assert ONE.is_single
+        assert OPTIONAL.is_single
+        assert not MANY.is_single
+
+    @pytest.mark.parametrize(
+        "mult,count,expected",
+        [
+            (ONE, 1, True),
+            (ONE, 0, False),
+            (ONE, 2, False),
+            (OPTIONAL, 0, True),
+            (MANY, 100, True),
+            (ONE_OR_MORE, 0, False),
+            (Multiplicity(2, 4), 3, True),
+            (Multiplicity(2, 4), 5, False),
+        ],
+    )
+    def test_contains(self, mult, count, expected):
+        assert mult.contains(count) is expected
+
+
+class TestRestriction:
+    def test_equal_is_restriction(self):
+        assert OPTIONAL.is_restriction_of(OPTIONAL)
+
+    def test_narrowing_is_restriction(self):
+        assert ONE.is_restriction_of(OPTIONAL)
+        assert Multiplicity(1, 3).is_restriction_of(Multiplicity(0, None))
+
+    def test_widening_is_not_restriction(self):
+        assert not OPTIONAL.is_restriction_of(ONE)
+        assert not MANY.is_restriction_of(OPTIONAL)
+
+    def test_unbounded_not_restriction_of_bounded(self):
+        assert not ONE_OR_MORE.is_restriction_of(ONE)
+
+
+class TestIntersect:
+    def test_overlap(self):
+        assert Multiplicity(0, 3).intersect(Multiplicity(2, 5)) == Multiplicity(2, 3)
+
+    def test_disjoint(self):
+        assert Multiplicity(0, 1).intersect(Multiplicity(3, 4)) is None
+
+    def test_unbounded(self):
+        assert MANY.intersect(ONE_OR_MORE) == ONE_OR_MORE
+
+
+class TestXsdRendering:
+    def test_min_occurs(self):
+        assert OPTIONAL.min_occurs == "0"
+
+    def test_max_occurs_unbounded(self):
+        assert MANY.max_occurs == "unbounded"
+
+    def test_str_forms(self):
+        assert str(ONE) == "1"
+        assert str(OPTIONAL) == "0..1"
+        assert str(MANY) == "0..*"
+        assert str(Multiplicity(2, 2)) == "2"
+
+
+_mults = st.builds(
+    lambda lower, extra: Multiplicity(lower, None if extra is None else lower + extra),
+    st.integers(0, 5),
+    st.one_of(st.none(), st.integers(0, 5)),
+)
+
+
+class TestProperties:
+    @given(_mults)
+    def test_parse_str_round_trip(self, mult):
+        assert Multiplicity.parse(str(mult)) == mult
+
+    @given(_mults, _mults, st.integers(0, 12))
+    def test_restriction_implies_containment(self, a, b, count):
+        if a.is_restriction_of(b) and a.contains(count):
+            assert b.contains(count)
+
+    @given(_mults, _mults, st.integers(0, 12))
+    def test_intersection_is_conjunction(self, a, b, count):
+        overlap = a.intersect(b)
+        both = a.contains(count) and b.contains(count)
+        if overlap is None:
+            assert not both
+        else:
+            assert overlap.contains(count) == both
+
+    @given(_mults)
+    def test_restriction_is_reflexive(self, mult):
+        assert mult.is_restriction_of(mult)

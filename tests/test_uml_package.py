@@ -1,0 +1,154 @@
+"""Unit tests for packages, classifiers, associations and the model root."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml.association import AggregationKind
+from repro.uml.classifier import Class, DataType, Enumeration, PrimitiveType
+from repro.uml.model import Model
+from repro.uml.package import Package
+
+
+class TestPackageConstruction:
+    def test_add_package_with_stereotype_and_tags(self):
+        root = Package("root")
+        child = root.add_package("lib", stereotype="CCLibrary", baseURN="urn:x")
+        assert child.has_stereotype("CCLibrary")
+        assert child.tagged_value("CCLibrary", "baseURN") == "urn:x"
+        assert child.owner is root
+
+    def test_duplicate_package_rejected(self):
+        root = Package("root")
+        root.add_package("lib")
+        with pytest.raises(ModelError):
+            root.add_package("lib")
+
+    def test_add_classifier_kinds(self):
+        package = Package("p")
+        assert isinstance(package.add_class("C"), Class)
+        assert isinstance(package.add_data_type("D"), DataType)
+        assert isinstance(package.add_primitive_type("P"), PrimitiveType)
+        assert isinstance(package.add_enumeration("E"), Enumeration)
+
+    def test_duplicate_classifier_rejected(self):
+        package = Package("p")
+        package.add_class("C")
+        with pytest.raises(ModelError):
+            package.add_data_type("C")
+
+    def test_lookup(self):
+        package = Package("p")
+        cls = package.add_class("C")
+        assert package.classifier("C") is cls
+        assert package.find_classifier("C") is cls
+        assert package.find_classifier("missing") is None
+        with pytest.raises(ModelError):
+            package.classifier("missing")
+        with pytest.raises(ModelError):
+            package.package("missing")
+
+
+class TestClassifiers:
+    def test_attribute_construction(self):
+        package = Package("p")
+        cls = package.add_class("C")
+        cdt = package.add_data_type("T")
+        prop = cls.add_attribute("field", cdt, "0..1", stereotype="BCC", definition="doc")
+        assert prop.type is cdt
+        assert str(prop.multiplicity) == "0..1"
+        assert prop.tagged_value("BCC", "definition") == "doc"
+
+    def test_duplicate_attribute_rejected(self):
+        cls = Class("C")
+        cls.add_attribute("a")
+        with pytest.raises(ModelError):
+            cls.add_attribute("a")
+
+    def test_attribute_lookup(self):
+        cls = Class("C")
+        prop = cls.add_attribute("a")
+        assert cls.attribute("a") is prop
+        with pytest.raises(ModelError):
+            cls.attribute("missing")
+
+    def test_attributes_with_stereotype(self):
+        cls = Class("C")
+        cls.add_attribute("a", stereotype="BCC")
+        cls.add_attribute("b", stereotype="BCC")
+        cls.add_attribute("c")
+        assert [p.name for p in cls.attributes_with_stereotype("BCC")] == ["a", "b"]
+
+    def test_enumeration_literals(self):
+        enum = Enumeration("E")
+        enum.add_literal("USA", "United States")
+        enum.add_literal("AUT")
+        assert enum.literal_names() == ["USA", "AUT"]
+        assert enum.literals[1].value == "AUT"
+        with pytest.raises(ModelError):
+            enum.add_literal("USA")
+
+
+class TestAssociations:
+    def test_association_shape(self):
+        package = Package("p")
+        a = package.add_class("A")
+        b = package.add_class("B")
+        assoc = package.add_association(a, b, "part", "0..*", AggregationKind.SHARED, stereotype="ASCC")
+        assert assoc.source.type is a
+        assert assoc.target.type is b
+        assert assoc.target.name == "part"
+        assert assoc.is_shared and not assoc.is_composite
+        assert str(assoc.target.multiplicity) == "0..*"
+        assert package.associations_from(a) == [assoc]
+        assert package.associations_from(b) == []
+
+    def test_association_ends_are_walked(self):
+        package = Package("p")
+        a = package.add_class("A")
+        b = package.add_class("B")
+        assoc = package.add_association(a, b, "part")
+        walked = list(assoc.walk())
+        assert assoc.source in walked and assoc.target in walked
+
+
+class TestModelQueries:
+    def _model(self):
+        model = Model("M")
+        lib = model.add_package("lib")
+        a = lib.add_class("A", stereotype="ACC")
+        b = lib.add_class("B", stereotype="ACC")
+        other = model.add_package("other")
+        other.add_association(a, b, "linked", stereotype="ASCC")
+        lib.add_dependency(b, a, stereotype="basedOn")
+        return model, lib, a, b
+
+    def test_all_with_stereotype(self):
+        model, _, a, b = self._model()
+        found = list(model.all_with_stereotype("ACC"))
+        assert a in found and b in found
+
+    def test_associations_anywhere_from_crosses_packages(self):
+        model, _, a, _ = self._model()
+        assert len(model.associations_anywhere_from(a)) == 1
+
+    def test_find_classifier_anywhere(self):
+        model, _, a, _ = self._model()
+        assert model.find_classifier_anywhere("A") is a
+        assert model.find_classifier_anywhere("missing") is None
+
+    def test_based_on_target(self):
+        model, _, a, b = self._model()
+        assert model.based_on_target(b) is a
+        assert model.based_on_target(a) is None
+
+    def test_duplicate_based_on_raises(self):
+        model, lib, a, b = self._model()
+        lib.add_dependency(b, a, stereotype="basedOn")
+        with pytest.raises(ModelError):
+            model.based_on_target(b)
+
+    def test_owning_package_of(self):
+        model, lib, a, _ = self._model()
+        assert model.owning_package_of(a) is lib
+        prop = a.add_attribute("x")
+        assert model.owning_package_of(prop) is a.owner

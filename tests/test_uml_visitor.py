@@ -1,0 +1,64 @@
+"""Unit tests for traversal utilities and the tree renderer."""
+
+from repro.uml.association import AggregationKind
+from repro.uml.classifier import Class
+from repro.uml.model import Model
+from repro.uml.visitor import census, iter_elements, render_tree, summarize, visit
+
+
+def _model():
+    model = Model("M")
+    lib = model.add_package("Lib", stereotype="CCLibrary", baseURN="urn:x")
+    cdt = lib.add_data_type("Text", stereotype="CDT")
+    acc = lib.add_class("Person", stereotype="ACC")
+    acc.add_attribute("FirstName", cdt, "1", stereotype="BCC")
+    other = lib.add_class("Address", stereotype="ACC")
+    lib.add_association(acc, other, "Private", "0..1", AggregationKind.COMPOSITE, stereotype="ASCC")
+    enum = lib.add_enumeration("Codes", stereotype="ENUM")
+    enum.add_literal("A", "Alpha")
+    return model
+
+
+class TestIterAndVisit:
+    def test_iter_elements_filters_by_type(self):
+        model = _model()
+        classes = list(iter_elements(model, Class))
+        assert {cls.name for cls in classes} == {"Person", "Address"}
+
+    def test_visit_touches_every_element(self):
+        model = _model()
+        seen = []
+        visit(model, lambda e: seen.append(e))
+        assert len(seen) == len(list(model.walk()))
+
+
+class TestRenderTree:
+    def test_contains_stereotyped_entries(self):
+        text = render_tree(_model())
+        assert "«CCLibrary» Lib" in text
+        assert "«ACC» Person" in text
+        assert "+ «BCC» FirstName: Text [1]" in text
+        assert "Person -> +Private Address [0..1] (composite)" in text
+        assert "* A = Alpha" in text
+
+    def test_indentation_reflects_nesting(self):
+        lines = render_tree(_model()).splitlines()
+        root = next(line for line in lines if "M" == line.strip())
+        lib = next(line for line in lines if "Lib" in line)
+        assert len(lib) - len(lib.lstrip()) > len(root) - len(root.lstrip())
+
+
+class TestCensus:
+    def test_counts_by_stereotype(self):
+        counts = census(_model())
+        assert counts["ACC"] == 2
+        assert counts["BCC"] == 1
+        assert counts["ASCC"] == 1
+        assert counts["ENUM"] == 1
+        assert counts["CCLibrary"] == 1
+
+    def test_summarize_counts_metaclasses(self):
+        counts = summarize(_model())
+        assert counts["Class"] == 2
+        assert counts["Enumeration"] == 1
+        assert counts["Association"] == 1

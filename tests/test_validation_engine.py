@@ -1,0 +1,79 @@
+"""Unit tests for the validation engine mechanics and diagnostics."""
+
+import pytest
+
+from repro.validation.diagnostics import Diagnostic, Severity, ValidationReport
+from repro.validation.engine import ValidationEngine, default_engine
+
+
+class TestDiagnostics:
+    def test_report_partitions(self):
+        report = ValidationReport()
+        report.error("X-1", "bad")
+        report.warning("X-2", "meh")
+        report.info("X-3", "fyi")
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert not report.ok
+
+    def test_ok_without_errors(self):
+        report = ValidationReport()
+        report.warning("X", "meh")
+        assert report.ok
+
+    def test_summary_counts(self):
+        report = ValidationReport()
+        report.error("X", "bad")
+        assert report.summary() == "1 error(s), 0 warning(s), 1 finding(s) total"
+
+    def test_str_rendering(self):
+        report = ValidationReport()
+        assert "no findings" in str(report)
+        report.error("X-1", "bad thing", "Model.Lib")
+        assert str(report) == "ERROR X-1: bad thing [Model.Lib]"
+
+    def test_extend_merges(self):
+        a, b = ValidationReport(), ValidationReport()
+        a.error("X", "1")
+        b.warning("Y", "2")
+        a.extend(b)
+        assert len(a.diagnostics) == 2
+
+    def test_diagnostic_str_without_location(self):
+        diagnostic = Diagnostic(Severity.WARNING, "W", "careful")
+        assert str(diagnostic) == "WARNING W: careful"
+
+
+class TestEngine:
+    def test_registration_and_run(self):
+        engine = ValidationEngine()
+
+        @engine.register("T-1", "always fires")
+        def rule(model, report):
+            report.error("T-1", "fired")
+
+        report = engine.validate(None)
+        assert [d.code for d in report.diagnostics] == ["T-1"]
+
+    def test_duplicate_code_rejected(self):
+        engine = ValidationEngine()
+        engine.register("T-1", "a")(lambda m, r: None)
+        with pytest.raises(ValueError):
+            engine.register("T-1", "b")(lambda m, r: None)
+
+    def test_basic_only_filters(self):
+        engine = ValidationEngine()
+        engine.register("B", "basic", basic=True)(lambda m, r: r.error("B", "x"))
+        engine.register("F", "full")(lambda m, r: r.error("F", "x"))
+        codes = {d.code for d in engine.validate(None, basic_only=True).diagnostics}
+        assert codes == {"B"}
+
+    def test_default_engine_has_basic_subset(self):
+        engine = default_engine()
+        basics = [rule for rule in engine.rules if rule.basic]
+        assert basics and len(basics) < len(engine.rules)
+
+    def test_rule_codes_in_registration_order(self):
+        engine = default_engine()
+        codes = engine.rule_codes()
+        assert codes[0].startswith("UPCC-P")

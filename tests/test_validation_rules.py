@@ -1,0 +1,307 @@
+"""Every validation rule must fire on a crafted violation and stay silent
+on the clean catalog models."""
+
+import pytest
+
+from repro.ccts.derivation import derive_abie
+from repro.ccts.model import CctsModel
+from repro.profile import ABIE, ASBIE, BBIE, BCC, CON
+from repro.uml.association import AggregationKind
+from repro.validation import validate_model
+from repro.validation.engine import default_engine
+
+
+def _codes(report):
+    return {diagnostic.code for diagnostic in report.diagnostics}
+
+
+@pytest.fixture
+def clean():
+    """A minimal fully valid model to mutate per test."""
+    model = CctsModel("Clean")
+    business = model.add_business_library("B", "urn:clean")
+    prims = business.add_prim_library("Prims")
+    string = prims.add_primitive("String").element
+    cdts = business.add_cdt_library("Cdts")
+    text = cdts.add_cdt("Text")
+    text.set_content(string)
+    code = cdts.add_cdt("Code")
+    code.set_content(string)
+    ccs = business.add_cc_library("Ccs")
+    thing = ccs.add_acc("Thing")
+    thing.add_bcc("Name", text, "0..1")
+    other = ccs.add_acc("Other")
+    other.add_bcc("Name", text, "0..1")
+    thing.add_ascc("Linked", other, "0..1")
+    bies = business.add_bie_library("Bies")
+    other_abie = derive_abie(bies, other)
+    other_abie.include("Name", "0..1")
+    thing_abie = derive_abie(bies, thing)
+    thing_abie.include("Name", "0..1")
+    thing_abie.connect("Linked", other_abie.abie, "0..1", based_on="Linked")
+    return model, business, prims, string, cdts, text, code, ccs, thing, other, bies, thing_abie, other_abie
+
+
+class TestCleanModels:
+    def test_clean_fixture_is_clean(self, clean):
+        report = validate_model(clean[0])
+        assert report.ok and not report.warnings
+
+    def test_catalog_models_have_no_errors(self, easybiz, figure1, ecommerce):
+        for wrapper in (easybiz, figure1, ecommerce):
+            assert validate_model(wrapper.model).ok
+
+    def test_rule_codes_are_unique_and_stable(self):
+        engine = default_engine()
+        codes = engine.rule_codes()
+        assert len(codes) == len(set(codes))
+        assert len(codes) >= 25
+
+
+class TestStructureRules:
+    def test_p01_unknown_stereotype(self, clean):
+        model, _, _, _, _, text, *_ = clean
+        text.element.apply_stereotype("Sparkly")
+        assert "UPCC-P01" in _codes(validate_model(model))
+
+    def test_p02_bcc_outside_acc(self, clean):
+        model, _, _, string, cdts, text, *_ = clean
+        text.element.add_attribute("Wrong", string, "1", stereotype=BCC)
+        assert "UPCC-P02" in _codes(validate_model(model))
+
+    def test_p03_untyped_property(self, clean):
+        model, *_ , ccs, thing, other, bies, thing_abie, other_abie = clean
+        thing.element.add_attribute("Mystery", None, "1", stereotype=BCC)
+        assert "UPCC-P03" in _codes(validate_model(model))
+
+    def test_p04_ascc_to_non_acc(self, clean):
+        model, _, _, _, _, _, _, ccs, thing, *_ = clean
+        plain = ccs.package.add_class("Plain")
+        ccs.package.add_association(thing.element, plain, "Bad", stereotype="ASCC")
+        assert "UPCC-P04" in _codes(validate_model(model))
+
+    def test_p05_missing_role_name(self, clean):
+        model, *_ , ccs, thing, other, bies, thing_abie, other_abie = clean
+        ccs.package.add_association(thing.element, other.element, "", stereotype="ASCC")
+        assert "UPCC-P05" in _codes(validate_model(model))
+
+    def test_p06_mixed_layers(self, clean):
+        model, *_, ccs, thing, other, bies, thing_abie, other_abie = clean
+        thing.element.apply_stereotype(ABIE)
+        codes = _codes(validate_model(model))
+        assert "UPCC-P06" in codes
+
+
+class TestDataTypeRules:
+    def test_d01_cdt_without_content(self, clean):
+        model, _, _, _, cdts, *_ = clean
+        cdts.add_cdt("Hollow")
+        assert "UPCC-D01" in _codes(validate_model(model))
+
+    def test_d01_cdt_with_two_contents(self, clean):
+        model, _, _, string, cdts, text, *_ = clean
+        text.element.add_attribute("Second", string, "1", stereotype=CON)
+        assert "UPCC-D01" in _codes(validate_model(model))
+
+    def test_d02_qdt_without_content(self, clean):
+        model, business, *_ = clean
+        qdts = business.add_qdt_library("Qdts")
+        qdts.add_qdt("Hollow")
+        assert "UPCC-D02" in _codes(validate_model(model))
+
+    def test_d03_qdt_with_foreign_sup(self, clean):
+        model, business, _, string, cdts, text, code, *_ = clean
+        qdts = business.add_qdt_library("Qdts")
+        qdt = qdts.add_qdt("Weird")
+        qdt.element.add_attribute("Content", string, "1", stereotype="CON")
+        qdt.element.add_attribute("Invented", string, "1", stereotype="SUP")
+        qdts.package.add_dependency(qdt.element, code.element, stereotype="basedOn")
+        assert "UPCC-D03" in _codes(validate_model(model))
+
+    def test_d04_component_typed_by_cdt(self, clean):
+        model, _, _, _, cdts, text, code, *_ = clean
+        code.add_supplementary("Nested", text.element, "1")
+        assert "UPCC-D04" in _codes(validate_model(model))
+
+    def test_d05_empty_enum_warns(self, clean):
+        model, business, *_ = clean
+        enums = business.add_enum_library("Enums")
+        enums.add_enumeration("Empty_Code")
+        report = validate_model(model)
+        assert "UPCC-D05" in _codes(report)
+        assert report.ok  # warning, not error
+
+    def test_d07_unknown_primitive_warns(self, clean):
+        model, _, prims, *_ = clean
+        prims.add_primitive("Quaternion")
+        report = validate_model(model)
+        assert "UPCC-D07" in _codes(report)
+        assert report.ok
+
+    def test_d09_widened_sup_warns(self, clean):
+        model, business, _, string, cdts, text, code, *_ = clean
+        code.add_supplementary("Must", string, "1")
+        qdts = business.add_qdt_library("Qdts")
+        from repro.ccts.derivation import derive_qdt
+
+        derive_qdt(qdts, code, "Loose", {"Must": "0..1"})
+        report = validate_model(model)
+        assert "UPCC-D09" in _codes(report)
+        assert report.ok
+
+
+class TestComponentRules:
+    def test_c01_bcc_typed_by_non_cdt(self, clean):
+        model, _, prims, string, _, _, _, ccs, thing, *_ = clean
+        prim_wrapper = type("W", (), {"element": string})
+        thing.element.add_attribute("Raw", string, "1", stereotype=BCC)
+        assert "UPCC-C01" in _codes(validate_model(model))
+
+    def test_c02_empty_acc_warns(self, clean):
+        model, *_ , ccs, thing, other, bies, thing_abie, other_abie = clean
+        ccs.add_acc("Void")
+        report = validate_model(model)
+        assert "UPCC-C02" in _codes(report)
+        assert report.ok
+
+    def test_c03_duplicate_role_and_target(self, clean):
+        model, *_, ccs, thing, other, bies, thing_abie, other_abie = clean
+        thing.add_ascc("Linked", other, "0..1")  # same role+target again
+        assert "UPCC-C03" in _codes(validate_model(model))
+
+    def test_c03_same_role_different_target_allowed(self, clean):
+        model, _, _, _, cdts, text, _, ccs, thing, other, *_ = clean
+        third = ccs.add_acc("Third")
+        third.add_bcc("Name", text, "0..1")
+        thing.add_ascc("Linked", third, "0..1")
+        codes = _codes(validate_model(model))
+        assert "UPCC-C03" not in codes
+
+    def test_c05_composition_cycle_warns(self, clean):
+        model, *_, ccs, thing, other, bies, thing_abie, other_abie = clean
+        other.add_ascc("Back", thing, "0..1", AggregationKind.COMPOSITE)
+        report = validate_model(model)
+        assert "UPCC-C05" in _codes(report)
+        assert report.ok
+
+
+class TestBieRules:
+    def test_b01_orphan_abie(self, clean):
+        model, *_, bies, thing_abie, other_abie = clean
+        bies.add_abie("Orphan")
+        assert "UPCC-B01" in _codes(validate_model(model))
+
+    def test_b02_widened_bbie(self, clean):
+        model, _, _, _, _, text, _, ccs, thing, other, bies, thing_abie, other_abie = clean
+        other_abie.abie.element.add_attribute("Extra", text.element, "1..*", stereotype=BBIE)
+        assert "UPCC-B02" in _codes(validate_model(model))
+
+    def test_b03_bbie_typed_by_primitive(self, clean):
+        model, _, _, string, _, _, _, _, thing, other, bies, thing_abie, other_abie = clean
+        other_abie.abie.element.add_attribute("Raw", string, "0..1", stereotype=BBIE)
+        codes = _codes(validate_model(model))
+        assert "UPCC-B03" in codes
+
+    def test_b04_duplicate_asbie(self, clean):
+        model, *_, bies, thing_abie, other_abie = clean
+        thing_abie.abie.add_asbie("Linked", other_abie.abie, "0..1")
+        assert "UPCC-B04" in _codes(validate_model(model))
+
+    def test_b05_colliding_compound_names(self, clean):
+        model, _, _, _, cdts, text, _, ccs, thing, other, bies, thing_abie, other_abie = clean
+        # A BBIE named exactly like the ASBIE compound name "LinkedOther".
+        thing.add_bcc("LinkedOther", text, "0..1")
+        thing_abie.include("LinkedOther", "0..1")
+        assert "UPCC-B05" in _codes(validate_model(model))
+
+    def test_b06_empty_doc_library(self, clean):
+        model, business, *_ = clean
+        business.add_doc_library("EmptyDoc")
+        assert "UPCC-B06" in _codes(validate_model(model))
+
+
+class TestLibraryAndNamingRules:
+    def test_l01_missing_base_urn(self, clean):
+        model, business, *_ = clean
+        library = business.add_bie_library("NoUrn")
+        library.element.stereotype_applications[library.stereotype].pop("baseURN")
+        assert "UPCC-L01" in _codes(validate_model(model))
+
+    def test_l02_wrong_content_kind(self, clean):
+        model, _, _, _, cdts, *_ = clean
+        cdts.package.add_class("Smuggled", stereotype=ABIE)
+        assert "UPCC-L02" in _codes(validate_model(model))
+
+    def test_l04_duplicate_prefix_warns(self, clean):
+        model, business, *_ = clean
+        business.add_bie_library("One", namespacePrefix="shared")
+        business.add_bie_library("Two", namespacePrefix="shared")
+        report = validate_model(model)
+        assert "UPCC-L04" in _codes(report)
+        assert report.ok
+
+    def test_l05_homeless_acc_warns(self, clean):
+        model, *_ = clean
+        loose = model.model.add_package("Loose")
+        loose.add_class("Stray", stereotype="ACC")
+        report = validate_model(model)
+        assert "UPCC-L05" in _codes(report)
+
+    def test_n01_unusable_name(self, clean):
+        model, _, _, _, cdts, *_ = clean
+        cdts.package.add_data_type("!!!", stereotype="CDT")
+        assert "UPCC-N01" in _codes(validate_model(model))
+
+    def test_n02_unrelated_abie_name_warns(self, clean):
+        model, *_, ccs, thing, other, bies, thing_abie, other_abie = clean
+        stranger = derive_abie(bies, thing, name="CompletelyDifferent")
+        report = validate_model(model)
+        assert "UPCC-N02" in _codes(report)
+        assert report.ok
+
+    def test_n04_library_name_with_colon(self, clean):
+        model, business, *_ = clean
+        business.add_bie_library("bad:name")
+        assert "UPCC-N04" in _codes(validate_model(model))
+
+
+class TestBasicSubset:
+    def test_basic_only_skips_non_basic_rules(self, clean):
+        model, business, *_ = clean
+        enums = business.add_enum_library("Enums")
+        enums.add_enumeration("Empty_Code")  # D05 is non-basic
+        report = validate_model(model, basic_only=True)
+        assert "UPCC-D05" not in _codes(report)
+
+    def test_basic_only_keeps_errors(self, clean):
+        model, *_, bies, thing_abie, other_abie = clean
+        bies.add_abie("Orphan")
+        report = validate_model(model, basic_only=True)
+        assert "UPCC-B01" in _codes(report)
+
+
+class TestNewStructureRules:
+    def test_p07_mismatched_based_on(self, clean):
+        model, *_ , ccs, thing, other, bies, thing_abie, other_abie = clean
+        # An ABIE basedOn a CDT is nonsense and must be flagged.
+        abie = bies.add_abie("Confused")
+        cdt = model.cdt_libraries()[0].cdt("Text")
+        bies.package.add_dependency(abie.element, cdt.element, stereotype="basedOn")
+        assert "UPCC-P07" in _codes(validate_model(model))
+
+    def test_p07_clean_pairs_pass(self, clean):
+        model, *_ = clean
+        report = validate_model(model)
+        assert "UPCC-P07" not in {d.code for d in report.errors}
+
+    def test_l06_classifier_in_business_library(self, clean):
+        model, business, *_ = clean
+        business.package.add_class("Stray")
+        assert "UPCC-L06" in _codes(validate_model(model))
+
+    def test_l06_unstereotyped_subpackage_warns(self, clean):
+        model, business, *_ = clean
+        business.package.add_package("JustAFolder")
+        report = validate_model(model)
+        assert "UPCC-L06" in _codes(report)
+        assert report.ok

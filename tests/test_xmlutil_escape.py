@@ -1,0 +1,72 @@
+"""Unit tests for XML escaping and name validity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xmlutil.escape import (
+    escape_attribute,
+    escape_text,
+    is_valid_ncname,
+    is_valid_xml_name,
+)
+
+
+class TestEscapeText:
+    def test_plain_text_unchanged(self):
+        assert escape_text("hello world") == "hello world"
+
+    def test_ampersand(self):
+        assert escape_text("a & b") == "a &amp; b"
+
+    def test_angle_brackets(self):
+        assert escape_text("<tag>") == "&lt;tag&gt;"
+
+    def test_ampersand_escaped_before_entities(self):
+        # '&lt;' in input must not double-unescape: & first.
+        assert escape_text("&lt;") == "&amp;lt;"
+
+    def test_quotes_untouched_in_text(self):
+        assert escape_text('say "hi"') == 'say "hi"'
+
+
+class TestEscapeAttribute:
+    def test_double_quote(self):
+        assert escape_attribute('a"b') == "a&quot;b"
+
+    def test_newline_and_tab(self):
+        assert escape_attribute("a\nb\tc") == "a&#10;b&#9;c"
+
+    def test_carriage_return(self):
+        assert escape_attribute("a\rb") == "a&#13;b"
+
+    def test_combined(self):
+        assert escape_attribute('<a href="x">&') == "&lt;a href=&quot;x&quot;&gt;&amp;"
+
+
+class TestNameValidity:
+    @pytest.mark.parametrize("name", ["a", "A1", "_x", "xml-name", "na.me", "ns:local", "Ärger"])
+    def test_valid_names(self, name):
+        assert is_valid_xml_name(name)
+
+    @pytest.mark.parametrize("name", ["", "1abc", "-x", ".x", "a b", "a<b"])
+    def test_invalid_names(self, name):
+        assert not is_valid_xml_name(name)
+
+    def test_ncname_rejects_colon(self):
+        assert not is_valid_ncname("ns:local")
+        assert is_valid_ncname("local")
+
+
+class TestEscapeProperties:
+    @given(st.text())
+    def test_text_escape_removes_raw_specials(self, value):
+        escaped = escape_text(value)
+        assert "<" not in escaped
+        assert ">" not in escaped.replace("&gt;", "")
+
+    @given(st.text())
+    def test_attribute_escape_removes_quotes_and_newlines(self, value):
+        escaped = escape_attribute(value)
+        assert '"' not in escaped
+        assert "\n" not in escaped

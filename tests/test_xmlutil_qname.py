@@ -1,0 +1,63 @@
+"""Unit tests for qualified names."""
+
+import pytest
+
+from repro.xmlutil.qname import QName, resolve_prefixed, split_qname
+
+
+class TestQName:
+    def test_clark_notation(self):
+        assert QName("urn:x", "Code").clark() == "{urn:x}Code"
+
+    def test_clark_without_namespace(self):
+        assert QName("", "Code").clark() == "Code"
+
+    def test_from_clark_round_trip(self):
+        qname = QName("urn:x", "Code")
+        assert QName.from_clark(qname.clark()) == qname
+
+    def test_from_clark_bare(self):
+        assert QName.from_clark("Code") == QName("", "Code")
+
+    def test_prefixed_rendering(self):
+        assert QName("urn:x", "Code").prefixed("cdt1") == "cdt1:Code"
+
+    def test_prefixed_without_prefix(self):
+        assert QName("urn:x", "Code").prefixed(None) == "Code"
+
+    def test_equality_and_hash(self):
+        assert QName("a", "b") == QName("a", "b")
+        assert hash(QName("a", "b")) == hash(QName("a", "b"))
+        assert QName("a", "b") != QName("a", "c")
+
+    def test_usable_as_dict_key(self):
+        table = {QName("urn:x", "Code"): 1}
+        assert table[QName("urn:x", "Code")] == 1
+
+    def test_ordering(self):
+        assert QName("a", "b") < QName("a", "c") < QName("b", "a")
+
+
+class TestSplitQname:
+    def test_prefixed(self):
+        assert split_qname("cdt1:CodeType") == ("cdt1", "CodeType")
+
+    def test_unprefixed(self):
+        assert split_qname("CodeType") == (None, "CodeType")
+
+
+class TestResolvePrefixed:
+    def test_resolves_declared_prefix(self):
+        namespaces = {"cdt": "urn:cdt"}
+        assert resolve_prefixed("cdt:Code", namespaces) == QName("urn:cdt", "Code")
+
+    def test_default_namespace(self):
+        namespaces = {None: "urn:default"}
+        assert resolve_prefixed("Code", namespaces) == QName("urn:default", "Code")
+
+    def test_no_default_falls_back_to_empty(self):
+        assert resolve_prefixed("Code", {}) == QName("", "Code")
+
+    def test_undeclared_prefix_raises(self):
+        with pytest.raises(KeyError):
+            resolve_prefixed("nope:Code", {})

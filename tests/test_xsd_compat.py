@@ -1,0 +1,145 @@
+"""Unit tests for the schema-version compatibility checker."""
+
+import pytest
+
+from repro.catalog.easybiz import build_easybiz_model
+from repro.uml.multiplicity import Multiplicity
+from repro.xsd.compat import check_compatibility
+from repro.xsdgen import SchemaGenerator
+
+
+def _generate(model_wrapper):
+    result = SchemaGenerator(model_wrapper.model).generate(
+        model_wrapper.doc_library, root="HoardingPermit"
+    )
+    return result.schema_set()
+
+
+@pytest.fixture
+def baseline():
+    return _generate(build_easybiz_model())
+
+
+class TestIdentity:
+    def test_same_model_is_compatible_both_ways(self, baseline):
+        other = _generate(build_easybiz_model())
+        report = check_compatibility(baseline, other)
+        assert report.changes == []
+        assert report.is_backward_compatible
+
+
+class TestCompatibleEvolution:
+    def test_new_optional_bbie(self, baseline):
+        evolved = build_easybiz_model()
+        permit_acc = evolved.model.acc("HoardingPermit")
+        text = evolved.cdt_library.cdt("Text")
+        permit_acc.add_bcc("Remark", text, "0..1")
+        evolved.hoarding_permit.add_bbie("Remark", text, "0..1")
+        report = check_compatibility(baseline, _generate(evolved))
+        assert report.is_backward_compatible
+        assert any("optional element added" in str(c) for c in report.compatible)
+
+    def test_new_enumeration_value(self, baseline):
+        evolved = build_easybiz_model()
+        evolved.enum_library.enumeration("CountryType_Code").add_literal("NZL", "New Zealand")
+        report = check_compatibility(baseline, _generate(evolved))
+        assert report.is_backward_compatible
+        assert any("'NZL' added" in str(c) for c in report.compatible)
+
+    def test_relaxed_multiplicity(self, baseline):
+        evolved = build_easybiz_model()
+        # Relax core and business layers together (restriction must hold).
+        permit_acc = evolved.model.acc("HoardingPermit")
+        ascc = next(a for a in permit_acc.asccs if a.target.name == "Registration")
+        ascc.element.target.multiplicity = Multiplicity(0, 1)
+        registration = next(
+            a for a in evolved.hoarding_permit.asbies if a.target.name == "Registration"
+        )
+        registration.element.target.multiplicity = Multiplicity(0, 1)
+        report = check_compatibility(baseline, _generate(evolved))
+        assert report.is_backward_compatible
+        assert any("minOccurs lowered" in str(c) for c in report.compatible)
+
+    def test_new_abie_type(self, baseline):
+        evolved = build_easybiz_model()
+        from repro.ccts.derivation import derive_abie
+
+        party_acc = evolved.model.acc("Party")
+        party = derive_abie(evolved.common_aggregates, party_acc)
+        party.include("Description", "0..1")
+        # Wire it so the generator reaches it.
+        evolved.hoarding_permit.add_asbie("Related", party.abie, "0..1")
+        report = check_compatibility(baseline, _generate(evolved))
+        assert report.is_backward_compatible
+
+
+class TestBreakingEvolution:
+    def test_removed_element(self, baseline):
+        evolved = build_easybiz_model()
+        signature = evolved.common_aggregates.abie("Signature")
+        signature.element.attributes.remove(signature.bbie("PersonName").element)
+        report = check_compatibility(baseline, _generate(evolved))
+        assert not report.is_backward_compatible
+        assert any("element removed" in str(c) for c in report.breaking)
+
+    def test_tightened_min_occurs(self, baseline):
+        evolved = build_easybiz_model()
+        closure = evolved.hoarding_permit.bbie("ClosureReason")
+        closure.element.multiplicity = Multiplicity(1, 1)
+        report = check_compatibility(baseline, _generate(evolved))
+        assert any("minOccurs raised" in str(c) for c in report.breaking)
+
+    def test_narrowed_max_occurs(self, baseline):
+        evolved = build_easybiz_model()
+        included = next(
+            a for a in evolved.hoarding_permit.asbies if a.target.name == "Attachment"
+        )
+        included.element.target.multiplicity = Multiplicity(0, 3)
+        report = check_compatibility(baseline, _generate(evolved))
+        assert any("maxOccurs narrowed" in str(c) for c in report.breaking)
+
+    def test_removed_enumeration_value(self, baseline):
+        evolved = build_easybiz_model()
+        country = evolved.enum_library.enumeration("CountryType_Code")
+        country.element.literals = [l for l in country.element.literals if l.name != "AUT"]
+        report = check_compatibility(baseline, _generate(evolved))
+        assert any("'AUT' removed" in str(c) for c in report.breaking)
+
+    def test_attribute_became_required(self, baseline):
+        evolved = build_easybiz_model()
+        code = evolved.cdt_library.cdt("Code")
+        code.supplementary("LanguageIdentifier").element.multiplicity = Multiplicity(1, 1)
+        report = check_compatibility(baseline, _generate(evolved))
+        assert any("became required" in str(c) for c in report.breaking)
+
+    def test_retyped_element(self, baseline):
+        evolved = build_easybiz_model()
+        # Retype in both layers so the model stays a valid restriction.
+        code = evolved.cdt_library.cdt("Code").element
+        evolved.model.acc("HoardingPermit").bcc("ClosureReason").element.type = code
+        evolved.hoarding_permit.bbie("ClosureReason").element.type = code
+        report = check_compatibility(baseline, _generate(evolved))
+        assert any("retyped" in str(c) for c in report.breaking)
+
+    def test_removed_namespace(self, baseline):
+        from repro.xsd.validator import SchemaSet
+
+        partial = SchemaSet(
+            [baseline.schema_for(ns) for ns in baseline.namespaces if "LocalLaw" not in ns]
+        )
+        report = check_compatibility(baseline, partial)
+        assert any("namespace removed" in str(c) for c in report.breaking)
+
+    def test_direction_matters(self, baseline):
+        evolved = build_easybiz_model()
+        permit_acc = evolved.model.acc("HoardingPermit")
+        text = evolved.cdt_library.cdt("Text")
+        permit_acc.add_bcc("Remark", text, "0..1")
+        evolved.hoarding_permit.add_bbie("Remark", text, "0..1")
+        new_set = _generate(evolved)
+        assert check_compatibility(baseline, new_set).is_backward_compatible
+        # Reversed: the old set lacks the element the new one may produce --
+        # still backward compatible for old instances, and the checker sees
+        # the removal as breaking in that direction.
+        reverse = check_compatibility(new_set, baseline)
+        assert any("element removed" in str(c) for c in reverse.breaking)

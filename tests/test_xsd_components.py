@@ -1,0 +1,98 @@
+"""Unit tests for the XSD component model."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.xmlutil.qname import QName
+from repro.xsd.components import (
+    XSD_NS,
+    AttributeDecl,
+    ChoiceGroup,
+    ComplexType,
+    ElementDecl,
+    Facet,
+    Schema,
+    SequenceGroup,
+    SimpleContent,
+    SimpleType,
+)
+from repro.xsd.components import xsd
+
+
+class TestElementDecl:
+    def test_requires_name_or_ref(self):
+        with pytest.raises(SchemaError):
+            ElementDecl()
+        with pytest.raises(SchemaError):
+            ElementDecl(name="a", ref=QName("", "b"))
+
+    def test_occurrence_sanity(self):
+        with pytest.raises(SchemaError):
+            ElementDecl(name="a", min_occurs=-1)
+        with pytest.raises(SchemaError):
+            ElementDecl(name="a", min_occurs=2, max_occurs=1)
+
+    def test_is_ref(self):
+        assert ElementDecl(ref=QName("urn:x", "Y")).is_ref
+        assert not ElementDecl(name="a").is_ref
+
+
+class TestSimpleContentAndFacets:
+    def test_bad_derivation_rejected(self):
+        with pytest.raises(SchemaError):
+            SimpleContent(xsd("string"), derivation="union")
+
+    def test_unknown_facet_rejected(self):
+        with pytest.raises(SchemaError):
+            Facet("sparkle", "much")
+
+    def test_complex_type_cannot_mix_content(self):
+        with pytest.raises(SchemaError):
+            ComplexType("X", particle=SequenceGroup(), simple_content=SimpleContent(xsd("string")))
+
+    def test_enumeration_values(self):
+        simple = SimpleType("S", facets=[Facet("enumeration", "A"), Facet("enumeration", "B"), Facet("pattern", ".")])
+        assert simple.enumeration_values == ["A", "B"]
+
+
+class TestSchemaAccessors:
+    def _schema(self):
+        schema = Schema("urn:t")
+        schema.items.append(ComplexType("CT", particle=SequenceGroup()))
+        schema.items.append(SimpleType("ST"))
+        schema.items.append(ElementDecl(name="Root", type=QName("urn:t", "CT")))
+        return schema
+
+    def test_partitioned_views(self):
+        schema = self._schema()
+        assert [c.name for c in schema.complex_types] == ["CT"]
+        assert [s.name for s in schema.simple_types] == ["ST"]
+        assert [e.name for e in schema.global_elements] == ["Root"]
+
+    def test_named_lookups(self):
+        schema = self._schema()
+        assert schema.complex_type("CT").name == "CT"
+        assert schema.simple_type("ST").name == "ST"
+        assert schema.global_element("Root").name == "Root"
+        with pytest.raises(SchemaError):
+            schema.complex_type("missing")
+        with pytest.raises(SchemaError):
+            schema.simple_type("missing")
+        with pytest.raises(SchemaError):
+            schema.global_element("missing")
+
+    def test_prefix_for(self):
+        schema = Schema("urn:t", prefixes={"t": "urn:t", "x": "urn:x"})
+        assert schema.prefix_for("urn:x") == "x"
+        assert schema.prefix_for("urn:none") is None
+
+    def test_xsd_helper(self):
+        assert xsd("string") == QName(XSD_NS, "string")
+
+    def test_groups_hold_nested_particles(self):
+        group = SequenceGroup([ElementDecl(name="a"), ChoiceGroup([ElementDecl(name="b")])])
+        assert len(group.particles) == 2
+
+    def test_attribute_default_use(self):
+        attr = AttributeDecl("a", xsd("string"))
+        assert attr.use.value == "optional"

@@ -1,0 +1,148 @@
+"""Unit tests for built-in type lexical checks and facet validation."""
+
+import pytest
+
+from repro.xmlutil.qname import QName
+from repro.xsd.components import XSD_NS, Facet
+from repro.xsd.datatypes import (
+    check_builtin,
+    check_facets,
+    is_builtin,
+    normalize_whitespace,
+)
+
+
+def _q(local: str) -> QName:
+    return QName(XSD_NS, local)
+
+
+class TestBuiltinChecks:
+    @pytest.mark.parametrize(
+        "local,value",
+        [
+            ("string", "anything at all\neven newlines"),
+            ("token", "a b c"),
+            ("boolean", "true"),
+            ("boolean", "0"),
+            ("integer", "-42"),
+            ("nonNegativeInteger", "0"),
+            ("positiveInteger", "1"),
+            ("int", "2147483647"),
+            ("byte", "-128"),
+            ("unsignedByte", "255"),
+            ("decimal", "3.14"),
+            ("decimal", ".5"),
+            ("float", "1e10"),
+            ("double", "-INF"),
+            ("double", "NaN"),
+            ("date", "2007-04-15"),
+            ("date", "2007-04-15Z"),
+            ("date", "2007-04-15+02:00"),
+            ("time", "10:30:00"),
+            ("dateTime", "2007-04-15T10:30:00Z"),
+            ("dateTime", "2007-04-15T10:30:00.123+01:00"),
+            ("duration", "P1Y2M3DT4H5M6S"),
+            ("duration", "PT5S"),
+            ("gYear", "2007"),
+            ("gYearMonth", "2007-04"),
+            ("base64Binary", "U2FtcGxl"),
+            ("base64Binary", ""),
+            ("hexBinary", "53616d"),
+            ("anyURI", "urn:example:x"),
+            ("language", "en-US"),
+            ("NCName", "valid_name"),
+        ],
+    )
+    def test_valid_values(self, local, value):
+        assert check_builtin(_q(local), value), f"{value!r} should be a valid {local}"
+
+    @pytest.mark.parametrize(
+        "local,value",
+        [
+            ("boolean", "yes"),
+            ("integer", "4.5"),
+            ("integer", "x"),
+            ("positiveInteger", "0"),
+            ("byte", "128"),
+            ("unsignedByte", "-1"),
+            ("decimal", "1e5"),
+            ("date", "2007-13-01"),
+            ("date", "2007-04-32"),
+            ("date", "April 15"),
+            ("time", "25:00"),
+            ("dateTime", "2007-04-15 10:30:00"),
+            ("dateTime", "2007-15-15T10:30:00"),
+            ("duration", "P"),
+            ("gYear", "07"),
+            ("base64Binary", "@@@@"),
+            ("base64Binary", "QUJ"),
+            ("hexBinary", "5"),
+            ("anyURI", "has space"),
+            ("language", "waytoolongprimarytag"),
+            ("NCName", "1leading"),
+        ],
+    )
+    def test_invalid_values(self, local, value):
+        assert not check_builtin(_q(local), value), f"{value!r} should be an invalid {local}"
+
+    def test_non_xsd_namespace_rejected(self):
+        assert not check_builtin(QName("urn:x", "string"), "x")
+
+    def test_unknown_builtin_is_permissive(self):
+        assert check_builtin(_q("QName"), "whatever")
+
+    def test_is_builtin(self):
+        assert is_builtin(_q("string"))
+        assert not is_builtin(_q("madeUp"))
+        assert not is_builtin(QName("urn:x", "string"))
+
+
+class TestWhitespace:
+    def test_string_preserved(self):
+        assert normalize_whitespace(_q("string"), " a\n b ") == " a\n b "
+
+    def test_token_collapsed(self):
+        assert normalize_whitespace(_q("token"), "  a\n b  ") == "a b"
+
+    def test_normalized_string_replaces(self):
+        assert normalize_whitespace(_q("normalizedString"), "a\nb") == "a b"
+
+    def test_collapse_makes_numbers_valid(self):
+        assert check_builtin(_q("integer"), "  42 ")
+
+
+class TestFacets:
+    def test_enumeration_disjunction(self):
+        facets = [Facet("enumeration", "A"), Facet("enumeration", "B")]
+        assert check_facets(facets, "B", _q("token")) == []
+        problems = check_facets(facets, "C", _q("token"))
+        assert problems and "enumerated" in problems[0]
+
+    def test_pattern(self):
+        facets = [Facet("pattern", "[A-Z]{3}")]
+        assert check_facets(facets, "USD", _q("token")) == []
+        assert check_facets(facets, "usd", _q("token"))
+
+    def test_lengths(self):
+        assert check_facets([Facet("length", "3")], "abc", _q("string")) == []
+        assert check_facets([Facet("length", "3")], "ab", _q("string"))
+        assert check_facets([Facet("minLength", "2")], "a", _q("string"))
+        assert check_facets([Facet("maxLength", "2")], "abc", _q("string"))
+
+    def test_numeric_ranges(self):
+        assert check_facets([Facet("minInclusive", "0")], "0", _q("integer")) == []
+        assert check_facets([Facet("minInclusive", "0")], "-1", _q("integer"))
+        assert check_facets([Facet("maxInclusive", "10")], "11", _q("integer"))
+        assert check_facets([Facet("minExclusive", "0")], "0", _q("integer"))
+        assert check_facets([Facet("maxExclusive", "10")], "10", _q("integer"))
+        assert check_facets([Facet("maxExclusive", "10")], "9.5", _q("decimal")) == []
+
+    def test_digit_facets(self):
+        assert check_facets([Facet("totalDigits", "3")], "1234", _q("integer"))
+        assert check_facets([Facet("totalDigits", "4")], "1234", _q("integer")) == []
+        assert check_facets([Facet("fractionDigits", "2")], "1.234", _q("decimal"))
+        assert check_facets([Facet("fractionDigits", "3")], "1.234", _q("decimal")) == []
+
+    def test_range_facet_on_garbage_value(self):
+        problems = check_facets([Facet("minInclusive", "0")], "abc", _q("integer"))
+        assert problems

@@ -1,0 +1,119 @@
+"""Unit tests for generator orchestration: sessions, memoization, errors."""
+
+import pytest
+
+from repro.ccts.model import CctsModel
+from repro.errors import GenerationError
+from repro.xsdgen import GenerationOptions, SchemaGenerator
+from repro.xsdgen.session import GenerationSession
+
+
+class TestSession:
+    def test_status_accumulates(self):
+        session = GenerationSession()
+        session.status("one")
+        session.status("two")
+        assert session.log == "one\ntwo"
+
+    def test_fail_records_and_raises(self):
+        session = GenerationSession()
+        with pytest.raises(GenerationError):
+            session.fail("boom")
+        assert "ERROR: boom" in session.log
+
+
+class TestOrchestration:
+    def test_memoization_single_schema_per_library(self, easybiz):
+        generator = SchemaGenerator(easybiz.model)
+        result = generator.generate(easybiz.doc_library, root="HoardingPermit")
+        # Six schemas: DOC, 2 BIE, CDT, QDT, ENUM; CDT library referenced
+        # from three places but generated once.
+        assert len(result.schemas) == 6
+
+    def test_generate_by_library_name(self, easybiz):
+        generator = SchemaGenerator(easybiz.model)
+        result = generator.generate("CommonAggregates")
+        assert result.root.library.name == "CommonAggregates"
+
+    def test_prim_library_has_no_generator(self, easybiz):
+        generator = SchemaGenerator(easybiz.model)
+        with pytest.raises(GenerationError, match="PRIMLibraries"):
+            generator.generate(easybiz.prim_library)
+
+    def test_erroneous_model_aborts(self):
+        model = CctsModel("Bad")
+        business = model.add_business_library("B", "urn:bad")
+        bies = business.add_bie_library("L")
+        bies.add_abie("Orphan")  # no basedOn -> UPCC-B01 error
+        generator = SchemaGenerator(model)
+        with pytest.raises(GenerationError, match="erroneous"):
+            generator.generate(bies)
+        assert any("ERROR" in message for message in generator.session.messages)
+
+    def test_validation_can_be_skipped(self):
+        model = CctsModel("Bad")
+        business = model.add_business_library("B", "urn:bad")
+        bies = business.add_bie_library("L")
+        bies.add_abie("Orphan")
+        generator = SchemaGenerator(model, GenerationOptions(validate_first=False))
+        result = generator.generate(bies)
+        assert len(result.schemas) == 1
+
+    def test_status_messages_mention_progress(self, easybiz):
+        generator = SchemaGenerator(easybiz.model)
+        generator.generate(easybiz.doc_library, root="HoardingPermit")
+        log = generator.session.log
+        assert "Selected root element 'HoardingPermit'" in log
+        assert "Generation finished: 6 schema(s)" in log
+
+    def test_write_to_uses_ndr_layout(self, easybiz, tmp_path):
+        options = GenerationOptions(target_directory=tmp_path)
+        generator = SchemaGenerator(easybiz.model, options)
+        generator.generate(easybiz.doc_library, root="HoardingPermit")
+        folder = tmp_path / "urn_au_gov_vic_easybiz_"
+        assert folder.is_dir()
+        files = sorted(path.name for path in folder.iterdir())
+        assert "data_draft_EB005-HoardingPermit_0.4.xsd" in files
+        assert "types_draft_coredatatypes_1.0.xsd" in files
+        assert len(files) == 6
+
+    def test_cyclic_bie_libraries_generate(self):
+        model = CctsModel("Cyclic")
+        business = model.add_business_library("B", "urn:cyc")
+        prims = business.add_prim_library("P")
+        string = prims.add_primitive("String")
+        cdts = business.add_cdt_library("D")
+        text = cdts.add_cdt("Text")
+        text.set_content(string.element)
+        ccs = business.add_cc_library("C")
+        a_acc = ccs.add_acc("A")
+        a_acc.add_bcc("Name", text, "0..1")
+        b_acc = ccs.add_acc("B")
+        b_acc.add_bcc("Name", text, "0..1")
+        a_acc.add_ascc("Linked", b_acc, "0..1")
+        b_acc.add_ascc("Back", a_acc, "0..1")
+        lib1 = business.add_bie_library("L1")
+        lib2 = business.add_bie_library("L2")
+        from repro.ccts.derivation import derive_abie
+
+        a = derive_abie(lib1, a_acc)
+        a.include("Name", "0..1")
+        b = derive_abie(lib2, b_acc)
+        b.include("Name", "0..1")
+        a.connect("Linked", b.abie, "0..1", based_on="Linked")
+        b.connect("Back", a.abie, "0..1", based_on="Back")
+        generator = SchemaGenerator(model)
+        result = generator.generate(lib1)
+        assert len(result.schemas) == 3  # L1, L2, D
+        schema1 = result.schemas[result.root_namespace]
+        imported = {imp.namespace for imp in schema1.schema.imports}
+        assert any(ns.endswith(":L2") for ns in imported)
+        # and L2 imports L1 back
+        l2 = next(g for g in result.schemas.values() if g.library.name == "L2")
+        assert any(imp.namespace.endswith(":L1") for imp in l2.schema.imports)
+
+    def test_result_root_requires_generation(self):
+        from repro.xsdgen.generator import GenerationResult
+
+        with pytest.raises(GenerationError):
+            GenerationResult().root
