@@ -4,15 +4,44 @@ Each ``bench_figN_*`` file regenerates one artifact of the paper and
 asserts the facts visible in that figure; pytest-benchmark measures the
 regeneration.  Session-scoped model fixtures keep setup out of the timed
 regions (the timed callables rebuild whatever they measure).
+
+Set ``REPRO_BENCH_OBS=/path/to/report.json`` to run the whole session
+under tracing and export the span trees plus the metrics snapshot next to
+the bench numbers (see docs/observability.md).  Tracing stays off
+otherwise so timings remain uninstrumented.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.catalog.easybiz import build_easybiz_model
 from repro.catalog.ecommerce import build_ecommerce_model
 from repro.catalog.figure1 import build_figure1_model
+
+
+@pytest.fixture(scope="session", autouse=True)
+def export_observability():
+    """Export span timings and metrics when REPRO_BENCH_OBS names a file."""
+    out = os.environ.get("REPRO_BENCH_OBS")
+    if not out:
+        yield
+        return
+    import repro.obs as obs
+
+    tracer = obs.configure(trace=True, ring_capacity=4096, reset_metrics=True)
+    yield
+    ring = tracer.ring_buffer()
+    payload = {
+        "metrics": obs.get_metrics().snapshot(),
+        "spans": [root.to_dict() for root in (ring.roots if ring is not None else [])],
+    }
+    Path(out).write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    obs.disable()
 
 
 @pytest.fixture(scope="session")

@@ -5,6 +5,8 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import InstanceValidationError, SchemaError
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.xmlutil.qname import QName
 from repro.xmlutil.writer import XmlElement, XmlWriter
 from repro.xsd.components import (
@@ -283,20 +285,24 @@ def marshal(
     validate: bool = True,
 ) -> XmlElement:
     """Build a schema-shaped document from ``data``; validates by default."""
-    element = _Marshaller(schema_set).marshal(root, data)
-    if validate:
-        from repro.xsd.validator import validate_instance
+    with span("binding.marshal", root=str(root), validate=validate):
+        element = _Marshaller(schema_set).marshal(root, data)
+        counter("binding.documents_marshalled").inc()
+        if validate:
+            from repro.xsd.validator import validate_instance
 
-        problems = validate_instance(schema_set, element)
-        if problems:
-            details = "; ".join(str(problem) for problem in problems[:5])
-            raise InstanceValidationError(f"marshalled document is invalid: {details}")
+            problems = validate_instance(schema_set, element)
+            if problems:
+                details = "; ".join(str(problem) for problem in problems[:5])
+                raise InstanceValidationError(f"marshalled document is invalid: {details}")
     return element
 
 
 def marshal_string(schema_set: SchemaSet, root: QName | str, data: Any, validate: bool = True) -> str:
     """Like :func:`marshal` but rendered to a document string."""
-    return XmlWriter().to_string(marshal(schema_set, root, data, validate))
+    text = XmlWriter().to_string(marshal(schema_set, root, data, validate))
+    counter("binding.bytes_serialized").inc(len(text.encode("utf-8")))
+    return text
 
 
 def unmarshal(schema_set: SchemaSet, document: XmlElement | str) -> Any:
@@ -305,4 +311,6 @@ def unmarshal(schema_set: SchemaSet, document: XmlElement | str) -> Any:
         from repro.xmlutil.writer import parse_xml
 
         document = parse_xml(document)
-    return _Unmarshaller(schema_set).unmarshal(document)
+    with span("binding.unmarshal", root=document.tag):
+        counter("binding.documents_unmarshalled").inc()
+        return _Unmarshaller(schema_set).unmarshal(document)

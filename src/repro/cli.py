@@ -16,6 +16,11 @@
     upcc reverse schemas/ --out reconstructed.xmi
     upcc diff a.xmi b.xmi
     upcc compat old-schemas/ new-schemas/
+    upcc stats [easybiz|ecommerce]                # trace/metric report
+
+Observability: every subcommand accepts the global ``--trace`` flag
+(print the span tree of the run to stderr) and ``--metrics-out FILE``
+(write the JSON metrics snapshot); see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -223,6 +228,37 @@ def _cmd_compat(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a catalog generation under tracing and print the obs report."""
+    import repro.obs as obs
+    from repro.catalog import build_easybiz_model, build_ecommerce_model
+    from repro.validation import validate_model
+    from repro.xsdgen import SchemaGenerator
+
+    catalogs = {
+        "easybiz": ("HoardingPermit", build_easybiz_model),
+        "ecommerce": ("PurchaseOrder", build_ecommerce_model),
+    }
+    root, build = catalogs[args.name]
+    tracer = obs.configure(trace=True, reset_metrics=True)
+    catalog = build()
+    generator = SchemaGenerator(catalog.model)
+    for _ in range(max(1, args.runs)):
+        result = generator.generate(catalog.doc_library, root=root)
+    report = validate_model(catalog.model)
+    print(f"model: {args.name} ({len(result.schemas)} schema(s), "
+          f"{report.summary()})")
+    print()
+    print("== span tree ==")
+    ring = tracer.ring_buffer()
+    if ring is not None:
+        print(ring.render_tree())
+    print()
+    print("== metrics ==")
+    print(obs.get_metrics().render_text())
+    return 0
+
+
 def _cmd_check_instance(args: argparse.Namespace) -> int:
     from repro.xsd.validator import SchemaSet, validate_instance
 
@@ -242,6 +278,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="upcc",
         description="UML Profile for Core Components: modeling, validation and XSD generation",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace the run and print the span tree to stderr afterwards",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the JSON metrics snapshot of the run to FILE",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -341,6 +387,19 @@ def build_parser() -> argparse.ArgumentParser:
     compat.add_argument("new", help="directory of the new schemas")
     compat.set_defaults(func=_cmd_compat)
 
+    stats = commands.add_parser(
+        "stats", help="generate a catalog model under tracing and print the obs report"
+    )
+    stats.add_argument(
+        "name", nargs="?", default="easybiz", choices=["easybiz", "ecommerce"],
+        help="catalog model to run (default: easybiz)",
+    )
+    stats.add_argument(
+        "--runs", type=int, default=2,
+        help="generation runs on the same generator (default 2, so memo hits show)",
+    )
+    stats.set_defaults(func=_cmd_stats)
+
     return parser
 
 
@@ -348,11 +407,43 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    observed = args.trace or args.metrics_out
+    if observed and args.command != "stats":
+        import repro.obs as obs
+
+        obs.configure(trace=args.trace, reset_metrics=True)
+    status = 0
     try:
-        return args.func(args)
+        status = args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        status = 1
+    finally:
+        if observed:
+            try:
+                _report_observability(args)
+            except OSError as error:
+                print(
+                    f"error: cannot write metrics to {args.metrics_out}: {error}",
+                    file=sys.stderr,
+                )
+                status = status or 1
+    return status
+
+
+def _report_observability(args: argparse.Namespace) -> None:
+    import repro.obs as obs
+
+    if args.trace and args.command != "stats":
+        ring = obs.get_tracer().ring_buffer()
+        if ring is not None:
+            print("== span tree ==", file=sys.stderr)
+            print(ring.render_tree(), file=sys.stderr)
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            obs.get_metrics().render_json() + "\n", encoding="utf-8"
+        )
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,142 @@
+"""Pipeline observability: tracing spans, metrics, logging interop.
+
+Zero-dependency, stdlib-only.  Three parts:
+
+* :mod:`repro.obs.trace` -- hierarchical :class:`Span` context managers
+  collected by a thread-safe :class:`Tracer` with pluggable sinks
+  (in-memory ring buffer, logfmt-to-stderr, JSON-lines file),
+* :mod:`repro.obs.metrics` -- named counters, gauges and histogram timers
+  with a deterministic ``snapshot()`` / ``render_text()`` /
+  ``render_json()`` reporting API,
+* :mod:`repro.obs.logging_bridge` -- standard :mod:`logging` loggers for
+  the pipeline plus a handler that forwards records into the trace sinks.
+
+Everything is off by default and costs one attribute check per
+instrumented site.  Turn it on with::
+
+    import repro.obs
+
+    tracer = repro.obs.configure(trace=True)
+    ... run the pipeline ...
+    print(tracer.ring_buffer().render_tree())
+    print(repro.obs.get_metrics().render_text())
+
+or from the CLI with ``upcc --trace --metrics-out metrics.json ...`` and
+``upcc stats``.  The metric name catalog and sink formats are documented
+in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+from repro.obs.logging_bridge import (
+    PIPELINE_LOGGERS,
+    TraceSinkHandler,
+    get_logger,
+    unwire_logging,
+    wire_logging,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    set_registry,
+)
+from repro.obs.trace import (
+    JsonLinesSink,
+    LogfmtSink,
+    RingBufferSink,
+    Span,
+    SpanSink,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry (alias of :func:`get_registry`)."""
+    return get_registry()
+
+
+def configure(
+    *,
+    trace: bool = True,
+    ring_capacity: int = 1024,
+    logfmt_stream: TextIO | None = None,
+    jsonl_path: str | Path | TextIO | None = None,
+    sinks: list[SpanSink] | None = None,
+    reset_metrics: bool = False,
+    logging_interop: bool = True,
+) -> Tracer:
+    """Set up the process-global observability state; returns the tracer.
+
+    ``trace`` toggles span collection (a ring-buffer sink is always
+    attached when on, so :meth:`Tracer.ring_buffer` works); pass
+    ``logfmt_stream`` (e.g. ``sys.stderr``) for live logfmt lines and/or
+    ``jsonl_path`` for a JSON-lines file.  Extra ``sinks`` are attached
+    as given.  ``reset_metrics`` clears the registry first, giving a run
+    a clean snapshot.  ``logging_interop`` routes ``repro.*`` log records
+    through the same sinks; it is skipped when tracing is off.
+    """
+    tracer = get_tracer()
+    tracer.clear_sinks()
+    tracer.enabled = trace
+    if trace:
+        tracer.add_sink(RingBufferSink(ring_capacity))
+        if logfmt_stream is not None:
+            tracer.add_sink(LogfmtSink(logfmt_stream))
+        if jsonl_path is not None:
+            tracer.add_sink(JsonLinesSink(jsonl_path))
+        for sink in sinks or []:
+            tracer.add_sink(sink)
+        if logging_interop:
+            wire_logging(tracer)
+    else:
+        unwire_logging()
+    if reset_metrics:
+        get_registry().reset()
+    return tracer
+
+
+def disable() -> None:
+    """Turn tracing off and detach all sinks (metrics keep counting)."""
+    configure(trace=False)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesSink",
+    "LogfmtSink",
+    "MetricsRegistry",
+    "PIPELINE_LOGGERS",
+    "RingBufferSink",
+    "Span",
+    "SpanSink",
+    "TraceSinkHandler",
+    "Tracer",
+    "configure",
+    "counter",
+    "disable",
+    "gauge",
+    "get_logger",
+    "get_metrics",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "unwire_logging",
+    "wire_logging",
+]

@@ -1,0 +1,244 @@
+"""A process-wide metrics registry: counters, gauges and histogram timers.
+
+Instruments are created lazily and keyed by ``name`` plus sorted labels
+(``validation.rule_ms{rule=UPCC-P01}``), so instrumented code never has to
+pre-register anything::
+
+    from repro.obs.metrics import counter, histogram
+
+    counter("xsdgen.schemas_generated").inc()
+    with histogram("validation.rule_ms", rule=code).time():
+        run_rule()
+
+The registry is thread-safe, always on (increments are two dict lookups
+and an integer add -- cheap enough to leave enabled permanently), and
+exposes :meth:`MetricsRegistry.snapshot` / ``render_text`` /
+``render_json`` for reporting.  Snapshots are deterministic: keys are
+sorted, histogram aggregates are rounded.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+def _metric_key(name: str, labels: dict[str, Any]) -> str:
+    if not labels:
+        return name
+    if len(labels) == 1:
+        [(key, value)] = labels.items()
+        return f"{name}{{{key}={value}}}"
+    rendered = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, memo size, ...)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Overwrite the current value."""
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1)."""
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` (default 1)."""
+        self.inc(-amount)
+
+
+class Histogram:
+    """Aggregates observations: count, sum, min, max (milliseconds for timers)."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Time the enclosed block and observe its wall time in ms."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe((time.perf_counter() - start) * 1000.0)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float | int]:
+        """Deterministic aggregate view of the distribution."""
+        return {
+            "count": self.count,
+            "sum": round(self.total, 3),
+            "min": round(self.min, 3) if self.min is not None else 0.0,
+            "max": round(self.max, 3) if self.max is not None else 0.0,
+            "mean": round(self.mean, 3),
+        }
+
+
+class MetricsRegistry:
+    """Lazily creates and holds every instrument, keyed by name+labels."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors -----------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter for ``name`` + labels, created on first use."""
+        key = _metric_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(key, Counter(key, self._lock))
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge for ``name`` + labels, created on first use."""
+        key = _metric_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge(key, self._lock))
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The histogram for ``name`` + labels, created on first use."""
+        key = _metric_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(key, Histogram(key, self._lock))
+        return instrument
+
+    # -- reporting ----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as one sorted, JSON-ready mapping.
+
+        Counters map to ints, gauges to floats, histograms to their
+        aggregate dicts.  Calling twice without interleaved updates yields
+        an identical object.
+        """
+        with self._lock:
+            counters = {key: c.value for key, c in self._counters.items()}
+            gauges = {key: g.value for key, g in self._gauges.items()}
+            histograms = {key: h.to_dict() for key, h in self._histograms.items()}
+        merged: dict[str, Any] = {}
+        merged.update(counters)
+        merged.update(gauges)
+        merged.update(histograms)
+        return {key: merged[key] for key in sorted(merged)}
+
+    def render_text(self) -> str:
+        """The snapshot as aligned ``name value`` lines for terminals."""
+        snapshot = self.snapshot()
+        if not snapshot:
+            return "(no metrics recorded)"
+        width = max(len(key) for key in snapshot)
+        lines = []
+        for key, value in snapshot.items():
+            if isinstance(value, dict):
+                rendered = (
+                    f"count={value['count']} sum={value['sum']}ms "
+                    f"min={value['min']}ms max={value['max']}ms mean={value['mean']}ms"
+                )
+            else:
+                rendered = str(value)
+            lines.append(f"{key.ljust(width)}  {rendered}")
+        return "\n".join(lines)
+
+    def render_json(self, indent: int | None = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh CLI runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-global registry used by all pipeline instrumentation.
+_global_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _global_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-global registry; returns the previous one."""
+    global _global_registry
+    previous = _global_registry
+    _global_registry = registry
+    return previous
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    """Shortcut: a counter on the global registry."""
+    return _global_registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    """Shortcut: a gauge on the global registry."""
+    return _global_registry.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: Any) -> Histogram:
+    """Shortcut: a histogram on the global registry."""
+    return _global_registry.histogram(name, **labels)

@@ -5,10 +5,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from repro.obs.logging_bridge import get_logger
+from repro.obs.metrics import counter, histogram
+from repro.obs.trace import span
 from repro.validation.diagnostics import ValidationReport
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ccts.model import CctsModel
+
+_log = get_logger("repro.validation")
 
 #: A rule is a callable writing findings into a report.
 RuleFunc = Callable[["CctsModel", ValidationReport], None]
@@ -48,14 +53,30 @@ class ValidationEngine:
         snapshot index (O(1) association/dependency lookups).
         """
         import contextlib
+        from time import perf_counter
 
         report = ValidationReport()
         context = model.model.indexed() if model is not None else contextlib.nullcontext()
-        with context:
+        with span("validation.run", basic_only=basic_only) as run_span, context:
+            fired = 0
             for rule in self.rules:
                 if basic_only and not rule.basic:
                     continue
-                rule.func(model, report)
+                before = len(report.diagnostics)
+                with span("validation.rule", rule=rule.code) as rule_span:
+                    started = perf_counter()
+                    rule.func(model, report)
+                    elapsed_ms = (perf_counter() - started) * 1000.0
+                    rule_span.set(findings=len(report.diagnostics) - before)
+                histogram("validation.rule_ms", rule=rule.code).observe(elapsed_ms)
+                fired += 1
+                for diagnostic in report.diagnostics[before:]:
+                    counter("validation.findings", severity=diagnostic.severity.value).inc()
+            counter("validation.rules_fired").inc(fired)
+            run_span.set(rules=fired, findings=len(report.diagnostics))
+            _log.info(
+                "validation ran %d rule(s): %d finding(s)", fired, len(report.diagnostics)
+            )
         return report
 
     def rule_codes(self) -> list[str]:

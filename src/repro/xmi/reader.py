@@ -11,6 +11,9 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.errors import XmiError
+from repro.obs.logging_bridge import get_logger
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.uml.association import AggregationKind, Association, AssociationEnd
 from repro.uml.classifier import Class, Classifier, DataType, Enumeration, PrimitiveType
 from repro.uml.dependency import Dependency
@@ -191,6 +194,9 @@ class _Loader:
             element.apply_stereotype(stereotype, **tags)
 
 
+_log = get_logger("repro.xmi")
+
+
 def model_from_xmi(root: XmlElement) -> Model:
     """Load a model from a parsed ``xmi:XMI`` element tree."""
     if root.tag != "xmi:XMI":
@@ -198,10 +204,14 @@ def model_from_xmi(root: XmlElement) -> Model:
     model_node = root.find("uml:Model")
     if model_node is None:
         raise XmiError("document contains no uml:Model")
-    loader = _Loader()
-    model = loader.load_model(model_node)
-    loader.resolve()
-    loader.apply_stereotypes(root)
+    with span("xmi.load") as load_span:
+        loader = _Loader()
+        model = loader.load_model(model_node)
+        loader.resolve()
+        loader.apply_stereotypes(root)
+        counter("xmi.elements_parsed").inc(len(loader.by_id))
+        load_span.set(model=model.name, elements=len(loader.by_id))
+        _log.debug("loaded model %r: %d element(s)", model.name, len(loader.by_id))
     return model
 
 
@@ -211,4 +221,6 @@ def read_xmi(source: str | Path) -> Model:
         text = Path(source).read_text(encoding="utf-8")
     else:
         text = source
-    return model_from_xmi(parse_xml(text))
+    with span("xmi.read", bytes=len(text)):
+        counter("xmi.bytes_read").inc(len(text))
+        return model_from_xmi(parse_xml(text))

@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.ccts.libraries import BieLibrary
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.xsdgen.abie_types import append_abie
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -22,6 +24,8 @@ def build(builder: "SchemaBuilder") -> None:
     """Populate the builder's schema for a BIELibrary."""
     library = builder.library
     assert isinstance(library, BieLibrary)
-    for abie in library.abies:
-        builder.generator.session.status(f"Processing ABIE {abie.name!r}")
-        append_abie(builder, abie)
+    with span("xsdgen.build.bie", library=library.name, abies=len(library.abies)):
+        for abie in library.abies:
+            builder.generator.session.status(f"Processing ABIE {abie.name!r}")
+            append_abie(builder, abie)
+        counter("xsdgen.abies_processed").inc(len(library.abies))

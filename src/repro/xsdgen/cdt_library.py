@@ -15,6 +15,8 @@ from typing import TYPE_CHECKING
 from repro.ccts.data_types import CoreDataType
 from repro.ccts.libraries import CdtLibrary
 from repro.ndr.names import attribute_name, complex_type_name, enum_simple_type_name
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.uml.classifier import Classifier, Enumeration
 from repro.xmlutil.qname import QName
 from repro.xsd.components import AttributeDecl, AttributeUse, ComplexType, SimpleContent
@@ -61,6 +63,12 @@ def build(builder: "SchemaBuilder") -> None:
     library = builder.library
     assert isinstance(library, CdtLibrary)
     session = builder.generator.session
+    with span("xsdgen.build.cdt", library=library.name, cdts=len(library.cdts)):
+        _build(builder, library, session)
+
+
+def _build(builder: "SchemaBuilder", library: CdtLibrary, session) -> None:
+    counter("xsdgen.data_types_processed").inc(len(library.cdts))
     for cdt in library.cdts:
         session.status(f"Processing CDT {cdt.name!r}")
         content = cdt.content_component

@@ -17,6 +17,8 @@ from repro.ccts.bie import Abie
 from repro.ccts.libraries import DocLibrary
 from repro.errors import CctsError
 from repro.ndr.names import complex_type_name
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.xsd.components import ElementDecl
 from repro.xsdgen.abie_types import append_abie
 
@@ -30,20 +32,24 @@ def build(builder: "SchemaBuilder", root: Abie | str | None) -> None:
     assert isinstance(library, DocLibrary)
     session = builder.generator.session
 
-    root_abie = _resolve_root(library, root, builder)
-    session.status(f"Selected root element {root_abie.name!r}")
+    with span("xsdgen.build.doc", library=library.name) as build_span:
+        root_abie = _resolve_root(library, root, builder)
+        session.status(f"Selected root element {root_abie.name!r}")
+        build_span.set(root=root_abie.name)
 
-    for abie in _reachable_local_abies(library, root_abie):
-        session.status(f"Processing ABIE {abie.name!r}")
-        append_abie(builder, abie)
+        abies = _reachable_local_abies(library, root_abie)
+        for abie in abies:
+            session.status(f"Processing ABIE {abie.name!r}")
+            append_abie(builder, abie)
+        counter("xsdgen.abies_processed").inc(len(abies))
 
-    builder.schema.items.append(
-        ElementDecl(
-            name=root_abie.name,
-            type=builder.own_qname(complex_type_name(root_abie.name)),
-            annotation=builder.annotation_for(root_abie, "ABIE", root_abie.den()),
+        builder.schema.items.append(
+            ElementDecl(
+                name=root_abie.name,
+                type=builder.own_qname(complex_type_name(root_abie.name)),
+                annotation=builder.annotation_for(root_abie, "ABIE", root_abie.den()),
+            )
         )
-    )
 
 
 def _resolve_root(library: DocLibrary, root: Abie | str | None, builder: "SchemaBuilder") -> Abie:

@@ -15,6 +15,8 @@ from typing import TYPE_CHECKING
 
 from repro.ccts.libraries import EnumLibrary
 from repro.ndr.names import enum_simple_type_name
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.xmlutil.qname import QName
 from repro.xsd.components import XSD_NS, Annotation, Facet, SimpleType
 
@@ -26,6 +28,12 @@ def build(builder: "SchemaBuilder") -> None:
     """Populate the builder's schema for an ENUMLibrary."""
     library = builder.library
     assert isinstance(library, EnumLibrary)
+    with span("xsdgen.build.enum", library=library.name, enums=len(library.enumerations)):
+        _build(builder, library)
+
+
+def _build(builder: "SchemaBuilder", library: EnumLibrary) -> None:
+    counter("xsdgen.enums_processed").inc(len(library.enumerations))
     for enum in library.enumerations:
         builder.generator.session.status(f"Processing ENUM {enum.name!r}")
         annotation = builder.annotation_for(enum, "ENUM", enum.name)

@@ -17,6 +17,9 @@ from repro.ccts.libraries import Library
 from repro.ccts.model import CctsModel
 from repro.errors import GenerationError
 from repro.ndr.annotations import CCTS_DOCUMENTATION_NS, annotation_entries_for
+from repro.obs.logging_bridge import get_logger
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.ndr.namespaces import LibraryNamespace, NamespacePolicy, PrefixAllocator, prefix_stem
 from repro.profile import (
     BIE_LIBRARY,
@@ -34,6 +37,8 @@ from repro.xsdgen.session import GenerationOptions, GenerationSession
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ccts.bie import Abie
+
+_log = get_logger("repro.xsdgen")
 
 
 @dataclass
@@ -61,7 +66,16 @@ class GenerationResult:
     def root(self) -> GeneratedSchema:
         """The schema generated for the library the run started from."""
         if self.root_namespace is None:
-            raise GenerationError("generation produced no root schema")
+            generated = sorted(g.library.name for g in self.schemas.values())
+            if generated:
+                raise GenerationError(
+                    "generation produced no root schema (libraries generated: "
+                    + ", ".join(generated)
+                    + ")"
+                )
+            raise GenerationError(
+                "generation produced no root schema (no libraries were generated)"
+            )
         return self.schemas[self.root_namespace]
 
     def schema_set(self) -> SchemaSet:
@@ -77,13 +91,18 @@ class GenerationResult:
         """
         directory = Path(directory)
         written: list[Path] = []
-        for urn in sorted(self.schemas):
-            generated = self.schemas[urn]
-            folder = directory / generated.namespace.folder
-            folder.mkdir(parents=True, exist_ok=True)
-            path = folder / generated.namespace.file_name
-            path.write_text(generated.to_string(), encoding="utf-8")
-            written.append(path)
+        with span("xsdgen.write", directory=str(directory)) as write_span:
+            for urn in sorted(self.schemas):
+                generated = self.schemas[urn]
+                folder = directory / generated.namespace.folder
+                folder.mkdir(parents=True, exist_ok=True)
+                path = folder / generated.namespace.file_name
+                text = generated.to_string()
+                path.write_text(text, encoding="utf-8")
+                counter("xsdgen.bytes_written").inc(len(text.encode("utf-8")))
+                counter("xsdgen.files_written").inc()
+                written.append(path)
+            write_span.set(files=len(written))
         return written
 
 
@@ -130,6 +149,7 @@ class SchemaBuilder:
             )
             prefix = self.allocator.allocate(generated.namespace)
             self.schema.prefixes[prefix] = generated.namespace.urn
+            counter("xsdgen.imports_resolved").inc()
             self.generator.session.status(
                 f"Imported {generated.namespace.urn} as prefix "
                 f"{self.schema.prefix_for(generated.namespace.urn)!r}"
@@ -160,6 +180,10 @@ class SchemaGenerator:
         self.session = GenerationSession()
         self._generated: dict[int, GeneratedSchema] = {}
         self._in_progress: set[int] = set()
+        # ensure_library is the hottest instrumented call site; bind its
+        # counters once per generator instead of per lookup.
+        self._memo_hits = counter("xsdgen.memo_hits")
+        self._memo_misses = counter("xsdgen.memo_misses")
 
     # -- public API -----------------------------------------------------------------
 
@@ -172,20 +196,26 @@ class SchemaGenerator:
         """
         if isinstance(library, str):
             library = self.model.library_named(library)
-        if self.options.validate_first:
-            self._validate_first()
-        self.session.status(f"Generating schema for {library.stereotype} {library.name!r}")
-        with self.model.model.indexed():
-            generated = self.ensure_library(library, root)
-        result = GenerationResult(
-            schemas={g.namespace.urn: g for g in self._generated.values()},
-            session=self.session,
-            root_namespace=generated.namespace.urn,
-        )
-        self.session.status(f"Generation finished: {len(result.schemas)} schema(s)")
-        if self.options.target_directory is not None:
-            paths = result.write_to(self.options.target_directory)
-            self.session.status(f"Wrote {len(paths)} schema file(s) to {self.options.target_directory}")
+        with span("xsdgen.generate", library=library.name) as generate_span:
+            if self.options.validate_first:
+                self._validate_first()
+            self.session.status(f"Generating schema for {library.stereotype} {library.name!r}")
+            _log.info("generating schema for %s %r", library.stereotype, library.name)
+            with self.model.model.indexed():
+                generated = self.ensure_library(library, root)
+            result = GenerationResult(
+                schemas={g.namespace.urn: g for g in self._generated.values()},
+                session=self.session,
+                root_namespace=generated.namespace.urn,
+            )
+            generate_span.set(schemas=len(result.schemas))
+            self.session.status(f"Generation finished: {len(result.schemas)} schema(s)")
+            _log.info("generation finished: %d schema(s)", len(result.schemas))
+            if self.options.target_directory is not None:
+                paths = result.write_to(self.options.target_directory)
+                self.session.status(
+                    f"Wrote {len(paths)} schema file(s) to {self.options.target_directory}"
+                )
         return result
 
     # -- internals ----------------------------------------------------------------------
@@ -212,7 +242,9 @@ class SchemaGenerator:
         key = id(library.element)
         existing = self._generated.get(key)
         if existing is not None:
+            self._memo_hits.inc()
             return existing
+        self._memo_misses.inc()
         if key in self._in_progress:
             # Cycle: hand back namespace facts with a placeholder schema.
             namespace = self.policy.namespace_for(library)
@@ -242,20 +274,25 @@ class SchemaGenerator:
                 f"no schema generation mechanism is implemented for PRIMLibraries "
                 f"({library.name!r}); XSD built-in types are used instead"
             )
-        builder = SchemaBuilder(self, library)
-        self.session.status(f"Building {stereotype} schema {builder.namespace.urn}")
-        if stereotype == DOC_LIBRARY:
-            doc_library.build(builder, root)
-        elif stereotype == BIE_LIBRARY:
-            bie_library.build(builder)
-        elif stereotype == CDT_LIBRARY:
-            cdt_library.build(builder)
-        elif stereotype == QDT_LIBRARY:
-            qdt_library.build(builder)
-        elif stereotype == ENUM_LIBRARY:
-            enum_library.build(builder)
-        else:
-            self.session.fail(f"cannot generate a schema for library stereotype {stereotype!r}")
+        with span("xsdgen.library", library=library.name, stereotype=stereotype):
+            builder = SchemaBuilder(self, library)
+            self.session.status(f"Building {stereotype} schema {builder.namespace.urn}")
+            _log.debug("building %s schema %s", stereotype, builder.namespace.urn)
+            if stereotype == DOC_LIBRARY:
+                doc_library.build(builder, root)
+            elif stereotype == BIE_LIBRARY:
+                bie_library.build(builder)
+            elif stereotype == CDT_LIBRARY:
+                cdt_library.build(builder)
+            elif stereotype == QDT_LIBRARY:
+                qdt_library.build(builder)
+            elif stereotype == ENUM_LIBRARY:
+                enum_library.build(builder)
+            else:
+                self.session.fail(
+                    f"cannot generate a schema for library stereotype {stereotype!r}"
+                )
+            counter("xsdgen.schemas_generated").inc()
         return GeneratedSchema(library, builder.namespace, builder.schema)
 
     def library_of(self, wrapper: ElementWrapper) -> Library:

@@ -26,6 +26,8 @@ from typing import TYPE_CHECKING
 
 from repro.ccts.libraries import QdtLibrary
 from repro.ndr.names import attribute_name, complex_type_name
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.xsd.components import AttributeDecl, AttributeUse, ComplexType, SimpleContent
 from repro.xsdgen.cdt_library import component_type_qname, supplementary_attributes
 
@@ -38,6 +40,12 @@ def build(builder: "SchemaBuilder") -> None:
     library = builder.library
     assert isinstance(library, QdtLibrary)
     session = builder.generator.session
+    with span("xsdgen.build.qdt", library=library.name, qdts=len(library.qdts)):
+        _build(builder, library, session)
+
+
+def _build(builder: "SchemaBuilder", library: QdtLibrary, session) -> None:
+    counter("xsdgen.data_types_processed").inc(len(library.qdts))
     for qdt in library.qdts:
         session.status(f"Processing QDT {qdt.name!r}")
         content = qdt.content_component

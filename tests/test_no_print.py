@@ -1,0 +1,58 @@
+"""Tier-1 lint: library diagnostics must go through the obs layer.
+
+``src/repro`` may not contain bare ``print(`` calls outside ``cli.py``
+and the ``console`` package -- everything else reports through
+:mod:`repro.obs` spans, metrics and loggers (see docs/observability.md).
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _checker():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import check_no_print
+    finally:
+        sys.path.pop(0)
+    return check_no_print
+
+
+def test_no_bare_print_in_library_code():
+    checker = _checker()
+    violations = checker.find_violations(ROOT / "src" / "repro")
+    assert violations == [], (
+        "bare print() calls in library code (use repro.obs instead): "
+        + ", ".join(violations)
+    )
+
+
+def test_cli_and_console_are_exempt():
+    checker = _checker()
+    assert checker._allowed("cli.py")
+    assert checker._allowed("console/maintenance.py")
+    assert not checker._allowed("xsdgen/generator.py")
+
+
+def test_checker_flags_a_planted_print(tmp_path):
+    checker = _checker()
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "bad.py").write_text("def f():\n    print('x')\n", encoding="utf-8")
+    (package / "fine.py").write_text('"""print( in a docstring is fine."""\n', encoding="utf-8")
+    assert checker.find_violations(package) == ["bad.py:2"]
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    checker = _checker()
+    clean = tmp_path / "clean"
+    clean.mkdir()
+    (clean / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    assert checker.main([str(clean)]) == 0
+    dirty = tmp_path / "dirty"
+    dirty.mkdir()
+    (dirty / "bad.py").write_text("print('x')\n", encoding="utf-8")
+    assert checker.main([str(dirty)]) == 1
+    assert "bad.py:1" in capsys.readouterr().out

@@ -1,0 +1,123 @@
+"""Metrics registry: instruments, label keys, snapshot determinism."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter,
+    get_registry,
+    histogram,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    """A fresh registry installed as the global one."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self, registry):
+        registry.counter("xsdgen.schemas_generated").inc()
+        registry.counter("xsdgen.schemas_generated").inc(5)
+        assert registry.snapshot()["xsdgen.schemas_generated"] == 6
+
+    def test_gauge_moves_both_ways(self, registry):
+        gauge = registry.gauge("memo.size")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec()
+        assert registry.snapshot()["memo.size"] == 11
+
+    def test_histogram_aggregates(self, registry):
+        hist = registry.histogram("rule_ms")
+        for value in [1.0, 3.0, 2.0]:
+            hist.observe(value)
+        aggregate = registry.snapshot()["rule_ms"]
+        assert aggregate == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+
+    def test_histogram_time_context_manager(self, registry):
+        with registry.histogram("timed_ms").time():
+            pass
+        aggregate = registry.snapshot()["timed_ms"]
+        assert aggregate["count"] == 1
+        assert aggregate["sum"] >= 0.0
+
+    def test_labels_key_instruments_separately(self, registry):
+        registry.counter("validation.findings", severity="error").inc()
+        registry.counter("validation.findings", severity="warning").inc(2)
+        snapshot = registry.snapshot()
+        assert snapshot["validation.findings{severity=error}"] == 1
+        assert snapshot["validation.findings{severity=warning}"] == 2
+
+    def test_label_order_is_canonical(self, registry):
+        a = registry.counter("m", b=1, a=2)
+        b = registry.counter("m", a=2, b=1)
+        assert a is b
+        assert a.name == "m{a=2,b=1}"
+
+
+class TestSnapshot:
+    def test_snapshot_is_deterministic(self, registry):
+        registry.counter("z").inc()
+        registry.counter("a").inc(3)
+        registry.histogram("h", rule="R1").observe(1.5)
+        first = registry.snapshot()
+        second = registry.snapshot()
+        assert first == second
+        assert list(first) == sorted(first)
+
+    def test_render_json_round_trips(self, registry):
+        registry.counter("xsdgen.memo_hits").inc(4)
+        data = json.loads(registry.render_json())
+        assert data["xsdgen.memo_hits"] == 4
+
+    def test_render_text_lists_every_instrument(self, registry):
+        registry.counter("c").inc()
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(1.0)
+        text = registry.render_text()
+        assert "c" in text and "g" in text and "count=1" in text
+
+    def test_render_text_empty_registry(self, registry):
+        assert registry.render_text() == "(no metrics recorded)"
+
+    def test_reset_clears_everything(self, registry):
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestGlobalShortcuts:
+    def test_shortcuts_hit_the_global_registry(self, registry):
+        counter("hits").inc()
+        histogram("ms", rule="R").observe(2.0)
+        assert get_registry() is registry
+        snapshot = registry.snapshot()
+        assert snapshot["hits"] == 1
+        assert snapshot["ms{rule=R}"]["count"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_counts(self, registry):
+        instrument = registry.counter("contended")
+
+        def work():
+            for _ in range(1000):
+                instrument.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.snapshot()["contended"] == 8000

@@ -1,0 +1,176 @@
+"""Tracing core: span nesting, attributes, error capture, sink output."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    JsonLinesSink,
+    LogfmtSink,
+    RingBufferSink,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+
+@pytest.fixture
+def tracer():
+    """A fresh enabled tracer installed as the global one."""
+    fresh = Tracer(enabled=True)
+    previous = set_tracer(fresh)
+    try:
+        yield fresh
+    finally:
+        set_tracer(previous)
+
+
+class TestSpanNesting:
+    def test_children_attach_to_parent(self, tracer):
+        ring = tracer.add_sink(RingBufferSink())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                with tracer.span("leaf"):
+                    pass
+        assert [child.name for child in outer.children] == ["inner.a", "inner.b"]
+        assert outer.children[1].children[0].name == "leaf"
+        # Only the root lands in the ring buffer; descendants via the tree.
+        assert [root.name for root in ring.roots] == ["outer"]
+        assert len(ring.spans()) == 4
+
+    def test_walk_reports_depth(self, tracer):
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert [s.name for s, _ in a.walk()] == ["a", "b", "c"]
+        assert [d for _, d in a.walk()] == [0, 1, 2]
+
+    def test_attributes_at_open_and_set(self, tracer):
+        with tracer.span("work", library="X") as s:
+            s.set(schemas=3)
+        assert s.attributes == {"library": "X", "schemas": 3}
+
+    def test_duration_is_measured(self, tracer):
+        with tracer.span("timed") as s:
+            pass
+        assert s.finished
+        assert s.duration_ms >= 0.0
+
+    def test_threads_get_independent_nesting(self, tracer):
+        ring = tracer.add_sink(RingBufferSink())
+
+        def work(name):
+            with tracer.span(name):
+                pass
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(root.name for root in ring.roots) == ["t0", "t1", "t2", "t3"]
+        assert all(root.parent is None for root in ring.roots)
+
+
+class TestErrorCapture:
+    def test_exception_marks_span_error_and_rethrows(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("failing") as s:
+                raise ValueError("boom")
+        assert s.status == "error"
+        assert s.error == "ValueError: boom"
+        assert s.finished
+
+    def test_error_spans_still_reach_sinks(self, tracer):
+        ring = tracer.add_sink(RingBufferSink())
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("nope")
+        assert [root.status for root in ring.roots] == ["error"]
+
+
+class TestGlobalSpanHelper:
+    def test_disabled_tracer_yields_noop(self):
+        previous = set_tracer(Tracer(enabled=False))
+        try:
+            with span("anything", key="value") as s:
+                s.set(more=1)  # absorbed, no error
+            assert not hasattr(s, "attributes")
+        finally:
+            set_tracer(previous)
+
+    def test_enabled_tracer_records(self, tracer):
+        ring = tracer.add_sink(RingBufferSink())
+        with span("recorded", n=1):
+            pass
+        assert [root.name for root in ring.roots] == ["recorded"]
+        assert get_tracer() is tracer
+
+
+class TestLogfmtSink:
+    def test_span_line_shape(self, tracer):
+        stream = io.StringIO()
+        tracer.add_sink(LogfmtSink(stream))
+        with tracer.span("xsdgen.library", library="My Lib"):
+            pass
+        line = stream.getvalue().strip()
+        assert line.startswith("span=xsdgen.library dur_ms=")
+        assert "status=ok" in line
+        assert 'library="My Lib"' in line  # spaces get quoted
+
+    def test_log_line_shape(self, tracer):
+        stream = io.StringIO()
+        tracer.add_sink(LogfmtSink(stream))
+        tracer.emit_log("repro.xsdgen", "INFO", "generated 6 schemas")
+        line = stream.getvalue().strip()
+        assert line == 'log=repro.xsdgen level=INFO msg="generated 6 schemas"'
+
+
+class TestJsonLinesSink:
+    def test_one_json_object_per_span_with_parent(self, tracer):
+        stream = io.StringIO()
+        tracer.add_sink(JsonLinesSink(stream))
+        with tracer.span("outer"):
+            with tracer.span("inner", n=2):
+                pass
+        records = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert [r["name"] for r in records] == ["inner", "outer"]  # children end first
+        assert records[0]["parent"] == "outer"
+        assert records[0]["attributes"] == {"n": 2}
+        assert records[1]["parent"] is None
+        assert all(r["status"] == "ok" for r in records)
+
+    def test_file_target_appends(self, tracer, tmp_path):
+        target = tmp_path / "spans.jsonl"
+        tracer.add_sink(JsonLinesSink(target))
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        names = [json.loads(line)["name"] for line in target.read_text().splitlines()]
+        assert names == ["a", "b"]
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_roots(self, tracer):
+        ring = tracer.add_sink(RingBufferSink(capacity=2))
+        for name in ["a", "b", "c"]:
+            with tracer.span(name):
+                pass
+        assert [root.name for root in ring.roots] == ["b", "c"]
+
+    def test_render_tree_indents(self, tracer):
+        ring = tracer.add_sink(RingBufferSink())
+        with tracer.span("outer", k="v"):
+            with tracer.span("inner"):
+                pass
+        lines = ring.render_tree().splitlines()
+        assert lines[0].startswith("outer ")
+        assert "k=v" in lines[0]
+        assert lines[1].startswith("  inner ")

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Lint: no bare ``print(`` calls inside ``src/repro``.
+
+Library code must route diagnostics through the observability layer
+(:mod:`repro.obs`: spans, metrics, ``repro.*`` loggers) so output is
+capturable, filterable and silent by default.  Only the user-facing
+surfaces may print: ``cli.py`` and the ``console`` package.
+
+The check is AST-based, so ``print`` mentioned in docstrings or comments
+is fine; only real call sites are flagged.  Run directly::
+
+    python tools/check_no_print.py
+
+or via the test suite (``tests/test_no_print.py`` wires it as a tier-1
+test).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Files (relative to src/repro, posix-style) allowed to print.
+ALLOWED_FILES = {"cli.py"}
+#: Directories (relative to src/repro) allowed to print.
+ALLOWED_DIRS = ("console/",)
+
+
+def _allowed(relative: str) -> bool:
+    return relative in ALLOWED_FILES or relative.startswith(ALLOWED_DIRS)
+
+
+def find_violations(package_root: Path) -> list[str]:
+    """All bare print() call sites as ``path:line`` strings."""
+    violations: list[str] = []
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(package_root).as_posix()
+        if _allowed(relative):
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                violations.append(f"{relative}:{node.lineno}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns 0 when clean, 1 when violations exist."""
+    arguments = argv if argv is not None else sys.argv[1:]
+    if arguments:
+        package_root = Path(arguments[0])
+    else:
+        package_root = Path(__file__).resolve().parent.parent / "src" / "repro"
+    violations = find_violations(package_root)
+    if violations:
+        print("bare print() calls found; route diagnostics through repro.obs:")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print("OK: no bare print() outside cli.py/console in src/repro")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
