@@ -7,6 +7,8 @@ validate) plus validation throughput on valid and mutated messages for
 both content-model engines.
 """
 
+import time
+
 import pytest
 
 from repro.instances import (
@@ -15,7 +17,8 @@ from repro.instances import (
     drop_required_child,
 )
 from repro.xsd.validator import validate_instance
-from repro.xsdgen import SchemaGenerator
+from repro.xsd.writer import schema_to_string
+from repro.xsdgen import GenerationCache, GenerationOptions, SchemaGenerator
 
 
 @pytest.fixture(scope="module")
@@ -36,6 +39,70 @@ def test_full_round_trip(benchmark, easybiz):
         return validate_instance(schema_set, message)
 
     assert benchmark(run) == []
+
+
+def test_warm_cache_regeneration(benchmark, easybiz):
+    """Regeneration through a warm generation cache vs cold builds.
+
+    Both arms skip pre-generation validation so the comparison isolates
+    schema construction; the warm arm reuses a pre-warmed shared cache
+    through fresh generator instances, the way a long-lived service or a
+    second CLI invocation would.
+    """
+    cold_options = GenerationOptions(validate_first=False)
+    cache = GenerationCache()
+    warm_options = GenerationOptions(validate_first=False, use_cache=True)
+
+    # Warm the cache once (a cold, miss-every-library run).
+    SchemaGenerator(easybiz.model, warm_options, cache=cache).generate(
+        easybiz.doc_library, root="HoardingPermit"
+    )
+
+    def cold():
+        return SchemaGenerator(easybiz.model, cold_options).generate(
+            easybiz.doc_library, root="HoardingPermit"
+        )
+
+    def warm():
+        return SchemaGenerator(easybiz.model, warm_options, cache=cache).generate(
+            easybiz.doc_library, root="HoardingPermit"
+        )
+
+    def best_of(fn, repeats=5):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    cold_s = best_of(cold)
+    warm_s = best_of(warm)
+    assert warm_s * 5 <= cold_s, (
+        f"warm cache not >=5x faster: cold={cold_s * 1e3:.2f}ms warm={warm_s * 1e3:.2f}ms"
+    )
+
+    cold_schemas = {urn: schema_to_string(g.schema) for urn, g in cold().schemas.items()}
+    warm_schemas = {urn: schema_to_string(g.schema) for urn, g in warm().schemas.items()}
+    assert warm_schemas == cold_schemas
+
+    benchmark(warm)
+
+
+def test_parallel_generation_matches_serial(benchmark, easybiz):
+    """--jobs 4 builds the library DAG concurrently, byte-identical output."""
+    serial = SchemaGenerator(easybiz.model).generate(easybiz.doc_library, root="HoardingPermit")
+    options = GenerationOptions(jobs=4)
+
+    def parallel():
+        return SchemaGenerator(easybiz.model, options).generate(
+            easybiz.doc_library, root="HoardingPermit"
+        )
+
+    result = benchmark(parallel)
+    serial_schemas = {urn: schema_to_string(g.schema) for urn, g in serial.schemas.items()}
+    parallel_schemas = {urn: schema_to_string(g.schema) for urn, g in result.schemas.items()}
+    assert parallel_schemas == serial_schemas
 
 
 def test_validate_valid_message(benchmark, pipeline):

@@ -33,6 +33,7 @@ from repro.profile import (
     UPCC,
 )
 from repro.uml.classifier import Class, DataType
+from repro.uml.elements import structural_revision
 from repro.uml.model import Model
 from repro.uml.package import Package
 
@@ -43,6 +44,7 @@ class CctsModel:
     def __init__(self, name: str = "Model", model: Model | None = None) -> None:
         self.model = model if model is not None else Model(name)
         self.profile = UPCC
+        self._libraries_cache: tuple[int, list[Library]] | None = None
 
     @property
     def name(self) -> str:
@@ -68,14 +70,24 @@ class CctsModel:
         ]
 
     def libraries(self) -> list[Library]:
-        """Every stereotyped library anywhere in the model."""
+        """Every stereotyped library anywhere in the model.
+
+        The scan is memoized against the model's
+        :func:`~repro.uml.elements.structural_revision`; repeated lookups
+        on an unchanged model reuse the wrapper list.
+        """
+        revision = structural_revision()
+        cached = self._libraries_cache
+        if cached is not None and cached[0] == revision:
+            return list(cached[1])
         found: list[Library] = []
         for element in self.model.walk():
             if isinstance(element, Package):
                 wrapper = library_wrapper_for(element, self.model)
                 if wrapper is not None:
                     found.append(wrapper)
-        return found
+        self._libraries_cache = (revision, found)
+        return list(found)
 
     def _libraries_of(self, wrapper_type: type) -> list:
         return [library for library in self.libraries() if type(library) is wrapper_type]

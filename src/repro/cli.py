@@ -82,6 +82,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         shared_aggregation_as_ref=not args.inline_aggregations,
         validate_first=not args.no_validate,
         target_directory=Path(args.out) if args.out and syntax == "xsd" else None,
+        use_cache=args.use_cache or bool(args.cache_dir),
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        jobs=max(1, args.jobs),
     )
     generator = SchemaGenerator(model, options)
     try:
@@ -317,6 +320,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="inline shared-aggregation ASBIEs instead of global element + ref",
     )
     generate.add_argument("--no-validate", action="store_true", help="skip pre-generation validation")
+    generate.add_argument(
+        "--use-cache",
+        action="store_true",
+        help="reuse schemas from the in-process generation cache (keyed by a "
+        "structural fingerprint of each library)",
+    )
+    generate.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist the generation cache to DIR so later runs can reuse "
+        "schemas across processes (implies --use-cache)",
+    )
+    generate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="build independent libraries on up to N threads (default 1; "
+        "output is byte-identical to a serial run)",
+    )
     generate.add_argument(
         "--syntax",
         choices=["xsd", "rng", "rdfs"],

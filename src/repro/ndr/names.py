@@ -29,12 +29,13 @@ def sanitize_ncname(name: str) -> str:
     """Strip characters that would make ``name`` an invalid NCName.
 
     DEN separators (``". "``), spaces and any exotic punctuation are
-    removed; a leading digit is prefixed with ``_``.
+    removed; a leading digit, ``-`` or ``.`` is prefixed with ``_``
+    (NCNames must start with a letter or underscore).
     """
     cleaned = _INVALID_NCNAME_CHARS.sub("", name.replace(". ", "").replace(" ", ""))
     if not cleaned:
         raise NamingError(f"name {name!r} sanitizes to an empty XML name")
-    if cleaned[0].isdigit():
+    if cleaned[0].isdigit() or cleaned[0] in "-.":
         cleaned = f"_{cleaned}"
     if not is_valid_ncname(cleaned):
         raise NamingError(f"could not derive a valid XML name from {name!r} (got {cleaned!r})")
@@ -60,13 +61,20 @@ def truncate_den(den: str) -> str:
     word(s) of the property term, the duplication is dropped:
     ``Address. Country Name. Name`` -> ``Address. Country Name``.
     ``Text`` representation terms are always dropped per NDR rule.
+
+    The comparison is on whole words: a property term ``Exchange Rate``
+    repeats the representation term ``Rate`` (dropped), but ``Birthdate``
+    does not repeat ``Date`` even though the string ends with it.
     """
     parts = den.split(". ")
     if len(parts) < 2:
         return den
     representation = parts[-1]
     property_term = parts[-2]
-    if representation == "Text" or property_term.endswith(representation):
+    rep_words = representation.split()
+    prop_words = property_term.split()
+    repeats = bool(rep_words) and prop_words[-len(rep_words) :] == rep_words
+    if representation == "Text" or repeats:
         return ". ".join(parts[:-1])
     return den
 

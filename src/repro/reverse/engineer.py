@@ -421,11 +421,14 @@ class _Reverser:
                 facts = self._facts[schema.target_namespace]
                 self.report.doc_library_names.append(facts.name)
                 self.report.root_elements.append(element.name)
-                # Promote the owning BIELibrary to a DOCLibrary.
+                # Promote the owning BIELibrary to a DOCLibrary.  Go through
+                # the stereotype API (not the dict) so the structural
+                # revision advances and memoized library wrappers refresh.
                 library = self.model.library_named(facts.name)
-                library.element.stereotype_applications["DOCLibrary"] = (
-                    library.element.stereotype_applications.pop("BIELibrary")
-                )
+                element = library.element
+                tags = dict(element.stereotype_applications.get("BIELibrary", {}))
+                element.remove_stereotype("BIELibrary")
+                element.apply_stereotype("DOCLibrary", **tags)
 
 
 def reverse_engineer(schema_set: SchemaSet, model_name: str = "Reversed") -> ReverseReport:

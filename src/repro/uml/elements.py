@@ -15,6 +15,34 @@ from repro.errors import ProfileError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.uml.package import Package
 
+#: Process-wide structural revision: bumped on every element mutation.
+_structural_revision = 0
+
+
+def structural_revision() -> int:
+    """The current model-structure revision counter.
+
+    A single process-wide counter that advances whenever any
+    :class:`Element` is structurally mutated -- a public attribute is
+    assigned (names, types, owners, multiplicities, ...) or a stereotype
+    application / tagged value changes.  Consumers that derive data from
+    model structure (the generation-cache fingerprints) record the
+    revision at computation time and treat their result as valid for as
+    long as the counter has not moved: an element reachable through live
+    wrappers cannot have changed -- nor can its ``id()`` have been
+    recycled -- without at least one tracked mutation in between.
+
+    In-place mutation of non-Element values (e.g. editing a
+    ``Multiplicity`` object's fields directly) is not tracked; model
+    edits should go through element attributes and the stereotype API.
+    """
+    return _structural_revision
+
+
+def _bump_revision() -> None:
+    global _structural_revision
+    _structural_revision += 1
+
 
 class Element:
     """Root of the UML element hierarchy.
@@ -31,6 +59,13 @@ class Element:
         self.xmi_id: str | None = None
         self.owner: "Element | None" = None
 
+    def __setattr__(self, name: str, value: object) -> None:
+        # Every public-attribute assignment is a structural mutation; see
+        # structural_revision().  Private attributes stay untracked.
+        object.__setattr__(self, name, value)
+        if not name.startswith("_"):
+            _bump_revision()
+
     # -- stereotype machinery -------------------------------------------------
 
     @property
@@ -43,6 +78,7 @@ class Element:
         values = self.stereotype_applications.setdefault(name, {})
         for key, value in tags.items():
             values[key] = value
+        _bump_revision()
         return self
 
     def has_stereotype(self, name: str) -> bool:
@@ -51,7 +87,8 @@ class Element:
 
     def remove_stereotype(self, name: str) -> None:
         """Remove a stereotype application; no-op when absent."""
-        self.stereotype_applications.pop(name, None)
+        if self.stereotype_applications.pop(name, None) is not None:
+            _bump_revision()
 
     def tagged_value(self, stereotype: str, tag: str, default: str | None = None) -> str | None:
         """The value of ``tag`` under ``stereotype``, or ``default``."""
@@ -64,6 +101,7 @@ class Element:
                 f"cannot set tag {tag!r}: stereotype {stereotype!r} not applied to {self!r}"
             )
         self.stereotype_applications[stereotype][tag] = value
+        _bump_revision()
 
     def any_tagged_value(self, tag: str, default: str | None = None) -> str | None:
         """Search every applied stereotype for ``tag`` (first hit wins)."""

@@ -31,6 +31,7 @@ class Model(Package):
     def __init__(self, name: str = "") -> None:
         super().__init__(name)
         self._active_index = None
+        self._cached_index: "tuple[int, object] | None" = None
         self._index_depth = 0
 
     @contextlib.contextmanager
@@ -39,11 +40,21 @@ class Model(Package):
 
         Reentrant; the snapshot is built on first entry and dropped when the
         outermost context exits.  The model must not be mutated inside.
+        A snapshot is reused across contexts while the model's
+        :func:`~repro.uml.elements.structural_revision` has not moved, so
+        repeated passes over an unchanged model skip the rebuild.
         """
+        from repro.uml.elements import structural_revision
         from repro.uml.index import ModelIndex
 
         if self._index_depth == 0:
-            self._active_index = ModelIndex(self)
+            revision = structural_revision()
+            cached = self._cached_index
+            if cached is not None and cached[0] == revision:
+                self._active_index = cached[1]
+            else:
+                self._active_index = ModelIndex(self)
+                self._cached_index = (revision, self._active_index)
         self._index_depth += 1
         try:
             yield self._active_index

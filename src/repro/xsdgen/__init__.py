@@ -19,19 +19,34 @@ the paper:
 * :mod:`repro.xsdgen.enum_library` -- token-based enumeration simple types.
 """
 
+from repro.xsdgen.cache import (
+    CachedGeneration,
+    GenerationCache,
+    cache_for_directory,
+    fingerprint_library,
+    get_generation_cache,
+    library_dependencies,
+    set_generation_cache,
+)
 from repro.xsdgen.docgen import document_schemas, write_documentation
 from repro.xsdgen.generator import GeneratedSchema, GenerationResult, SchemaGenerator
 from repro.xsdgen.primitives import builtin_for_primitive_name, builtin_or_string
 from repro.xsdgen.session import GenerationOptions, GenerationSession
 
 __all__ = [
+    "CachedGeneration",
     "GeneratedSchema",
+    "GenerationCache",
     "GenerationOptions",
     "GenerationResult",
     "GenerationSession",
     "SchemaGenerator",
     "builtin_for_primitive_name",
     "builtin_or_string",
+    "cache_for_directory",
     "document_schemas",
-    "write_documentation",
+    "fingerprint_library",
+    "get_generation_cache",
+    "library_dependencies",
+    "set_generation_cache",
 ]

@@ -12,8 +12,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.ccts.libraries import BieLibrary
-from repro.obs.metrics import counter
+from repro.obs.metrics import counter, histogram
 from repro.obs.trace import span
+from repro.profile import BIE_LIBRARY
 from repro.xsdgen.abie_types import append_abie
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -24,7 +25,9 @@ def build(builder: "SchemaBuilder") -> None:
     """Populate the builder's schema for a BIELibrary."""
     library = builder.library
     assert isinstance(library, BieLibrary)
-    with span("xsdgen.build.bie", library=library.name, abies=len(library.abies)):
+    with span("xsdgen.build.bie", library=library.name, abies=len(library.abies)), histogram(
+        "xsdgen.library_build_ms", stereotype=BIE_LIBRARY
+    ).time():
         for abie in library.abies:
             builder.generator.session.status(f"Processing ABIE {abie.name!r}")
             append_abie(builder, abie)

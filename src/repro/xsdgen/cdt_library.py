@@ -15,8 +15,9 @@ from typing import TYPE_CHECKING
 from repro.ccts.data_types import CoreDataType
 from repro.ccts.libraries import CdtLibrary
 from repro.ndr.names import attribute_name, complex_type_name, enum_simple_type_name
-from repro.obs.metrics import counter
+from repro.obs.metrics import counter, histogram
 from repro.obs.trace import span
+from repro.profile import CDT_LIBRARY
 from repro.uml.classifier import Classifier, Enumeration
 from repro.xmlutil.qname import QName
 from repro.xsd.components import AttributeDecl, AttributeUse, ComplexType, SimpleContent
@@ -63,7 +64,9 @@ def build(builder: "SchemaBuilder") -> None:
     library = builder.library
     assert isinstance(library, CdtLibrary)
     session = builder.generator.session
-    with span("xsdgen.build.cdt", library=library.name, cdts=len(library.cdts)):
+    with span("xsdgen.build.cdt", library=library.name, cdts=len(library.cdts)), histogram(
+        "xsdgen.library_build_ms", stereotype=CDT_LIBRARY
+    ).time():
         _build(builder, library, session)
 
 

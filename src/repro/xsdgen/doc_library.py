@@ -17,8 +17,9 @@ from repro.ccts.bie import Abie
 from repro.ccts.libraries import DocLibrary
 from repro.errors import CctsError
 from repro.ndr.names import complex_type_name
-from repro.obs.metrics import counter
+from repro.obs.metrics import counter, histogram
 from repro.obs.trace import span
+from repro.profile import DOC_LIBRARY
 from repro.xsd.components import ElementDecl
 from repro.xsdgen.abie_types import append_abie
 
@@ -32,7 +33,9 @@ def build(builder: "SchemaBuilder", root: Abie | str | None) -> None:
     assert isinstance(library, DocLibrary)
     session = builder.generator.session
 
-    with span("xsdgen.build.doc", library=library.name) as build_span:
+    with span("xsdgen.build.doc", library=library.name) as build_span, histogram(
+        "xsdgen.library_build_ms", stereotype=DOC_LIBRARY
+    ).time():
         root_abie = _resolve_root(library, root, builder)
         session.status(f"Selected root element {root_abie.name!r}")
         build_span.set(root=root_abie.name)

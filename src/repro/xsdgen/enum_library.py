@@ -15,8 +15,9 @@ from typing import TYPE_CHECKING
 
 from repro.ccts.libraries import EnumLibrary
 from repro.ndr.names import enum_simple_type_name
-from repro.obs.metrics import counter
+from repro.obs.metrics import counter, histogram
 from repro.obs.trace import span
+from repro.profile import ENUM_LIBRARY
 from repro.xmlutil.qname import QName
 from repro.xsd.components import XSD_NS, Annotation, Facet, SimpleType
 
@@ -28,7 +29,9 @@ def build(builder: "SchemaBuilder") -> None:
     """Populate the builder's schema for an ENUMLibrary."""
     library = builder.library
     assert isinstance(library, EnumLibrary)
-    with span("xsdgen.build.enum", library=library.name, enums=len(library.enumerations)):
+    with span("xsdgen.build.enum", library=library.name, enums=len(library.enumerations)), histogram(
+        "xsdgen.library_build_ms", stereotype=ENUM_LIBRARY
+    ).time():
         _build(builder, library)
 
 

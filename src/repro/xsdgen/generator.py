@@ -1,21 +1,33 @@
 """The generation orchestrator.
 
 :class:`SchemaGenerator` walks the library dependency graph, memoizes one
-schema per library, and resolves cross-library type references into imports
-with NDR-conformant prefixes.  :class:`SchemaBuilder` is the per-document
-working context the library builders write into.
+schema per (library, DOC root) pair, consults the fingerprint-keyed
+:class:`~repro.xsdgen.cache.GenerationCache` when caching is enabled, and
+resolves cross-library type references into imports with NDR-conformant
+prefixes.  :class:`SchemaBuilder` is the per-document working context the
+library builders write into.
+
+Concurrency: ``GenerationOptions.jobs > 1`` builds independent libraries
+in parallel.  The library dependency DAG is derived structurally
+(:func:`repro.xsdgen.cache.library_dependencies`), condensed into strongly
+connected components (cyclic BIE libraries build together on one thread),
+topologically ordered and scheduled on a ``ThreadPoolExecutor``.  Each
+library's schema is still built by exactly one thread, so the output is
+byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING
 
 from repro.ccts.base import ElementWrapper
-from repro.ccts.libraries import Library
+from repro.ccts.bie import Abie
+from repro.ccts.libraries import DocLibrary, Library
 from repro.ccts.model import CctsModel
-from repro.errors import GenerationError
+from repro.errors import CctsError, GenerationError
 from repro.ndr.annotations import CCTS_DOCUMENTATION_NS, annotation_entries_for
 from repro.obs.logging_bridge import get_logger
 from repro.obs.metrics import counter
@@ -33,12 +45,21 @@ from repro.xmlutil.qname import QName
 from repro.xsd.components import Annotation, ImportDecl, Schema
 from repro.xsd.validator import SchemaSet
 from repro.xsd.writer import schema_to_string
+from repro.xsdgen.cache import (
+    CachedGeneration,
+    FingerprintContext,
+    GenerationCache,
+    cache_for_directory,
+    fingerprint_library,
+    get_generation_cache,
+    library_dependencies,
+)
 from repro.xsdgen.session import GenerationOptions, GenerationSession
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.ccts.bie import Abie
-
 _log = get_logger("repro.xsdgen")
+
+#: Memo key: (identity of the library package, resolved DOC root or None).
+_MemoKey = tuple[int, "str | None"]
 
 
 @dataclass
@@ -56,7 +77,12 @@ class GeneratedSchema:
 
 @dataclass
 class GenerationResult:
-    """All schemas produced by one generation run, keyed by namespace URN."""
+    """All schemas produced by one generation run, keyed by namespace URN.
+
+    ``schemas`` contains exactly the libraries reachable from the requested
+    library in this run -- a generator reused across runs does not leak the
+    previous run's schemas into later results.
+    """
 
     schemas: dict[str, GeneratedSchema] = field(default_factory=dict)
     session: GenerationSession = field(default_factory=GenerationSession)
@@ -122,6 +148,9 @@ class SchemaBuilder:
             version=library.library_version,
         )
         self._imported: set[str] = set()
+        #: Libraries whose schemas this document imports, in import order --
+        #: recorded so the generator can scope results and cache dependencies.
+        self.imported_libraries: list[Library] = []
         # Figure 6 line 1 declares xmlns:ccts even with annotations omitted:
         # the add-in always binds the CCTS documentation namespace.
         self._bind_ccts_prefix()
@@ -144,6 +173,7 @@ class SchemaBuilder:
         generated = self.generator.ensure_library(library)
         if generated.namespace.urn not in self._imported:
             self._imported.add(generated.namespace.urn)
+            self.imported_libraries.append(library)
             self.schema.imports.append(
                 ImportDecl(generated.namespace.urn, generated.namespace.location)
             )
@@ -171,15 +201,41 @@ class SchemaBuilder:
 
 
 class SchemaGenerator:
-    """Generates NDR-conformant schemas from a core-components model."""
+    """Generates NDR-conformant schemas from a core-components model.
 
-    def __init__(self, model: CctsModel, options: GenerationOptions | None = None) -> None:
+    ``cache`` overrides cache selection explicitly; otherwise
+    ``options.cache_dir`` selects the shared disk-backed cache for that
+    directory, ``options.use_cache`` the shared in-process cache, and the
+    default is no caching (every run regenerates, as the paper's add-in
+    does).  Cached schemas are treated as immutable and may be shared
+    between results and generator instances.
+    """
+
+    def __init__(
+        self,
+        model: CctsModel,
+        options: GenerationOptions | None = None,
+        cache: GenerationCache | None = None,
+    ) -> None:
         self.model = model
         self.options = options or GenerationOptions()
         self.policy = NamespacePolicy(include_version_in_urn=self.options.include_version_in_urn)
         self.session = GenerationSession()
-        self._generated: dict[int, GeneratedSchema] = {}
-        self._in_progress: set[int] = set()
+        if cache is not None:
+            self.cache: GenerationCache | None = cache
+        elif self.options.cache_dir is not None:
+            self.cache = cache_for_directory(self.options.cache_dir)
+        elif self.options.use_cache:
+            self.cache = get_generation_cache()
+        else:
+            self.cache = None
+        self._generated: dict[_MemoKey, GeneratedSchema] = {}
+        self._deps: dict[_MemoKey, list[_MemoKey]] = {}
+        self._building: dict[_MemoKey, tuple[int, threading.Event]] = {}
+        self._lock = threading.Lock()
+        self._run_fingerprints: dict[_MemoKey, str] = {}
+        self._fingerprint_context = FingerprintContext()
+        self._libraries_by_name: dict[str, Library] | None = None
         # ensure_library is the hottest instrumented call site; bind its
         # counters once per generator instead of per lookup.
         self._memo_hits = counter("xsdgen.memo_hits")
@@ -192,19 +248,27 @@ class SchemaGenerator:
 
         ``library`` may be a wrapper or a library name; ``root`` selects the
         DOCLibrary root element (required for DOC libraries with more than
-        one ABIE, mirroring the Figure-5 dialog).
+        one ABIE, mirroring the Figure-5 dialog).  The result contains only
+        the schemas reachable from ``library`` in this run.
         """
         if isinstance(library, str):
             library = self.model.library_named(library)
         with span("xsdgen.generate", library=library.name) as generate_span:
             if self.options.validate_first:
                 self._validate_first()
+            # Per-run state: the model may have mutated since the last run.
+            self._run_fingerprints = {}
+            self._fingerprint_context = FingerprintContext()
+            self._libraries_by_name = None
             self.session.status(f"Generating schema for {library.stereotype} {library.name!r}")
             _log.info("generating schema for %s %r", library.stereotype, library.name)
             with self.model.model.indexed():
+                if self.options.jobs > 1:
+                    self._parallel_prebuild(library, root, self.options.jobs)
                 generated = self.ensure_library(library, root)
+                schemas = self._reachable_schemas(library, root)
             result = GenerationResult(
-                schemas={g.namespace.urn: g for g in self._generated.values()},
+                schemas=schemas,
                 session=self.session,
                 root_namespace=generated.namespace.urn,
             )
@@ -232,40 +296,238 @@ class SchemaGenerator:
                 f"the UML model is erroneous ({len(report.errors)} error(s)): {details}"
             )
 
+    def _root_token(self, library: Library, root: "Abie | str | None") -> str | None:
+        """The resolved DOC root name, normalized for memo/cache keys.
+
+        Non-DOC libraries ignore ``root`` (token None).  An unresolvable
+        selection also yields None -- the build then fails with the same
+        session error as before.
+        """
+        if library.stereotype != DOC_LIBRARY:
+            return None
+        if isinstance(root, Abie):
+            return root.name
+        if isinstance(root, str):
+            return root
+        if isinstance(library, DocLibrary):
+            candidates = library.root_candidates()
+            if len(candidates) == 1:
+                return candidates[0].name
+        return None
+
+    def _memo_key(self, library: Library, root: "Abie | str | None" = None) -> _MemoKey:
+        return (id(library.element), self._root_token(library, root))
+
     def ensure_library(self, library: Library, root: "Abie | str | None" = None) -> GeneratedSchema:
         """Generate (memoized) the schema of one library.
 
-        Cyclic library references are legal: the namespace facts needed by
-        importers are computed before the schema body, so re-entrant calls
-        return the in-progress entry.
+        The memo key is the library identity *plus* the resolved DOC root,
+        so one generator serves ``generate(doclib, root="A")`` and
+        ``generate(doclib, root="B")`` distinct schemas.  Cyclic library
+        references are legal: the namespace facts needed by importers are
+        computed before the schema body, so re-entrant calls on the same
+        thread return the in-progress entry.  Thread-safe: concurrent calls
+        build each library exactly once; a thread needing a library under
+        construction elsewhere waits for it.
         """
-        key = id(library.element)
-        existing = self._generated.get(key)
-        if existing is not None:
-            self._memo_hits.inc()
-            return existing
+        key = self._memo_key(library, root)
+        while True:
+            with self._lock:
+                existing = self._generated.get(key)
+                if existing is not None:
+                    self._memo_hits.inc()
+                    return existing
+                building = self._building.get(key)
+                if building is None:
+                    self._building[key] = (threading.get_ident(), threading.Event())
+                    break
+                owner, event = building
+                if owner == threading.get_ident():
+                    # Cycle: hand back namespace facts with a placeholder schema.
+                    namespace = self.policy.namespace_for(library)
+                    placeholder = GeneratedSchema(library, namespace, Schema(namespace.urn))
+                    self._generated[key] = placeholder
+                    return placeholder
+            # Another thread is building this library; wait and re-check.
+            event.wait()
         self._memo_misses.inc()
-        if key in self._in_progress:
-            # Cycle: hand back namespace facts with a placeholder schema.
-            namespace = self.policy.namespace_for(library)
-            placeholder = GeneratedSchema(library, namespace, Schema(namespace.urn))
-            self._generated[key] = placeholder
-            return placeholder
-        self._in_progress.add(key)
         try:
-            generated = self._build(library, root)
+            generated, dep_keys = self._obtain(library, root, key)
         finally:
-            self._in_progress.discard(key)
-        # A cycle may have installed a placeholder; replace its schema body.
-        placeholder = self._generated.get(key)
-        if placeholder is not None:
-            placeholder.schema = generated.schema
-            generated = placeholder
-        else:
-            self._generated[key] = generated
+            with self._lock:
+                _, event = self._building.pop(key)
+            event.set()
+        with self._lock:
+            # A cycle may have installed a placeholder; replace its schema body.
+            placeholder = self._generated.get(key)
+            if placeholder is not None:
+                placeholder.schema = generated.schema
+                generated = placeholder
+            else:
+                self._generated[key] = generated
+            self._deps[key] = dep_keys
         return generated
 
-    def _build(self, library: Library, root: "Abie | str | None") -> GeneratedSchema:
+    def _obtain(
+        self, library: Library, root: "Abie | str | None", key: _MemoKey
+    ) -> tuple[GeneratedSchema, list[_MemoKey]]:
+        """Produce one library's schema: cache hit or fresh build."""
+        fingerprint: str | None = None
+        if self.cache is not None and library.stereotype != PRIM_LIBRARY:
+            fingerprint = self._fingerprint_for(library, key)
+            entry = self.cache.get(fingerprint)
+            if entry is not None:
+                return self._adopt(library, entry)
+        generated, dep_libraries = self._build(library, root)
+        dep_keys = [self._memo_key(dep) for dep in dep_libraries]
+        if self.cache is not None and fingerprint is not None:
+            self.cache.put(
+                CachedGeneration(
+                    key=fingerprint,
+                    library_name=library.name,
+                    stereotype=library.stereotype,
+                    root_name=key[1],
+                    namespace=generated.namespace,
+                    schema=generated.schema,
+                    dependencies=tuple(dep.name for dep in dep_libraries),
+                )
+            )
+        return generated, dep_keys
+
+    def _fingerprint_for(self, library: Library, key: _MemoKey) -> str:
+        cached = self._run_fingerprints.get(key)
+        if cached is None:
+            cached = fingerprint_library(
+                self.model,
+                library,
+                self.options,
+                root_name=key[1],
+                context=self._fingerprint_context,
+            )
+            self._run_fingerprints[key] = cached
+        return cached
+
+    def _library_named(self, name: str) -> Library:
+        """Name lookup through a per-run map (``library_named`` is O(model))."""
+        if self._libraries_by_name is None:
+            self._libraries_by_name = {lib.name: lib for lib in self.model.libraries()}
+        library = self._libraries_by_name.get(name)
+        if library is None:
+            raise CctsError(f"model {self.model.name!r} contains no library named {name!r}")
+        return library
+
+    def _adopt(
+        self, library: Library, entry: CachedGeneration
+    ) -> tuple[GeneratedSchema, list[_MemoKey]]:
+        """Turn a cache hit into a run entry and pull in its dependencies."""
+        self.session.status(
+            f"Reusing cached schema for {library.stereotype} {library.name!r} "
+            f"({entry.key[:12]})"
+        )
+        _log.debug("cache hit for %s %r (%s)", library.stereotype, library.name, entry.key[:12])
+        generated = GeneratedSchema(library, entry.namespace, entry.schema)
+        dep_keys: list[_MemoKey] = []
+        for name in entry.dependencies:
+            try:
+                dependency = self._library_named(name)
+            except CctsError:
+                raise GenerationError(
+                    f"cached schema for {library.name!r} imports library {name!r}, "
+                    f"which no longer exists in model {self.model.name!r}"
+                )
+            self.ensure_library(dependency)
+            dep_keys.append(self._memo_key(dependency))
+        return generated, dep_keys
+
+    def _reachable_schemas(self, library: Library, root: "Abie | str | None") -> dict[str, GeneratedSchema]:
+        """The schemas transitively reachable from the requested library."""
+        start = self._memo_key(library, root)
+        order: list[_MemoKey] = []
+        seen: set[_MemoKey] = set()
+        queue: list[_MemoKey] = [start]
+        while queue:
+            key = queue.pop(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            order.append(key)
+            queue.extend(self._deps.get(key, ()))
+        schemas: dict[str, GeneratedSchema] = {}
+        for key in order:
+            generated = self._generated.get(key)
+            if generated is not None:
+                schemas[generated.namespace.urn] = generated
+        return schemas
+
+    # -- parallel builds ------------------------------------------------------------
+
+    def _parallel_prebuild(self, library: Library, root: "Abie | str | None", jobs: int) -> None:
+        """Build the reachable library DAG concurrently (``--jobs N``).
+
+        The graph is discovered structurally, condensed into SCCs (cyclic
+        libraries build together, preserving the single-thread cycle
+        handling) and scheduled dependencies-first, so no worker ever waits
+        on another thread's in-flight build.  The subsequent serial pass in
+        :meth:`generate` then assembles the result purely from memo hits.
+        """
+        graph: dict[int, tuple[Library, list[int]]] = {}
+
+        def discover(candidate: Library) -> None:
+            node = id(candidate.element)
+            if node in graph:
+                return
+            dependencies = library_dependencies(
+                self.model, candidate, context=self._fingerprint_context
+            )
+            graph[node] = (candidate, [id(dep.element) for dep in dependencies])
+            for dependency in dependencies:
+                discover(dependency)
+
+        discover(library)
+        if len(graph) < 2:
+            return
+        components = _strongly_connected({node: deps for node, (_, deps) in graph.items()})
+        component_of = {node: index for index, comp in enumerate(components) for node in comp}
+        dependents: dict[int, set[int]] = {index: set() for index in range(len(components))}
+        indegree = [0] * len(components)
+        for index, comp in enumerate(components):
+            upstream = {
+                component_of[dep]
+                for node in comp
+                for dep in graph[node][1]
+                if component_of[dep] != index
+            }
+            indegree[index] = len(upstream)
+            for up in upstream:
+                dependents[up].add(index)
+
+        entry_node = id(library.element)
+
+        def build_component(index: int) -> None:
+            for node in components[index]:
+                candidate = graph[node][0]
+                self.ensure_library(candidate, root if node == entry_node else None)
+
+        ready = [index for index in range(len(components)) if indegree[index] == 0]
+        pending: dict[Future, int] = {}
+        with span("xsdgen.parallel", libraries=len(graph), jobs=jobs):
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                while ready or pending:
+                    for index in ready:
+                        pending[pool.submit(build_component, index)] = index
+                    ready = []
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        finished = pending.pop(future)
+                        future.result()
+                        for dependent in sorted(dependents[finished]):
+                            indegree[dependent] -= 1
+                            if indegree[dependent] == 0:
+                                ready.append(dependent)
+
+    # -- single-library build -------------------------------------------------------
+
+    def _build(self, library: Library, root: "Abie | str | None") -> tuple[GeneratedSchema, list[Library]]:
         from repro.xsdgen import bie_library, cdt_library, doc_library, enum_library, qdt_library
 
         stereotype = library.stereotype
@@ -293,7 +555,10 @@ class SchemaGenerator:
                     f"cannot generate a schema for library stereotype {stereotype!r}"
                 )
             counter("xsdgen.schemas_generated").inc()
-        return GeneratedSchema(library, builder.namespace, builder.schema)
+        return (
+            GeneratedSchema(library, builder.namespace, builder.schema),
+            builder.imported_libraries,
+        )
 
     def library_of(self, wrapper: ElementWrapper) -> Library:
         """The library owning a wrapped element (error when homeless)."""
@@ -305,3 +570,45 @@ class SchemaGenerator:
             )
         return library
 
+
+def _strongly_connected(nodes: dict[int, list[int]]) -> list[list[int]]:
+    """Tarjan's SCC over ``node -> dependency nodes``; edges to unknown
+    nodes are ignored.  Components come out dependencies-first (reverse
+    topological order of the condensation), which is exactly the build
+    order the parallel scheduler needs.
+    """
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[list[int]] = []
+    next_index = 0
+
+    def strong(v: int) -> None:
+        nonlocal next_index
+        index[v] = low[v] = next_index
+        next_index += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in nodes[v]:
+            if w not in nodes:
+                continue
+            if w not in index:
+                strong(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            component: list[int] = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            components.append(component)
+
+    for v in nodes:
+        if v not in index:
+            strong(v)
+    return components

@@ -26,8 +26,9 @@ from typing import TYPE_CHECKING
 
 from repro.ccts.libraries import QdtLibrary
 from repro.ndr.names import attribute_name, complex_type_name
-from repro.obs.metrics import counter
+from repro.obs.metrics import counter, histogram
 from repro.obs.trace import span
+from repro.profile import QDT_LIBRARY
 from repro.xsd.components import AttributeDecl, AttributeUse, ComplexType, SimpleContent
 from repro.xsdgen.cdt_library import component_type_qname, supplementary_attributes
 
@@ -40,7 +41,9 @@ def build(builder: "SchemaBuilder") -> None:
     library = builder.library
     assert isinstance(library, QdtLibrary)
     session = builder.generator.session
-    with span("xsdgen.build.qdt", library=library.name, qdts=len(library.qdts)):
+    with span("xsdgen.build.qdt", library=library.name, qdts=len(library.qdts)), histogram(
+        "xsdgen.library_build_ms", stereotype=QDT_LIBRARY
+    ).time():
         _build(builder, library, session)
 
 

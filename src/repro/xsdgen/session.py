@@ -26,6 +26,15 @@ class GenerationOptions:
     which is the ablation arm benchmarked in DESIGN.md;
     ``include_version_in_urn`` switches the URN style; ``validate_first``
     runs the basic rule set before generating.
+
+    Scaling knobs (see docs/architecture.md, "Generation cache and
+    parallel builds"): ``use_cache`` consults the process-shared
+    fingerprint-keyed :class:`~repro.xsdgen.cache.GenerationCache`;
+    ``cache_dir`` additionally persists cached schemas on disk (implies
+    caching); ``jobs`` builds independent libraries on that many threads,
+    producing byte-identical output versus a serial run.  Caching and
+    parallelism are off by default so a bare ``SchemaGenerator`` behaves
+    exactly like the paper's add-in.
     """
 
     annotated: bool = False
@@ -33,6 +42,9 @@ class GenerationOptions:
     include_version_in_urn: bool = False
     validate_first: bool = True
     target_directory: Path | None = None
+    use_cache: bool = False
+    cache_dir: Path | None = None
+    jobs: int = 1
 
 
 @dataclass

@@ -32,6 +32,19 @@ class TestSanitize:
     def test_leading_digit_prefixed(self):
         assert sanitize_ncname("1stChoice") == "_1stChoice"
 
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("-Margin", "_-Margin"),
+            (".NetVersion", "_.NetVersion"),
+            ("--Dashes", "_--Dashes"),
+            ("!-Leading", "_-Leading"),
+        ],
+    )
+    def test_leading_hyphen_or_period_prefixed(self, raw, expected):
+        assert sanitize_ncname(raw) == expected
+        assert is_valid_ncname(sanitize_ncname(raw))
+
     def test_empty_after_cleanup_raises(self):
         with pytest.raises(NamingError):
             sanitize_ncname("!!!")
@@ -39,6 +52,14 @@ class TestSanitize:
     @given(st.from_regex(r"[A-Za-z][A-Za-z0-9_. \-]{0,20}", fullmatch=True))
     def test_always_produces_valid_ncname(self, name):
         assert is_valid_ncname(sanitize_ncname(name))
+
+    @given(st.from_regex(r"[A-Za-z0-9_. \-]{1,20}", fullmatch=True))
+    def test_any_cleanable_input_produces_valid_ncname(self, name):
+        try:
+            cleaned = sanitize_ncname(name)
+        except NamingError:
+            return  # nothing left after cleanup -- acceptable failure mode
+        assert is_valid_ncname(cleaned)
 
 
 class TestTypeNames:
@@ -72,17 +93,29 @@ class TestAsbieCompoundNames:
 
 
 class TestTruncation:
-    def test_repeated_word_dropped(self):
-        assert truncate_den("Address. Country Name. Name") == "Address. Country Name"
-
-    def test_text_representation_dropped(self):
-        assert truncate_den("Person. First Name. Text") == "Person. First Name"
-
-    def test_distinct_terms_kept(self):
-        assert truncate_den("Person. Birth. Date") == "Person. Birth. Date"
-
-    def test_single_component_unchanged(self):
-        assert truncate_den("Person") == "Person"
+    @pytest.mark.parametrize(
+        "den,expected",
+        [
+            # Repeated trailing word(s) of the property term are dropped.
+            ("Address. Country Name. Name", "Address. Country Name"),
+            ("Trade. Exchange Rate. Rate", "Trade. Exchange Rate"),
+            ("Order. Unit Price Amount. Price Amount", "Order. Unit Price Amount"),
+            # Text representation terms are always dropped.
+            ("Person. First Name. Text", "Person. First Name"),
+            # Distinct terms are kept.
+            ("Person. Birth. Date", "Person. Birth. Date"),
+            # Whole-word comparison: a raw-substring match is NOT a repeat.
+            ("Person. Birthdate. Date", "Person. Birthdate. Date"),
+            ("Loan. Prorate. Rate", "Loan. Prorate. Rate"),
+            ("Goods. Forwarder. Order", "Goods. Forwarder. Order"),
+            # Representation longer than the property term is kept.
+            ("Fee. Rate. Exchange Rate", "Fee. Rate. Exchange Rate"),
+            # Single component passes through untouched.
+            ("Person", "Person"),
+        ],
+    )
+    def test_truncation_table(self, den, expected):
+        assert truncate_den(den) == expected
 
     def test_den_to_xml_name(self):
         assert xml_name_from_den("Person. First Name. Text") == "PersonFirstNameText"

@@ -79,3 +79,47 @@ class TestWalk:
         assert names.count("Package") == 1
         assert names.count("Class") == 1
         assert names.count("Property") == 1
+
+
+class TestStructuralRevision:
+    def test_attribute_assignment_bumps(self):
+        from repro.uml.elements import structural_revision
+
+        element = NamedElement("X")
+        before = structural_revision()
+        element.name = "Y"
+        assert structural_revision() > before
+
+    def test_stereotype_and_tag_mutations_bump(self):
+        from repro.uml.elements import structural_revision
+
+        element = NamedElement("X")
+        before = structural_revision()
+        element.apply_stereotype("ACC", definition="d")
+        after_apply = structural_revision()
+        assert after_apply > before
+        element.set_tagged_value("ACC", "definition", "e")
+        after_tag = structural_revision()
+        assert after_tag > after_apply
+        element.remove_stereotype("ACC")
+        assert structural_revision() > after_tag
+
+    def test_removing_absent_stereotype_does_not_bump(self):
+        from repro.uml.elements import structural_revision
+
+        element = NamedElement("X")
+        before = structural_revision()
+        element.remove_stereotype("NotApplied")
+        assert structural_revision() == before
+
+    def test_reads_do_not_bump(self):
+        from repro.uml.elements import structural_revision
+
+        element = NamedElement("X")
+        element.apply_stereotype("ACC", definition="d")
+        before = structural_revision()
+        element.tagged_value("ACC", "definition")
+        element.has_stereotype("ACC")
+        list(element.walk())
+        repr(element)
+        assert structural_revision() == before

@@ -92,3 +92,31 @@ class TestIndexedContext:
         assert {u: g.to_string() for u, g in first.schemas.items()} == {
             u: g.to_string() for u, g in second.schemas.items()
         }
+
+
+class TestIndexReuse:
+    def test_snapshot_reused_while_unmutated(self, easybiz):
+        model = easybiz.model.model
+        with model.indexed() as first:
+            pass
+        with model.indexed() as second:
+            pass
+        assert second is first
+
+    def test_snapshot_rebuilt_after_mutation(self, easybiz):
+        model = easybiz.model.model
+        with model.indexed() as first:
+            pass
+        easybiz.hoarding_permit.element.documentation = "edited"
+        with model.indexed() as second:
+            pass
+        assert second is not first
+
+    def test_reused_snapshot_answers_correctly(self, easybiz):
+        model = easybiz.model.model
+        permit = easybiz.hoarding_permit.element
+        with model.indexed():
+            pass
+        outside = model.associations_anywhere_from(permit)
+        with model.indexed():
+            assert model.associations_anywhere_from(permit) == outside

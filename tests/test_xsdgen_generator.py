@@ -117,3 +117,73 @@ class TestOrchestration:
 
         with pytest.raises(GenerationError):
             GenerationResult().root
+
+
+def _two_root_model():
+    """A DOC library with two independent root ABIEs, A and B."""
+    from repro.ccts.derivation import derive_abie
+
+    model = CctsModel("TwoRoots")
+    business = model.add_business_library("B", "urn:two")
+    prims = business.add_prim_library("P")
+    string = prims.add_primitive("String")
+    cdts = business.add_cdt_library("D")
+    text = cdts.add_cdt("Text")
+    text.set_content(string.element)
+    ccs = business.add_cc_library("C")
+    a_acc = ccs.add_acc("Alpha")
+    a_acc.add_bcc("Name", text, "0..1")
+    b_acc = ccs.add_acc("Beta")
+    b_acc.add_bcc("Code", text, "0..1")
+    doc = business.add_doc_library("Docs")
+    derive_abie(doc, a_acc).include("Name", "0..1")
+    derive_abie(doc, b_acc).include("Code", "0..1")
+    return model, doc
+
+
+class TestMemoKeying:
+    def test_different_roots_yield_different_schemas(self):
+        # Regression: the old memo keyed on the library element alone, so
+        # a second generate() with another root returned the first schema.
+        model, doc = _two_root_model()
+        generator = SchemaGenerator(model)
+        alpha = generator.generate(doc, root="Alpha")
+        beta = generator.generate(doc, root="Beta")
+        alpha_doc = alpha.root.to_string()
+        beta_doc = beta.root.to_string()
+        assert alpha_doc != beta_doc
+        assert '"Alpha"' in alpha_doc and '"Alpha"' not in beta_doc
+        assert '"Beta"' in beta_doc and '"Beta"' not in alpha_doc
+
+    def test_roots_match_single_run_generators(self):
+        # Each per-root schema from one shared generator must equal the
+        # schema a dedicated generator produces for that root.
+        model, doc = _two_root_model()
+        shared = SchemaGenerator(model)
+        alpha = shared.generate(doc, root="Alpha").root.to_string()
+        beta = shared.generate(doc, root="Beta").root.to_string()
+        model2, doc2 = _two_root_model()
+        assert SchemaGenerator(model2).generate(doc2, root="Alpha").root.to_string() == alpha
+        model3, doc3 = _two_root_model()
+        assert SchemaGenerator(model3).generate(doc3, root="Beta").root.to_string() == beta
+
+
+class TestResultScoping:
+    def test_no_leak_between_runs(self, easybiz):
+        # Regression: a reused generator leaked every previously generated
+        # schema into later results.  A run for a leaf library must return
+        # only what that library reaches.
+        generator = SchemaGenerator(easybiz.model)
+        first = generator.generate(easybiz.doc_library, root="HoardingPermit")
+        assert len(first.schemas) == 6
+        second = generator.generate("EnumerationTypes")
+        assert len(second.schemas) == 1
+        assert second.root.library.name == "EnumerationTypes"
+
+    def test_scoped_result_still_contains_transitive_imports(self, easybiz):
+        generator = SchemaGenerator(easybiz.model)
+        generator.generate(easybiz.doc_library, root="HoardingPermit")
+        result = generator.generate("CommonDataTypes")
+        names = sorted(g.library.name for g in result.schemas.values())
+        # QDTs import their base CDTs and content enumerations -- nothing else.
+        assert names == ["CommonDataTypes", "EnumerationTypes", "coredatatypes"]
