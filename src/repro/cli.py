@@ -5,6 +5,7 @@
     upcc example easybiz --out model.xmi        # write a catalog model as XMI
     upcc inspect model.xmi                      # tree view (Figure 4, left)
     upcc validate model.xmi                     # run the validation engine
+    upcc validate-xmi a.xmi b.xmi               # lenient load; located defect report
     upcc generate model.xmi --library EB005-HoardingPermit \
         --root HoardingPermit --out schemas/ --annotate
     upcc generate model.xmi --library ... --root ... --syntax rng   # RELAX NG
@@ -32,7 +33,7 @@ from pathlib import Path
 from repro.ccts.model import CctsModel
 from repro.errors import ReproError
 from repro.uml.visitor import render_tree
-from repro.xmi import read_xmi, write_xmi
+from repro.xmi import DEFAULT_MAX_DEPTH, DEFAULT_MAX_ELEMENTS, read_xmi, write_xmi
 
 
 def _load_model(path: str) -> CctsModel:
@@ -72,6 +73,62 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_validate_xmi(args: argparse.Namespace) -> int:
+    import xml.etree.ElementTree as ET
+
+    from repro.errors import XmiError
+    from repro.xmi import load_xmi
+
+    defects = 0
+    for name in args.models:
+        try:
+            result = load_xmi(
+                Path(name),
+                strict=args.strict,
+                max_elements=args.max_elements,
+                max_depth=args.max_depth,
+            )
+        except OSError as error:
+            print(f"{name}: error: {error}", file=sys.stderr)
+            defects += 1
+            continue
+        except (ET.ParseError, ValueError) as error:  # strict-mode syntax errors
+            position = getattr(error, "position", None)
+            location = ":".join(str(part) for part in position) if position else ""
+            where = f"{name}:{location}" if location else name
+            print(f"{where}: error: not well-formed XML: {error}", file=sys.stderr)
+            defects += 1
+            continue
+        except XmiError as error:
+            location = ":".join(
+                str(part) for part in (error.line, error.column) if part is not None
+            )
+            where = f"{name}:{location}" if location else name
+            print(f"{where}: error: {error}", file=sys.stderr)
+            defects += 1
+            continue
+        for issue in result.issues:
+            location = ":".join(
+                str(part) for part in (issue.line, issue.column) if part is not None
+            )
+            where = f"{name}:{location}" if location else name
+            detail = []
+            if issue.xmi_id:
+                detail.append(f"xmi:id={issue.xmi_id}")
+            if issue.path:
+                detail.append(f"path={issue.path}")
+            suffix = f" ({', '.join(detail)})" if detail else ""
+            print(f"{where}: [{issue.kind}] {issue.message}{suffix}")
+        defects += len(result.issues)
+        if result.ok:
+            model_name = result.model.name if result.model is not None else "?"
+            print(f"{name}: ok (model {model_name!r})")
+    if defects:
+        print(f"{defects} defect(s) found across {len(args.models)} file(s)")
+        return 1
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.xsdgen import GenerationOptions, SchemaGenerator
 
@@ -85,6 +142,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         use_cache=args.use_cache or bool(args.cache_dir),
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         jobs=max(1, args.jobs),
+        on_error="collect" if args.keep_going else "raise",
     )
     generator = SchemaGenerator(model, options)
     try:
@@ -94,6 +152,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         print(f"generation failed: {error}", file=sys.stderr)
         return 1
     print(generator.session.log)
+    if result.errors:
+        for failure in result.errors:
+            print(f"failed: {failure}", file=sys.stderr)
+        print(
+            f"{len(result.errors)} library build(s) failed; "
+            f"{len(result.schemas)} schema(s) generated",
+            file=sys.stderr,
+        )
+        return 1
     if syntax == "rng":
         from repro.rngen import result_to_rng, rng_to_string
 
@@ -308,6 +375,32 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--basic", action="store_true", help="run only the basic rule set")
     validate.set_defaults(func=_cmd_validate)
 
+    validate_xmi = commands.add_parser(
+        "validate-xmi",
+        help="load XMI files leniently and print a located defect report",
+    )
+    validate_xmi.add_argument("models", nargs="+", help="XMI model files")
+    validate_xmi.add_argument(
+        "--strict",
+        action="store_true",
+        help="stop at the first defect (fail-fast) instead of collecting all of them",
+    )
+    validate_xmi.add_argument(
+        "--max-elements",
+        type=int,
+        default=DEFAULT_MAX_ELEMENTS,
+        metavar="N",
+        help=f"refuse documents with more than N model elements (default {DEFAULT_MAX_ELEMENTS})",
+    )
+    validate_xmi.add_argument(
+        "--max-depth",
+        type=int,
+        default=DEFAULT_MAX_DEPTH,
+        metavar="N",
+        help=f"refuse package trees nested deeper than N levels (default {DEFAULT_MAX_DEPTH})",
+    )
+    validate_xmi.set_defaults(func=_cmd_validate_xmi)
+
     generate = commands.add_parser("generate", help="generate XSD schemas from a library")
     generate.add_argument("model", help="XMI model file")
     generate.add_argument("--library", required=True, help="library name to generate from")
@@ -339,6 +432,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="build independent libraries on up to N threads (default 1; "
         "output is byte-identical to a serial run)",
+    )
+    generate.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="on a library build failure, keep building independent libraries "
+        "and report every failure instead of stopping at the first one",
     )
     generate.add_argument(
         "--syntax",

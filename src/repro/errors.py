@@ -37,7 +37,28 @@ class GenerationError(ReproError):
 
 
 class XmiError(ReproError):
-    """XMI serialization or deserialization failure."""
+    """XMI serialization or deserialization failure.
+
+    Loader-raised instances carry the offending element's ``xmi_id``, its
+    slash-separated element ``path`` and the 1-based ``line``/``column`` of
+    its start tag (all ``None``/empty when unknown), so strict-mode callers
+    get the same located facts lenient mode records as ``LoadIssue``s.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        xmi_id: str | None = None,
+        path: str = "",
+        line: int | None = None,
+        column: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.xmi_id = xmi_id
+        self.path = path
+        self.line = line
+        self.column = column
 
 
 class SchemaError(ReproError):

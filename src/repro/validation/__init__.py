@@ -18,12 +18,13 @@ The generator runs the rules marked ``basic`` before producing schemas and
 aborts on errors, reproducing the error dialog of the paper's Figure 5.
 """
 
-from repro.validation.diagnostics import Diagnostic, Severity, ValidationReport
+from repro.validation.diagnostics import Diagnostic, Severity, SourceLocation, ValidationReport
 from repro.validation.engine import ValidationEngine, default_engine, validate_model
 
 __all__ = [
     "Diagnostic",
     "Severity",
+    "SourceLocation",
     "ValidationEngine",
     "ValidationReport",
     "default_engine",

@@ -21,16 +21,41 @@ class Severity(enum.Enum):
 
 
 @dataclass(frozen=True)
+class SourceLocation:
+    """A 1-based line/column position in a source document.
+
+    Used by located diagnostics such as the XMI reader's ``LoadIssue``
+    records; ``column`` may be ``None`` when only the line is known.
+    """
+
+    line: int
+    column: int | None = None
+
+    def __str__(self) -> str:
+        if self.column is None:
+            return f"line {self.line}"
+        return f"line {self.line}, column {self.column}"
+
+
+@dataclass(frozen=True)
 class Diagnostic:
-    """One validation finding."""
+    """One validation finding.
+
+    ``location`` is a human-readable model location (a qualified name or
+    element path); ``source`` optionally pins the finding to a position in
+    the source document the model was loaded from.
+    """
 
     severity: Severity
     code: str
     message: str
     location: str = ""
+    source: SourceLocation | None = None
 
     def __str__(self) -> str:
         where = f" [{self.location}]" if self.location else ""
+        if self.source is not None:
+            where += f" ({self.source})"
         return f"{self.severity.value.upper()} {self.code}: {self.message}{where}"
 
 

@@ -15,9 +15,32 @@ Simplifications relative to full OMG XMI are documented in
 stereotype applications as ``upcc:*`` elements referencing ``base`` ids).
 Round-tripping is exact for everything the UPCC profile uses; the property
 test suite verifies write->read->write is the identity.
+
+Loading is fault-tolerant on demand: :func:`read_xmi` is strict (fail
+fast with located :class:`~repro.errors.XmiError`), while
+:func:`load_xmi` collects every recoverable defect as a located
+:class:`LoadIssue` and still returns whatever model content was sound.
 """
 
-from repro.xmi.reader import model_from_xmi, read_xmi
+from repro.xmi.reader import (
+    DEFAULT_MAX_DEPTH,
+    DEFAULT_MAX_ELEMENTS,
+    LoadIssue,
+    LoadResult,
+    load_xmi,
+    model_from_xmi,
+    read_xmi,
+)
 from repro.xmi.writer import model_to_xmi, write_xmi
 
-__all__ = ["model_from_xmi", "model_to_xmi", "read_xmi", "write_xmi"]
+__all__ = [
+    "DEFAULT_MAX_DEPTH",
+    "DEFAULT_MAX_ELEMENTS",
+    "LoadIssue",
+    "LoadResult",
+    "load_xmi",
+    "model_from_xmi",
+    "model_to_xmi",
+    "read_xmi",
+    "write_xmi",
+]

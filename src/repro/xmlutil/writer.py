@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import io
 import xml.etree.ElementTree as ET
+import xml.parsers.expat
 from dataclasses import dataclass, field
 
 from repro.xmlutil.escape import escape_attribute, escape_text, is_valid_xml_name
@@ -26,9 +27,14 @@ class XmlElement:
     ``tag`` is the name as written (possibly prefixed).  Children are either
     :class:`XmlElement` instances or strings (text nodes).  Attribute order
     is insertion order, which the writer preserves so output is stable.
+
+    ``source_line``/``source_column`` are the 1-based position of the
+    element's start tag when the tree came from :func:`parse_xml`, and
+    ``None`` for programmatically built trees.  The XMI reader threads them
+    into located load diagnostics.
     """
 
-    __slots__ = ("tag", "attributes", "children")
+    __slots__ = ("tag", "attributes", "children", "source_line", "source_column")
 
     def __init__(self, tag: str, attributes: dict[str, str] | None = None) -> None:
         if not is_valid_xml_name(tag.replace(":", "_", 1) if ":" in tag else tag):
@@ -36,6 +42,8 @@ class XmlElement:
         self.tag = tag
         self.attributes: dict[str, str] = dict(attributes or {})
         self.children: list[XmlElement | str] = []
+        self.source_line: int | None = None
+        self.source_column: int | None = None
 
     def set(self, name: str, value: str) -> "XmlElement":
         """Set an attribute and return self (chainable)."""
@@ -146,74 +154,74 @@ class ParsedElement:
     namespaces: dict[str | None, str] = field(default_factory=dict)
 
 
+class _ParseFrame:
+    """Per-open-element parse state: the element plus its leading text."""
+
+    __slots__ = ("element", "texts", "has_element_child")
+
+    def __init__(self, element: XmlElement) -> None:
+        self.element = element
+        self.texts: list[str] = []
+        self.has_element_child = False
+
+
 def parse_xml(text: str) -> XmlElement:
     """Parse XML text into an :class:`XmlElement` tree, preserving prefixes.
 
     Namespace declarations are kept as literal ``xmlns``/``xmlns:p``
     attributes and tags keep their written prefixes, mirroring what the
-    writer produces.  Built on the stdlib pull parser so no third-party
-    dependency is needed.
+    writer produces.  Built directly on the stdlib expat parser (namespace
+    processing off, so names arrive exactly as written) which also reports
+    the line/column of every start tag -- recorded on the elements as
+    ``source_line``/``source_column`` (both 1-based) so readers can attach
+    source locations to their diagnostics.
+
+    Malformed input raises :class:`xml.etree.ElementTree.ParseError` with
+    ``position`` set, matching the previous pull-parser behavior.
     """
-    events = ET.XMLPullParser(events=("start", "end", "start-ns"))
-    events.feed(text)
-    events.close()
+    parser = xml.parsers.expat.ParserCreate()
+    parser.ordered_attributes = True
+    parser.buffer_text = True
 
-    # ElementTree expands names to Clark notation and drops prefixes, so we
-    # rebuild prefixed tags from the start-ns events with a scope stack.
-    pending_ns: list[tuple[str, str]] = []
-    uri_to_prefix_stack: list[dict[str, str]] = [{}]
-    stack: list[XmlElement] = []
-    root: XmlElement | None = None
+    stack: list[_ParseFrame] = []
+    roots: list[XmlElement] = []
 
-    for event, payload in events.read_events():
-        if event == "start-ns":
-            prefix, uri = payload
-            pending_ns.append((prefix, uri))
-            continue
-        if event == "start":
-            scope = dict(uri_to_prefix_stack[-1])
-            declared = list(pending_ns)
-            pending_ns.clear()
-            for prefix, uri in declared:
-                scope[uri] = prefix
-            uri_to_prefix_stack.append(scope)
-            tag = _prefixed_name(payload.tag, scope)
-            element = XmlElement(tag)
-            for prefix, uri in declared:
-                key = f"xmlns:{prefix}" if prefix else "xmlns"
-                element.attributes[key] = uri
-            for name, value in payload.attrib.items():
-                element.attributes[_prefixed_name(name, scope)] = value
-            if stack:
-                stack[-1].children.append(element)
-            else:
-                root = element
-            stack.append(element)
-        elif event == "end":
-            element = stack.pop()
-            if payload.text and payload.text.strip():
-                element.children.insert(0, payload.text)
-            elif payload.text and not element.element_children:
-                element.children.insert(0, payload.text)
-            uri_to_prefix_stack.pop()
+    def handle_start(tag: str, attributes: list[str]) -> None:
+        element = XmlElement(tag)
+        element.source_line = parser.CurrentLineNumber
+        element.source_column = parser.CurrentColumnNumber + 1
+        for index in range(0, len(attributes), 2):
+            element.attributes[attributes[index]] = attributes[index + 1]
+        if stack:
+            stack[-1].has_element_child = True
+            stack[-1].element.children.append(element)
+        else:
+            roots.append(element)
+        stack.append(_ParseFrame(element))
 
-    if root is None:
+    def handle_end(tag: str) -> None:
+        frame = stack.pop()
+        leading = "".join(frame.texts)
+        # Match the previous reader: only the text before the first child
+        # element survives; whitespace-only runs survive only in childless
+        # elements (so indentation never becomes a text node).
+        if leading.strip() or (leading and not frame.has_element_child):
+            frame.element.children.insert(0, leading)
+
+    def handle_text(data: str) -> None:
+        if stack and not stack[-1].has_element_child:
+            stack[-1].texts.append(data)
+
+    parser.StartElementHandler = handle_start
+    parser.EndElementHandler = handle_end
+    parser.CharacterDataHandler = handle_text
+    try:
+        parser.Parse(text, True)
+    except xml.parsers.expat.ExpatError as error:
+        wrapped = ET.ParseError(str(error))
+        wrapped.code = error.code
+        wrapped.position = (error.lineno, error.offset)
+        raise wrapped from None
+    if not roots:
         raise ValueError("document contained no root element")
-    return root
-
-
-def _prefixed_name(clark: str, uri_to_prefix: dict[str, str]) -> str:
-    """Convert a Clark-notation name back to its written prefixed form."""
-    if not clark.startswith("{"):
-        return clark
-    uri, _, local = clark[1:].partition("}")
-    if uri == "http://www.w3.org/XML/1998/namespace":
-        return f"xml:{local}"
-    prefix = uri_to_prefix.get(uri)
-    if prefix is None:
-        # Namespace was declared on an ancestor parsed in an earlier scope
-        # snapshot; fall back to Clark notation rather than guessing.
-        return clark
-    if prefix == "":
-        return local
-    return f"{prefix}:{local}"
+    return roots[0]

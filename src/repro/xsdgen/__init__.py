@@ -29,9 +29,14 @@ from repro.xsdgen.cache import (
     set_generation_cache,
 )
 from repro.xsdgen.docgen import document_schemas, write_documentation
-from repro.xsdgen.generator import GeneratedSchema, GenerationResult, SchemaGenerator
+from repro.xsdgen.generator import (
+    GeneratedSchema,
+    GenerationResult,
+    LibraryFailure,
+    SchemaGenerator,
+)
 from repro.xsdgen.primitives import builtin_for_primitive_name, builtin_or_string
-from repro.xsdgen.session import GenerationOptions, GenerationSession
+from repro.xsdgen.session import GenerationOptions, GenerationSession, wrap_build_errors
 
 __all__ = [
     "CachedGeneration",
@@ -40,7 +45,9 @@ __all__ = [
     "GenerationOptions",
     "GenerationResult",
     "GenerationSession",
+    "LibraryFailure",
     "SchemaGenerator",
+    "wrap_build_errors",
     "builtin_for_primitive_name",
     "builtin_or_string",
     "cache_for_directory",

@@ -16,6 +16,7 @@ from repro.obs.metrics import counter, histogram
 from repro.obs.trace import span
 from repro.profile import BIE_LIBRARY
 from repro.xsdgen.abie_types import append_abie
+from repro.xsdgen.session import wrap_build_errors
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.xsdgen.generator import SchemaBuilder
@@ -25,7 +26,9 @@ def build(builder: "SchemaBuilder") -> None:
     """Populate the builder's schema for a BIELibrary."""
     library = builder.library
     assert isinstance(library, BieLibrary)
-    with span("xsdgen.build.bie", library=library.name, abies=len(library.abies)), histogram(
+    with wrap_build_errors(BIE_LIBRARY, library.name), span(
+        "xsdgen.build.bie", library=library.name, abies=len(library.abies)
+    ), histogram(
         "xsdgen.library_build_ms", stereotype=BIE_LIBRARY
     ).time():
         for abie in library.abies:

@@ -22,6 +22,11 @@ subsystem:
 Cache observability: ``xsdgen.cache_hits`` / ``xsdgen.cache_misses`` /
 ``xsdgen.cache_evictions`` counters and the ``xsdgen.cache_size`` gauge
 (see docs/observability.md).
+
+Failure isolation: the generator inserts an entry only after a library's
+build completed -- a build that raises (including under the
+``on_error="collect"`` recovery policy) never reaches :meth:`GenerationCache.put`,
+so a failed library can never poison this cache for later runs.
 """
 
 from __future__ import annotations

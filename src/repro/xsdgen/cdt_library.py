@@ -22,6 +22,7 @@ from repro.uml.classifier import Classifier, Enumeration
 from repro.xmlutil.qname import QName
 from repro.xsd.components import AttributeDecl, AttributeUse, ComplexType, SimpleContent
 from repro.xsdgen.primitives import builtin_or_string
+from repro.xsdgen.session import wrap_build_errors
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.xsdgen.generator import SchemaBuilder
@@ -64,7 +65,9 @@ def build(builder: "SchemaBuilder") -> None:
     library = builder.library
     assert isinstance(library, CdtLibrary)
     session = builder.generator.session
-    with span("xsdgen.build.cdt", library=library.name, cdts=len(library.cdts)), histogram(
+    with wrap_build_errors(CDT_LIBRARY, library.name), span(
+        "xsdgen.build.cdt", library=library.name, cdts=len(library.cdts)
+    ), histogram(
         "xsdgen.library_build_ms", stereotype=CDT_LIBRARY
     ).time():
         _build(builder, library, session)

@@ -22,6 +22,7 @@ from repro.obs.trace import span
 from repro.profile import DOC_LIBRARY
 from repro.xsd.components import ElementDecl
 from repro.xsdgen.abie_types import append_abie
+from repro.xsdgen.session import wrap_build_errors
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.xsdgen.generator import SchemaBuilder
@@ -33,7 +34,9 @@ def build(builder: "SchemaBuilder", root: Abie | str | None) -> None:
     assert isinstance(library, DocLibrary)
     session = builder.generator.session
 
-    with span("xsdgen.build.doc", library=library.name) as build_span, histogram(
+    with wrap_build_errors(DOC_LIBRARY, library.name), span(
+        "xsdgen.build.doc", library=library.name
+    ) as build_span, histogram(
         "xsdgen.library_build_ms", stereotype=DOC_LIBRARY
     ).time():
         root_abie = _resolve_root(library, root, builder)

@@ -20,6 +20,7 @@ from repro.obs.trace import span
 from repro.profile import ENUM_LIBRARY
 from repro.xmlutil.qname import QName
 from repro.xsd.components import XSD_NS, Annotation, Facet, SimpleType
+from repro.xsdgen.session import wrap_build_errors
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.xsdgen.generator import SchemaBuilder
@@ -29,7 +30,9 @@ def build(builder: "SchemaBuilder") -> None:
     """Populate the builder's schema for an ENUMLibrary."""
     library = builder.library
     assert isinstance(library, EnumLibrary)
-    with span("xsdgen.build.enum", library=library.name, enums=len(library.enumerations)), histogram(
+    with wrap_build_errors(ENUM_LIBRARY, library.name), span(
+        "xsdgen.build.enum", library=library.name, enums=len(library.enumerations)
+    ), histogram(
         "xsdgen.library_build_ms", stereotype=ENUM_LIBRARY
     ).time():
         _build(builder, library)

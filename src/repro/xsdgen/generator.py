@@ -27,7 +27,7 @@ from repro.ccts.base import ElementWrapper
 from repro.ccts.bie import Abie
 from repro.ccts.libraries import DocLibrary, Library
 from repro.ccts.model import CctsModel
-from repro.errors import CctsError, GenerationError
+from repro.errors import CctsError, GenerationError, ReproError
 from repro.ndr.annotations import CCTS_DOCUMENTATION_NS, annotation_entries_for
 from repro.obs.logging_bridge import get_logger
 from repro.obs.metrics import counter
@@ -76,22 +76,69 @@ class GeneratedSchema:
 
 
 @dataclass
+class LibraryFailure:
+    """One isolated library failure from an ``on_error="collect"`` run.
+
+    ``error`` is the exception the library's build raised (or the
+    poisoning error for a library that imports a failed one); its
+    ``__cause__`` links preserve the full chain back to the original
+    defect, exposed as :attr:`cause_chain`.
+    """
+
+    library_name: str
+    stereotype: str
+    root_name: str | None
+    error: ReproError
+
+    @property
+    def cause_chain(self) -> list[BaseException]:
+        """The error plus every chained cause, outermost first."""
+        chain: list[BaseException] = []
+        current: BaseException | None = self.error
+        while current is not None and current not in chain:
+            chain.append(current)
+            current = current.__cause__
+        return chain
+
+    def __str__(self) -> str:
+        root = f" (root {self.root_name!r})" if self.root_name else ""
+        causes = " <- ".join(str(cause) for cause in self.cause_chain[1:])
+        suffix = f" [caused by: {causes}]" if causes else ""
+        return f"{self.stereotype} {self.library_name!r}{root}: {self.error}{suffix}"
+
+
+@dataclass
 class GenerationResult:
     """All schemas produced by one generation run, keyed by namespace URN.
 
     ``schemas`` contains exactly the libraries reachable from the requested
     library in this run -- a generator reused across runs does not leak the
     previous run's schemas into later results.
+
+    Under ``on_error="collect"`` a failing library lands in ``errors``
+    instead of aborting the run, ``schemas`` holds every library that
+    built (none of which import a failed one), and ``root_namespace`` is
+    ``None`` when the requested library itself failed.
     """
 
     schemas: dict[str, GeneratedSchema] = field(default_factory=dict)
     session: GenerationSession = field(default_factory=GenerationSession)
     root_namespace: str | None = None
+    errors: list[LibraryFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no library failure was collected."""
+        return not self.errors
 
     @property
     def root(self) -> GeneratedSchema:
         """The schema generated for the library the run started from."""
         if self.root_namespace is None:
+            if self.errors:
+                raise GenerationError(
+                    f"the requested library failed to generate: {self.errors[0]}"
+                )
             generated = sorted(g.library.name for g in self.schemas.values())
             if generated:
                 raise GenerationError(
@@ -232,6 +279,9 @@ class SchemaGenerator:
         self._generated: dict[_MemoKey, GeneratedSchema] = {}
         self._deps: dict[_MemoKey, list[_MemoKey]] = {}
         self._building: dict[_MemoKey, tuple[int, threading.Event]] = {}
+        #: Per-run failure records (collect mode) and the keys this run touched.
+        self._failed: dict[_MemoKey, LibraryFailure] = {}
+        self._run_keys: dict[_MemoKey, None] = {}
         self._lock = threading.Lock()
         self._run_fingerprints: dict[_MemoKey, str] = {}
         self._fingerprint_context = FingerprintContext()
@@ -260,20 +310,44 @@ class SchemaGenerator:
             self._run_fingerprints = {}
             self._fingerprint_context = FingerprintContext()
             self._libraries_by_name = None
+            self._failed = {}
+            self._run_keys = {}
+            collect = self.options.on_error == "collect"
             self.session.status(f"Generating schema for {library.stereotype} {library.name!r}")
             _log.info("generating schema for %s %r", library.stereotype, library.name)
             with self.model.model.indexed():
-                if self.options.jobs > 1:
-                    self._parallel_prebuild(library, root, self.options.jobs)
-                generated = self.ensure_library(library, root)
-                schemas = self._reachable_schemas(library, root)
+                # Collect mode always prebuilds from the structural
+                # dependency graph: a failing library must not hide the
+                # independent libraries it would have discovered serially.
+                if self.options.jobs > 1 or collect:
+                    self._parallel_prebuild(library, root, max(1, self.options.jobs))
+                root_namespace: str | None = None
+                try:
+                    generated = self.ensure_library(library, root)
+                    root_namespace = generated.namespace.urn
+                except ReproError:
+                    if not collect:
+                        raise
+                if collect:
+                    schemas = self._run_schemas()
+                else:
+                    schemas = self._reachable_schemas(library, root)
             result = GenerationResult(
                 schemas=schemas,
                 session=self.session,
-                root_namespace=generated.namespace.urn,
+                root_namespace=root_namespace,
+                errors=list(self._failed.values()),
             )
             generate_span.set(schemas=len(result.schemas))
-            self.session.status(f"Generation finished: {len(result.schemas)} schema(s)")
+            if result.errors:
+                generate_span.set(failures=len(result.errors))
+                self.session.status(
+                    f"Generation finished with {len(result.errors)} failed "
+                    f"librar{'y' if len(result.errors) == 1 else 'ies'}: "
+                    f"{len(result.schemas)} schema(s)"
+                )
+            else:
+                self.session.status(f"Generation finished: {len(result.schemas)} schema(s)")
             _log.info("generation finished: %d schema(s)", len(result.schemas))
             if self.options.target_directory is not None:
                 paths = result.write_to(self.options.target_directory)
@@ -333,9 +407,18 @@ class SchemaGenerator:
         key = self._memo_key(library, root)
         while True:
             with self._lock:
+                failure = self._failed.get(key)
+                if failure is not None:
+                    # Collect mode: a library that already failed this run
+                    # poisons its importers instead of being retried.
+                    raise GenerationError(
+                        f"{library.stereotype} {library.name!r} failed earlier "
+                        f"in this run: {failure.error}"
+                    ) from failure.error
                 existing = self._generated.get(key)
                 if existing is not None:
                     self._memo_hits.inc()
+                    self._run_keys[key] = None
                     return existing
                 building = self._building.get(key)
                 if building is None:
@@ -347,12 +430,22 @@ class SchemaGenerator:
                     namespace = self.policy.namespace_for(library)
                     placeholder = GeneratedSchema(library, namespace, Schema(namespace.urn))
                     self._generated[key] = placeholder
+                    self._run_keys[key] = None
                     return placeholder
             # Another thread is building this library; wait and re-check.
             event.wait()
         self._memo_misses.inc()
         try:
             generated, dep_keys = self._obtain(library, root, key)
+        except ReproError as error:
+            with self._lock:
+                # Drop any placeholder a cycle installed for the failed build
+                # so a half-built schema never reaches a result or the cache.
+                self._generated.pop(key, None)
+                self._run_keys.pop(key, None)
+            if self.options.on_error == "collect":
+                self._record_failure(key, library, error)
+            raise
         finally:
             with self._lock:
                 _, event = self._building.pop(key)
@@ -366,6 +459,7 @@ class SchemaGenerator:
             else:
                 self._generated[key] = generated
             self._deps[key] = dep_keys
+            self._run_keys[key] = None
         return generated
 
     def _obtain(
@@ -438,6 +532,89 @@ class SchemaGenerator:
             self.ensure_library(dependency)
             dep_keys.append(self._memo_key(dependency))
         return generated, dep_keys
+
+    def _record_failure(self, key: _MemoKey, library: Library, error: ReproError) -> None:
+        """Collect-mode bookkeeping for one failed library build.
+
+        Records the failure, and cascades it onto any *already built*
+        library whose imports reach a failed one (possible only inside
+        dependency cycles, where an importer can complete before its
+        partner fails) -- those schemas would carry dangling imports, so
+        they are withdrawn from the run and marked failed too.
+        """
+        cascaded: list[LibraryFailure] = []
+        with self._lock:
+            if key in self._failed:
+                return
+            # An error that propagated out of a failed dependency's build is
+            # re-labelled as an import failure so the chain reads causally.
+            culprit = next(
+                (f for f in self._failed.values() if f.error is error), None
+            )
+            if culprit is not None:
+                chained = GenerationError(
+                    f"{library.stereotype} {library.name!r} imports failed "
+                    f"library {culprit.library_name!r}"
+                )
+                chained.__cause__ = error
+                error = chained
+            elif not isinstance(error, GenerationError):
+                wrapped = GenerationError(
+                    f"building {library.stereotype} {library.name!r} failed: {error}"
+                )
+                wrapped.__cause__ = error
+                error = wrapped
+            failure = LibraryFailure(library.name, library.stereotype, key[1], error)
+            self._failed[key] = failure
+            changed = True
+            while changed:
+                changed = False
+                for built_key, deps in list(self._deps.items()):
+                    if built_key in self._failed:
+                        continue
+                    if not any(dep in self._failed for dep in deps):
+                        continue
+                    poisoned = self._generated.pop(built_key, None)
+                    self._run_keys.pop(built_key, None)
+                    if poisoned is None:
+                        continue
+                    chained = GenerationError(
+                        f"{poisoned.library.stereotype} {poisoned.library.name!r} "
+                        f"imports failed library {library.name!r}"
+                    )
+                    chained.__cause__ = failure.error
+                    self._failed[built_key] = LibraryFailure(
+                        poisoned.library.name,
+                        poisoned.library.stereotype,
+                        built_key[1],
+                        chained,
+                    )
+                    cascaded.append(self._failed[built_key])
+                    changed = True
+        counter("xsdgen.library_failures", stereotype=library.stereotype).inc()
+        self.session.status(f"ERROR: {failure}")
+        _log.warning("library build failed: %s", failure)
+        for poisoned_failure in cascaded:
+            counter(
+                "xsdgen.library_failures", stereotype=poisoned_failure.stereotype
+            ).inc()
+            self.session.status(f"ERROR: {poisoned_failure}")
+            _log.warning("library build failed: %s", poisoned_failure)
+
+    def _run_schemas(self) -> dict[str, GeneratedSchema]:
+        """Every schema successfully built or reused during this run.
+
+        Collect-mode result scoping: the run's touched keys, minus failed
+        ones, in first-touch order.  Equals the reachable set when nothing
+        failed, and never leaks schemas from a previous run.
+        """
+        with self._lock:
+            keys = [key for key in self._run_keys if key not in self._failed]
+            return {
+                generated.namespace.urn: generated
+                for key in keys
+                if (generated := self._generated.get(key)) is not None
+            }
 
     def _reachable_schemas(self, library: Library, root: "Abie | str | None") -> dict[str, GeneratedSchema]:
         """The schemas transitively reachable from the requested library."""
@@ -519,7 +696,14 @@ class SchemaGenerator:
                     done, _ = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
                         finished = pending.pop(future)
-                        future.result()
+                        try:
+                            future.result()
+                        except ReproError:
+                            if self.options.on_error != "collect":
+                                raise
+                            # Already recorded by ensure_library; dependent
+                            # components still run and fail fast into the
+                            # collected failures, independent ones build on.
                         for dependent in sorted(dependents[finished]):
                             indegree[dependent] -= 1
                             if indegree[dependent] == 0:

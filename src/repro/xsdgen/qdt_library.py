@@ -31,6 +31,7 @@ from repro.obs.trace import span
 from repro.profile import QDT_LIBRARY
 from repro.xsd.components import AttributeDecl, AttributeUse, ComplexType, SimpleContent
 from repro.xsdgen.cdt_library import component_type_qname, supplementary_attributes
+from repro.xsdgen.session import wrap_build_errors
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.xsdgen.generator import SchemaBuilder
@@ -41,7 +42,9 @@ def build(builder: "SchemaBuilder") -> None:
     library = builder.library
     assert isinstance(library, QdtLibrary)
     session = builder.generator.session
-    with span("xsdgen.build.qdt", library=library.name, qdts=len(library.qdts)), histogram(
+    with wrap_build_errors(QDT_LIBRARY, library.name), span(
+        "xsdgen.build.qdt", library=library.name, qdts=len(library.qdts)
+    ), histogram(
         "xsdgen.library_build_ms", stereotype=QDT_LIBRARY
     ).time():
         _build(builder, library, session)

@@ -9,10 +9,12 @@ the user is presented an error message."
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator
 
-from repro.errors import GenerationError
+from repro.errors import CctsError, GenerationError
 
 
 @dataclass
@@ -35,6 +37,13 @@ class GenerationOptions:
     producing byte-identical output versus a serial run.  Caching and
     parallelism are off by default so a bare ``SchemaGenerator`` behaves
     exactly like the paper's add-in.
+
+    ``on_error`` selects the failure policy: ``"raise"`` (default)
+    aborts the run on the first failing library, mirroring the paper's
+    error dialog; ``"collect"`` isolates each failing library as a
+    :class:`~repro.xsdgen.generator.LibraryFailure` on
+    ``GenerationResult.errors`` and still builds every library not
+    reachable from a failing one.
     """
 
     annotated: bool = False
@@ -45,6 +54,13 @@ class GenerationOptions:
     use_cache: bool = False
     cache_dir: Path | None = None
     jobs: int = 1
+    on_error: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ("raise", "collect"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'collect', got {self.on_error!r}"
+            )
 
 
 @dataclass
@@ -66,3 +82,25 @@ class GenerationSession:
     def log(self) -> str:
         """The full status log as one string."""
         return "\n".join(self.messages)
+
+
+@contextmanager
+def wrap_build_errors(stereotype: str, library_name: str) -> Iterator[None]:
+    """Give escaping CCTS-level errors their library context.
+
+    The per-library builders call typed-facade accessors (``den()``,
+    wrapper lookups, ...) that raise bare :class:`CctsError` subclasses
+    naming only the element.  This wrapper re-raises them as
+    :class:`GenerationError` naming the library being built -- the unit
+    the ``on_error="collect"`` policy isolates -- while keeping the
+    original error as the cause chain.  ``GenerationError`` itself (from
+    ``session.fail``) passes through untouched.
+    """
+    try:
+        yield
+    except GenerationError:
+        raise
+    except CctsError as error:
+        raise GenerationError(
+            f"building {stereotype} schema for library {library_name!r} failed: {error}"
+        ) from error

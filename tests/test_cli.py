@@ -1,5 +1,7 @@
 """End-to-end tests for the command-line interface (the Figure-5 dialog)."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -256,3 +258,61 @@ class TestDocumentCommand:
         text = out.read_text(encoding="utf-8")
         assert "<title>HoardingPermit exchange</title>" in text
         assert "HoardingPermitType" in text
+
+
+class TestValidateXmiCommand:
+    CORPUS = Path(__file__).parent / "corpus" / "malformed"
+
+    def test_clean_file_exits_zero(self, xmi_file, capsys):
+        assert main(["validate-xmi", str(xmi_file)]) == 0
+        assert "ok (model" in capsys.readouterr().out
+
+    def test_corpus_exits_nonzero_with_located_report(self, capsys):
+        files = sorted(str(path) for path in self.CORPUS.glob("*.xmi"))
+        assert files, "malformed corpus is missing"
+        assert main(["validate-xmi", *files]) == 1
+        out = capsys.readouterr().out
+        assert "[duplicate-id]" in out
+        assert "[bad-multiplicity]" in out
+        assert "xmi:id=" in out
+        assert "defect(s) found" in out
+
+    def test_strict_stops_at_first_defect(self, capsys):
+        target = self.CORPUS / "duplicate_ids.xmi"
+        assert main(["validate-xmi", "--strict", str(target)]) == 1
+        err = capsys.readouterr().err
+        assert "duplicate xmi:id" in err
+        assert f"{target}:8:" in err
+
+    def test_max_elements_limit(self, xmi_file, capsys):
+        assert main(["validate-xmi", "--max-elements", "3", str(xmi_file)]) == 1
+        assert "max_elements=3" in capsys.readouterr().out
+
+    def test_missing_file_reported(self, tmp_path, capsys):
+        assert main(["validate-xmi", str(tmp_path / "gone.xmi")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestKeepGoingFlag:
+    def test_keep_going_happy_path_matches_default(self, xmi_file, capsys):
+        assert main(["generate", str(xmi_file),
+                     "--library", "EB005-HoardingPermit",
+                     "--root", "HoardingPermit",
+                     "--keep-going"]) == 0
+        assert "<xsd:schema" in capsys.readouterr().out
+
+    def test_keep_going_reports_failures(self, xmi_file, capsys, monkeypatch):
+        import repro.xsdgen.qdt_library
+        from repro.errors import GenerationError
+
+        def explode(builder):
+            raise GenerationError("sabotaged QDT build")
+
+        monkeypatch.setattr(repro.xsdgen.qdt_library, "build", explode)
+        assert main(["generate", str(xmi_file),
+                     "--library", "EB005-HoardingPermit",
+                     "--root", "HoardingPermit",
+                     "--keep-going"]) == 1
+        err = capsys.readouterr().err
+        assert "sabotaged QDT build" in err
+        assert "library build(s) failed" in err

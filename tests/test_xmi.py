@@ -93,6 +93,45 @@ class TestRoundTrip:
         assert thing.documentation == "a documented thing"
 
 
+class TestSourceClassification:
+    """``read_xmi`` accepts a file path or literal XML content."""
+
+    def test_path_instance_always_read_from_disk(self, figure1, tmp_path):
+        from pathlib import Path
+
+        target = tmp_path / "model.xmi"
+        write_xmi(figure1.model.model, target)
+        model = read_xmi(Path(target))
+        assert model.name == "Figure1"
+
+    def test_existing_file_with_xml_suffix_read_from_disk(self, figure1, tmp_path):
+        # An XMI document stored as model.xml must be read as a file, not
+        # parsed as literal XML text.
+        target = tmp_path / "model.xml"
+        write_xmi(figure1.model.model, target)
+        model = read_xmi(str(target))
+        assert model.name == "Figure1"
+
+    def test_literal_xml_with_leading_whitespace_is_content(self, figure1):
+        # Strip the XML declaration (which must sit at offset zero) so the
+        # document tolerates the leading whitespace under test.
+        text = write_xmi(figure1.model.model).split("\n", 1)[1]
+        assert read_xmi("\n  " + text).name == "Figure1"
+
+    def test_missing_xmi_path_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_xmi(str(tmp_path / "does_not_exist.xmi"))
+
+    def test_load_xmi_accepts_paths_too(self, figure1, tmp_path):
+        from repro.xmi import load_xmi
+
+        target = tmp_path / "model.xml"
+        write_xmi(figure1.model.model, target)
+        result = load_xmi(str(target))
+        assert result.ok
+        assert result.model.name == "Figure1"
+
+
 class TestReaderErrors:
     def test_non_xmi_root_rejected(self):
         with pytest.raises(XmiError):
