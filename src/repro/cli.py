@@ -8,7 +8,14 @@
     upcc validate-xmi a.xmi b.xmi               # lenient load; located defect report
     upcc generate model.xmi --library EB005-HoardingPermit \
         --root HoardingPermit --out schemas/ --annotate
+    upcc generate model.xmi --library ... --root ... --out schemas/ \
+        --emit-provenance                       # + schemas/provenance.jsonl
     upcc generate model.xmi --library ... --root ... --syntax rng   # RELAX NG
+    upcc explain model.xmi --library ... --root ... \
+        --target "//xsd:complexType[@name='HoardingPermitType']"
+    upcc explain --schema schemas/urn_au_gov_vic_easybiz_/data_draft_EB005-HoardingPermit_0.4.xsd \
+        --target 'HoardingPermitType/SafetyPrecaution'
+    upcc explain model.xmi --library ... --root ... --source id_42   # inverse
     upcc instance schemas/ --root HoardingPermit --out sample.xml
     upcc check-instance schemas/ sample.xml
     upcc document model.xmi --library ... --root ... --out doc.html
@@ -143,6 +150,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         jobs=max(1, args.jobs),
         on_error="collect" if args.keep_going else "raise",
+        embed_provenance=args.embed_provenance,
     )
     generator = SchemaGenerator(model, options)
     try:
@@ -175,7 +183,91 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         _emit(rdfs_to_string(model), args.out)
     elif not args.out:
         print(result.root.to_string())
+    if args.emit_provenance:
+        if args.out:
+            path = result.write_provenance(Path(args.out) / "provenance.jsonl")
+            print(f"wrote {len(result.provenance)} provenance record(s) to {path}")
+        else:
+            print(result.provenance.to_jsonl())
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Answer "which UML element and NDR rule produced this construct" (or the inverse)."""
+    if not args.target and not args.source:
+        print("error: provide --target and/or --source", file=sys.stderr)
+        return 2
+    if bool(args.schema) == bool(args.model):
+        print("error: provide either an XMI model or --schema", file=sys.stderr)
+        return 2
+    index, schema_file = _explain_index(args)
+    if index is None:
+        return 1
+    records = []
+    if args.target:
+        records.extend(
+            record
+            for record in index.by_target(args.target)
+            if schema_file is None or record.schema_file == schema_file
+        )
+    if args.source:
+        records.extend(index.by_source(args.source))
+    if not records:
+        asked = " / ".join(spec for spec in (args.target, args.source) if spec)
+        print(f"no provenance record matches {asked!r}")
+        return 1
+    for record in records:
+        print(record.describe())
+        print(f"  rule {record.rule}: {record.rule_text}")
+    return 0
+
+
+def _explain_index(args: argparse.Namespace):
+    """The provenance index (and optional schema-file scope) for ``explain``.
+
+    ``--schema`` reads embedded appinfo records first and falls back to a
+    ``provenance.jsonl`` sidecar (``--provenance``, or searched in the
+    schema's parent directories).  A model file regenerates instead.
+    """
+    from repro.xsdgen.provenance import ProvenanceIndex, records_from_schema_text
+
+    if args.schema:
+        schema_path = Path(args.schema)
+        schema_file = f"{schema_path.parent.name}/{schema_path.name}"
+        try:
+            schema_text = schema_path.read_text(encoding="utf-8")
+        except OSError as error:
+            print(f"error: cannot read {args.schema}: {error}", file=sys.stderr)
+            return None, None
+        records = records_from_schema_text(schema_text)
+        if records:
+            return ProvenanceIndex(records), schema_file
+        sidecar = Path(args.provenance) if args.provenance else None
+        if sidecar is None:
+            for directory in (schema_path.parent, schema_path.parent.parent):
+                candidate = directory / "provenance.jsonl"
+                if candidate.is_file():
+                    sidecar = candidate
+                    break
+        if sidecar is None or not sidecar.is_file():
+            print(
+                f"error: {args.schema} embeds no provenance and no "
+                f"provenance.jsonl sidecar was found; generate with "
+                f"--emit-provenance or --embed-provenance",
+                file=sys.stderr,
+            )
+            return None, None
+        index = ProvenanceIndex.from_jsonl(sidecar.read_text(encoding="utf-8"))
+        return index, schema_file
+    if not args.library:
+        print("error: explaining from a model requires --library", file=sys.stderr)
+        return None, None
+    from repro.xsdgen import GenerationOptions, SchemaGenerator
+
+    model = _load_model(args.model)
+    generator = SchemaGenerator(model, GenerationOptions(validate_first=False))
+    result = generator.generate(args.library, root=args.root)
+    return result.provenance, None
 
 
 def _emit(text: str, out: str | None) -> None:
@@ -319,6 +411,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"model: {args.name} ({len(result.schemas)} schema(s), "
           f"{report.summary()})")
     print()
+    print("== provenance coverage ==")
+    print(result.coverage().render_text())
+    print()
     print("== span tree ==")
     ring = tracer.ring_buffer()
     if ring is not None:
@@ -446,7 +541,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="transfer syntax: XML Schema (default), RELAX NG or RDF Schema "
         "(the paper's future-extension syntaxes)",
     )
+    generate.add_argument(
+        "--emit-provenance",
+        action="store_true",
+        help="write the provenance records as provenance.jsonl next to the "
+        "generated schemas (or to stdout without --out)",
+    )
+    generate.add_argument(
+        "--embed-provenance",
+        action="store_true",
+        help="embed each schema's provenance records as an "
+        "xsd:annotation/xsd:appinfo block (off by default: output is then "
+        "byte-identical to a provenance-unaware run)",
+    )
     generate.set_defaults(func=_cmd_generate)
+
+    explain = commands.add_parser(
+        "explain",
+        help="trace a generated XSD construct back to its UML source and NDR rule",
+    )
+    explain.add_argument(
+        "model", nargs="?", help="XMI model file (regenerated to build the provenance index)"
+    )
+    explain.add_argument("--library", help="library name to generate from (with a model)")
+    explain.add_argument("--root", help="root ABIE for DOCLibrary generation (with a model)")
+    explain.add_argument(
+        "--schema",
+        metavar="FILE",
+        help="generated .xsd file; provenance comes from its embedded appinfo "
+        "block or a provenance.jsonl sidecar in its parent directories",
+    )
+    explain.add_argument(
+        "--provenance",
+        metavar="FILE",
+        help="explicit provenance.jsonl sidecar (overrides the search next to --schema)",
+    )
+    explain.add_argument(
+        "--target",
+        metavar="SPEC",
+        help="XSD construct to explain: \"//xsd:complexType[@name='X']\", a "
+        "path like HoardingPermitType/SafetyPrecaution, or a bare name",
+    )
+    explain.add_argument(
+        "--source",
+        metavar="ELEMENT",
+        help="inverse direction: list everything a UML element produced "
+        "(xmi:id, qualified name, or Abie.Attribute shorthand)",
+    )
+    explain.set_defaults(func=_cmd_explain)
 
     instance = commands.add_parser("instance", help="generate a sample XML instance")
     instance.add_argument("schemas", help="directory of generated schemas")

@@ -21,6 +21,7 @@ instrumented hot paths effectively free by default.
 from __future__ import annotations
 
 import contextvars
+import itertools
 import json
 import sys
 import threading
@@ -35,10 +36,24 @@ from typing import Any, Iterator, TextIO
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
 
+#: Process-wide span id source.  ``next()`` on :func:`itertools.count` is
+#: atomic in CPython, so ids are unique across threads without a lock.
+_span_ids = itertools.count(1)
+
+
+def _next_span_id() -> str:
+    return f"s{next(_span_ids)}"
+
 
 @dataclass
 class Span:
-    """One timed, attributed region of work, nested under a parent span."""
+    """One timed, attributed region of work, nested under a parent span.
+
+    ``span_id`` is unique for the process lifetime -- span *names* repeat
+    freely (every library build is an ``xsdgen.library`` span), so sinks
+    that flatten the tree emit ``id``/``parent_id`` to keep the tree
+    losslessly reconstructable.
+    """
 
     name: str
     attributes: dict[str, Any] = field(default_factory=dict)
@@ -48,6 +63,7 @@ class Span:
     error: str | None = None
     children: list["Span"] = field(default_factory=list)
     parent: "Span | None" = field(default=None, repr=False, compare=False)
+    span_id: str = field(default_factory=_next_span_id, compare=False)
 
     @property
     def duration_ms(self) -> float:
@@ -129,6 +145,9 @@ class SpanSink:
     def on_log(self, logger_name: str, level: str, message: str) -> None:
         """Called for log records routed through the obs logging bridge."""
 
+    def on_provenance(self, record: dict[str, Any]) -> None:
+        """Called per provenance record by ``ProvenanceIndex.export``."""
+
 
 class RingBufferSink(SpanSink):
     """Keeps the last ``capacity`` finished *root* spans in memory.
@@ -209,6 +228,11 @@ class LogfmtSink(SpanSink):
         pairs = [("log", logger_name), ("level", level), ("msg", message)]
         self.stream.write(_logfmt_line(pairs) + "\n")
 
+    def on_provenance(self, record: dict[str, Any]) -> None:
+        pairs = [("provenance", record.get("target_path", ""))]
+        pairs.extend((key, value) for key, value in sorted(record.items()) if key != "target_path")
+        self.stream.write(_logfmt_line(pairs) + "\n")
+
 
 class JsonLinesSink(SpanSink):
     """Appends one JSON object per finished span to a file or stream."""
@@ -235,8 +259,16 @@ class JsonLinesSink(SpanSink):
     def on_span_end(self, span: Span) -> None:
         payload = span.to_dict()
         payload.pop("children", None)  # one record per span; nesting via parent
+        payload["id"] = span.span_id
+        payload["parent_id"] = span.parent.span_id if span.parent is not None else None
+        # The parent *name* stays for human grepping; names are ambiguous
+        # (many spans share one), so tree reconstruction uses the ids.
         payload["parent"] = span.parent.name if span.parent is not None else None
         self._write(payload)
+
+    def on_provenance(self, record: dict[str, Any]) -> None:
+        """Append one provenance record (see ``ProvenanceIndex.export``)."""
+        self._write({"provenance": record})
 
     def on_log(self, logger_name: str, level: str, message: str) -> None:
         self._write({"log": logger_name, "level": level, "msg": message})

@@ -27,6 +27,10 @@ from repro.xsd.components import (
 #: Prefix used for the XML Schema namespace itself, as in the paper.
 XSD_PREFIX = "xsd"
 
+#: Namespace + prefix of the optional embedded provenance appinfo blocks.
+PROVENANCE_NS = "urn:x-repro:provenance"
+PROVENANCE_PREFIX = "prov"
+
 
 class _PrefixMap:
     """Resolves QNames against the schema's declared prefixes."""
@@ -47,8 +51,15 @@ class _PrefixMap:
         return f"{prefix}:{qname.local}"
 
 
-def schema_to_xml(schema: Schema) -> XmlElement:
-    """Build the ``xsd:schema`` element tree for ``schema``."""
+def schema_to_xml(schema: Schema, provenance: list[dict] | None = None) -> XmlElement:
+    """Build the ``xsd:schema`` element tree for ``schema``.
+
+    ``provenance`` (JSON-ready provenance record dicts, see
+    :mod:`repro.xsdgen.provenance`) embeds an ``xsd:annotation/xsd:appinfo``
+    block with one ``prov:record`` element per record as the document's
+    first child.  Omitted (the default), the output is byte-identical to
+    a provenance-unaware writer.
+    """
     prefixes = _PrefixMap(schema)
     root = XmlElement(f"{XSD_PREFIX}:schema")
     for prefix, uri in schema.prefixes.items():
@@ -60,8 +71,12 @@ def schema_to_xml(schema: Schema) -> XmlElement:
     root.set("targetNamespace", schema.target_namespace)
     if schema.version is not None:
         root.set("version", schema.version)
+    if provenance:
+        root.set(f"xmlns:{PROVENANCE_PREFIX}", PROVENANCE_NS)
     root.set(f"xmlns:{XSD_PREFIX}", XSD_NS)
 
+    if provenance:
+        root.append(_provenance_appinfo(provenance))
     if schema.annotation is not None and not schema.annotation.is_empty():
         root.append(_annotation_to_xml(schema.annotation))
     for import_decl in schema.imports:
@@ -81,9 +96,21 @@ def schema_to_xml(schema: Schema) -> XmlElement:
     return root
 
 
-def schema_to_string(schema: Schema) -> str:
+def schema_to_string(schema: Schema, provenance: list[dict] | None = None) -> str:
     """Render ``schema`` as an XSD document string."""
-    return XmlWriter().to_string(schema_to_xml(schema))
+    return XmlWriter().to_string(schema_to_xml(schema, provenance))
+
+
+def _provenance_appinfo(records: list[dict]) -> XmlElement:
+    """The ``xsd:annotation/xsd:appinfo`` block of embedded provenance."""
+    node = XmlElement(f"{XSD_PREFIX}:annotation")
+    appinfo = node.add(f"{XSD_PREFIX}:appinfo", {"source": PROVENANCE_NS})
+    for record in records:
+        appinfo.add(
+            f"{PROVENANCE_PREFIX}:record",
+            {key: str(value) for key, value in sorted(record.items())},
+        )
+    return node
 
 
 def _annotation_to_xml(annotation: Annotation) -> XmlElement:

@@ -36,17 +36,29 @@ from repro.xsdgen.generator import (
     SchemaGenerator,
 )
 from repro.xsdgen.primitives import builtin_for_primitive_name, builtin_or_string
+from repro.xsdgen.provenance import (
+    NDR_RULES,
+    CoverageReport,
+    ProvenanceIndex,
+    ProvenanceRecord,
+    records_from_schema_text,
+)
 from repro.xsdgen.session import GenerationOptions, GenerationSession, wrap_build_errors
 
 __all__ = [
     "CachedGeneration",
+    "CoverageReport",
     "GeneratedSchema",
     "GenerationCache",
     "GenerationOptions",
     "GenerationResult",
     "GenerationSession",
     "LibraryFailure",
+    "NDR_RULES",
+    "ProvenanceIndex",
+    "ProvenanceRecord",
     "SchemaGenerator",
+    "records_from_schema_text",
     "wrap_build_errors",
     "builtin_for_primitive_name",
     "builtin_or_string",

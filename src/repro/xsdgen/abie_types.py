@@ -12,13 +12,17 @@ Implements the core rules of the paper's section 4.1:
 * an ASBIE connected by *shared aggregation* is "first declared globally
   and then referenced" (Figure 7), while composition-connected ASBIEs are
   typed inline (Figure 6).
+
+Every construct is traced: local BBIE/ASBIE elements through
+``builder.record`` (paths like ``HoardingPermitType/StartDate``), top-level
+globals and the complexType through ``builder.emit``.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.ccts.bie import Abie
+from repro.ccts.bie import Abie, Asbie
 from repro.ndr.names import asbie_element_name, bbie_element_name, complex_type_name
 from repro.uml.association import AggregationKind
 from repro.xsd.components import ComplexType, ElementDecl, SequenceGroup
@@ -29,10 +33,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 def build_abie_complex_type(
     builder: "SchemaBuilder", abie: Abie
-) -> tuple[list[ElementDecl], ComplexType]:
-    """Translate one ABIE; returns (global element declarations, complexType)."""
+) -> tuple[list[tuple[ElementDecl, Asbie]], ComplexType]:
+    """Translate one ABIE; returns ((global element, source ASBIE) pairs, complexType)."""
+    type_name = complex_type_name(abie.name)
     sequence = SequenceGroup()
-    global_elements: list[ElementDecl] = []
+    global_elements: list[tuple[ElementDecl, Asbie]] = []
 
     for bbie in abie.bbies:
         data_type = bbie.data_type
@@ -42,14 +47,23 @@ def build_abie_complex_type(
             )
         type_library = builder.generator.library_of(data_type)
         type_qname = builder.qname_in(type_library, complex_type_name(data_type.name))
+        element_name = bbie_element_name(bbie.name)
         sequence.particles.append(
             ElementDecl(
-                name=bbie_element_name(bbie.name),
+                name=element_name,
                 type=type_qname,
                 min_occurs=bbie.multiplicity.lower,
                 max_occurs=bbie.multiplicity.upper,
                 annotation=builder.annotation_for(bbie, "BBIE", bbie.den()),
             )
+        )
+        builder.record(
+            kind="element",
+            name=element_name,
+            path=f"{type_name}/{element_name}",
+            source=bbie,
+            rule="NDR-BBIE-EL",
+            type_ref=type_qname,
         )
 
     for asbie in abie.asbies:
@@ -62,12 +76,15 @@ def build_abie_complex_type(
             and builder.generator.options.shared_aggregation_as_ref
         )
         if as_ref:
-            if not any(g.name == element_name for g in global_elements):
+            if not any(g.name == element_name for g, _ in global_elements):
                 global_elements.append(
-                    ElementDecl(
-                        name=element_name,
-                        type=type_qname,
-                        annotation=builder.annotation_for(asbie, "ASBIE", asbie.den()),
+                    (
+                        ElementDecl(
+                            name=element_name,
+                            type=type_qname,
+                            annotation=builder.annotation_for(asbie, "ASBIE", asbie.den()),
+                        ),
+                        asbie,
                     )
                 )
             sequence.particles.append(
@@ -76,6 +93,14 @@ def build_abie_complex_type(
                     min_occurs=asbie.multiplicity.lower,
                     max_occurs=asbie.multiplicity.upper,
                 )
+            )
+            builder.record(
+                kind="element",
+                name=element_name,
+                path=f"{type_name}/{element_name}",
+                source=asbie,
+                rule="NDR-ASBIE-REF",
+                type_ref=type_qname,
             )
         else:
             sequence.particles.append(
@@ -87,9 +112,17 @@ def build_abie_complex_type(
                     annotation=builder.annotation_for(asbie, "ASBIE", asbie.den()),
                 )
             )
+            builder.record(
+                kind="element",
+                name=element_name,
+                path=f"{type_name}/{element_name}",
+                source=asbie,
+                rule="NDR-ASBIE-INLINE",
+                type_ref=type_qname,
+            )
 
     complex_type = ComplexType(
-        name=complex_type_name(abie.name),
+        name=type_name,
         particle=sequence,
         annotation=builder.annotation_for(abie, "ABIE", abie.den()),
     )
@@ -100,7 +133,7 @@ def append_abie(builder: "SchemaBuilder", abie: Abie) -> None:
     """Append an ABIE's globals-then-complexType to the schema (Figure-7 order)."""
     global_elements, complex_type = build_abie_complex_type(builder, abie)
     existing_globals = {item.name for item in builder.schema.global_elements}
-    for element in global_elements:
+    for element, asbie in global_elements:
         if element.name not in existing_globals:
-            builder.schema.items.append(element)
-    builder.schema.items.append(complex_type)
+            builder.emit(element, source=asbie, rule="NDR-ASBIE-REF", type_ref=element.type)
+    builder.emit(complex_type, source=abie, rule="NDR-ABIE-CT")

@@ -62,12 +62,14 @@ from repro.xsd.writer import schema_to_string
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ccts.libraries import Library
     from repro.ccts.model import CctsModel
+    from repro.xsdgen.provenance import ProvenanceRecord
     from repro.xsdgen.session import GenerationOptions
 
 _log = get_logger("repro.xsdgen")
 
 #: Bump when the fingerprint recipe or the disk format changes.
-CACHE_FORMAT_VERSION = 1
+#: v2: entries carry the schema's provenance records.
+CACHE_FORMAT_VERSION = 2
 
 #: Library stereotypes that generate a schema document of their own.
 _SCHEMA_STEREOTYPES = frozenset(
@@ -344,7 +346,12 @@ def library_dependencies(
 
 @dataclass
 class CachedGeneration:
-    """One cached library schema plus the facts needed to reuse it."""
+    """One cached library schema plus the facts needed to reuse it.
+
+    ``provenance`` replays the schema's provenance records on a cache
+    hit, so a warm-cache run's :class:`~repro.xsdgen.provenance.ProvenanceIndex`
+    is identical to a cold run's.
+    """
 
     key: str
     library_name: str
@@ -353,6 +360,7 @@ class CachedGeneration:
     namespace: LibraryNamespace
     schema: Schema
     dependencies: tuple[str, ...]
+    provenance: "tuple[ProvenanceRecord, ...]" = ()
 
     def to_payload(self) -> dict:
         """The JSON-ready disk representation (schema serialized to text)."""
@@ -371,6 +379,7 @@ class CachedGeneration:
             },
             "dependencies": list(self.dependencies),
             "schema": schema_to_string(self.schema),
+            "provenance": [record.to_dict() for record in self.provenance],
         }
 
     @classmethod
@@ -378,6 +387,8 @@ class CachedGeneration:
         """Rebuild an entry from its disk form; None when incompatible."""
         if payload.get("format") != CACHE_FORMAT_VERSION:
             return None
+        from repro.xsdgen.provenance import ProvenanceRecord
+
         namespace = LibraryNamespace(**payload["namespace"])
         return cls(
             key=payload["key"],
@@ -387,6 +398,10 @@ class CachedGeneration:
             namespace=namespace,
             schema=parse_schema(payload["schema"]),
             dependencies=tuple(payload.get("dependencies", ())),
+            provenance=tuple(
+                ProvenanceRecord.from_dict(record)
+                for record in payload.get("provenance", ())
+            ),
         )
 
 

@@ -20,8 +20,8 @@ from repro.obs.trace import span
 from repro.profile import CDT_LIBRARY
 from repro.uml.classifier import Classifier, Enumeration
 from repro.xmlutil.qname import QName
-from repro.xsd.components import AttributeDecl, AttributeUse, ComplexType, SimpleContent
-from repro.xsdgen.primitives import builtin_or_string
+from repro.xsd.components import XSD_NS, AttributeDecl, AttributeUse, ComplexType, SimpleContent
+from repro.xsdgen.primitives import builtin_or_string, record_primitive_mapping
 from repro.xsdgen.session import wrap_build_errors
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -39,8 +39,14 @@ def component_type_qname(builder: "SchemaBuilder", type_: Classifier) -> QName:
     return builtin_or_string(type_.name)
 
 
-def supplementary_attributes(builder: "SchemaBuilder", data_type: CoreDataType) -> list[AttributeDecl]:
-    """Attribute declarations for a data type's supplementary components."""
+def supplementary_attributes(
+    builder: "SchemaBuilder", data_type: CoreDataType, type_name: str
+) -> list[AttributeDecl]:
+    """Attribute declarations for a data type's supplementary components.
+
+    ``type_name`` is the owning complexType's name; each attribute is
+    recorded at the path ``{type_name}/@{attribute}`` under NDR-SUP-ATTR.
+    """
     attributes = []
     for sup in data_type.supplementary_components:
         type_ = sup.element.type
@@ -48,15 +54,25 @@ def supplementary_attributes(builder: "SchemaBuilder", data_type: CoreDataType) 
             builder.generator.session.fail(
                 f"supplementary component {data_type.name}.{sup.name} has no type"
             )
+        type_qname = component_type_qname(builder, type_)
         use = AttributeUse.REQUIRED if sup.multiplicity.lower >= 1 else AttributeUse.OPTIONAL
-        attributes.append(
-            AttributeDecl(
-                name=attribute_name(sup.name),
-                type=component_type_qname(builder, type_),
-                use=use,
-                annotation=builder.annotation_for(sup, "SUP"),
-            )
+        attribute = AttributeDecl(
+            name=attribute_name(sup.name),
+            type=type_qname,
+            use=use,
+            annotation=builder.annotation_for(sup, "SUP"),
         )
+        attributes.append(attribute)
+        builder.record(
+            kind="attribute",
+            name=attribute.name,
+            path=f"{type_name}/@{attribute.name}",
+            source=sup,
+            rule="NDR-SUP-ATTR",
+            type_ref=type_qname,
+        )
+        if type_qname.namespace == XSD_NS:
+            record_primitive_mapping(builder, type_, f"{type_name}/@{attribute.name}")
     return attributes
 
 
@@ -80,14 +96,28 @@ def _build(builder: "SchemaBuilder", library: CdtLibrary, session) -> None:
         content = cdt.content_component
         if content is None or content.element.type is None:
             session.fail(f"CDT {cdt.name!r} has no typed content component")
-        builder.schema.items.append(
+        type_name = complex_type_name(cdt.name)
+        base_qname = component_type_qname(builder, content.element.type)
+        builder.emit(
             ComplexType(
-                name=complex_type_name(cdt.name),
+                name=type_name,
                 simple_content=SimpleContent(
-                    base=component_type_qname(builder, content.element.type),
+                    base=base_qname,
                     derivation="extension",
-                    attributes=supplementary_attributes(builder, cdt),
+                    attributes=supplementary_attributes(builder, cdt, type_name),
                 ),
                 annotation=builder.annotation_for(cdt, "CDT", cdt.name),
-            )
+            ),
+            source=cdt,
+            rule="NDR-CDT-CT",
         )
+        builder.record(
+            kind="extension",
+            name=base_qname.local,
+            path=f"{type_name}/extension@base",
+            source=content,
+            rule="NDR-CON-BASE",
+            type_ref=base_qname,
+        )
+        if base_qname.namespace == XSD_NS:
+            record_primitive_mapping(builder, content.element.type, f"{type_name}/extension@base")

@@ -49,12 +49,14 @@ def build(builder: "SchemaBuilder", root: Abie | str | None) -> None:
             append_abie(builder, abie)
         counter("xsdgen.abies_processed").inc(len(abies))
 
-        builder.schema.items.append(
+        builder.emit(
             ElementDecl(
                 name=root_abie.name,
                 type=builder.own_qname(complex_type_name(root_abie.name)),
                 annotation=builder.annotation_for(root_abie, "ABIE", root_abie.den()),
-            )
+            ),
+            source=root_abie,
+            rule="NDR-DOC-ROOT",
         )
 
 

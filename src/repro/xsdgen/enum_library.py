@@ -50,11 +50,13 @@ def _build(builder: "SchemaBuilder", library: EnumLibrary) -> None:
                 if literal.value and literal.value != literal.name
             ]
             annotation = Annotation(annotation.entries + code_names)
-        builder.schema.items.append(
+        builder.emit(
             SimpleType(
                 name=enum_simple_type_name(enum.name),
                 base=QName(XSD_NS, "token"),
                 facets=[Facet("enumeration", literal.name) for literal in enum.literals],
                 annotation=annotation,
-            )
+            ),
+            source=enum,
+            rule="NDR-ENUM-ST",
         )

@@ -41,8 +41,17 @@ from repro.profile import (
     PRIM_LIBRARY,
     QDT_LIBRARY,
 )
+from repro.uml.elements import structural_revision
 from repro.xmlutil.qname import QName
-from repro.xsd.components import Annotation, ImportDecl, Schema
+from repro.xsd.components import (
+    XSD_NS,
+    Annotation,
+    ComplexType,
+    ElementDecl,
+    ImportDecl,
+    Schema,
+    SimpleType,
+)
 from repro.xsd.validator import SchemaSet
 from repro.xsd.writer import schema_to_string
 from repro.xsdgen.cache import (
@@ -54,6 +63,13 @@ from repro.xsdgen.cache import (
     get_generation_cache,
     library_dependencies,
 )
+from repro.xsdgen.provenance import (
+    CoverageReport,
+    ProvenanceIndex,
+    ProvenanceRecord,
+    coverage,
+    record_for,
+)
 from repro.xsdgen.session import GenerationOptions, GenerationSession
 
 _log = get_logger("repro.xsdgen")
@@ -64,14 +80,28 @@ _MemoKey = tuple[int, "str | None"]
 
 @dataclass
 class GeneratedSchema:
-    """One generated schema document plus its namespace facts."""
+    """One generated schema document plus its namespace facts.
+
+    ``provenance`` holds one :class:`~repro.xsdgen.provenance.ProvenanceRecord`
+    per emitted construct, in emission order; cache hits replay the records
+    that were stored with the schema.  ``embed_provenance`` (mirroring
+    ``GenerationOptions.embed_provenance``) renders them into an
+    ``xs:annotation/xs:appinfo`` block -- off by default, keeping the
+    serialized schema byte-identical to a provenance-unaware run.
+    """
 
     library: Library
     namespace: LibraryNamespace
     schema: Schema
+    provenance: list[ProvenanceRecord] = field(default_factory=list)
+    embed_provenance: bool = False
 
     def to_string(self) -> str:
         """Render the schema document."""
+        if self.embed_provenance and self.provenance:
+            return schema_to_string(
+                self.schema, [record.to_dict() for record in self.provenance]
+            )
         return schema_to_string(self.schema)
 
 
@@ -125,11 +155,26 @@ class GenerationResult:
     session: GenerationSession = field(default_factory=GenerationSession)
     root_namespace: str | None = None
     errors: list[LibraryFailure] = field(default_factory=list)
+    provenance: ProvenanceIndex = field(default_factory=ProvenanceIndex)
 
     @property
     def ok(self) -> bool:
         """True when no library failure was collected."""
         return not self.errors
+
+    def coverage(self) -> CoverageReport:
+        """Dead-model report: generated-library elements with no artifact."""
+        return coverage(
+            [generated.library for generated in self.schemas.values()],
+            self.provenance,
+        )
+
+    def write_provenance(self, path: str | Path) -> Path:
+        """Write the provenance index as a JSON-lines sidecar file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.provenance.to_jsonl() + "\n", encoding="utf-8")
+        return path
 
     @property
     def root(self) -> GeneratedSchema:
@@ -198,6 +243,9 @@ class SchemaBuilder:
         #: Libraries whose schemas this document imports, in import order --
         #: recorded so the generator can scope results and cache dependencies.
         self.imported_libraries: list[Library] = []
+        #: Provenance records of every construct this document emits.
+        self.provenance: list[ProvenanceRecord] = []
+        self.schema_file = f"{self.namespace.folder}/{self.namespace.file_name}"
         # Figure 6 line 1 declares xmlns:ccts even with annotations omitted:
         # the add-in always binds the CCTS documentation namespace.
         self._bind_ccts_prefix()
@@ -231,11 +279,82 @@ class SchemaBuilder:
                 f"Imported {generated.namespace.urn} as prefix "
                 f"{self.schema.prefix_for(generated.namespace.urn)!r}"
             )
+            self.provenance.append(
+                record_for(
+                    namespace_urn=self.namespace.urn,
+                    schema_file=self.schema_file,
+                    kind="import",
+                    name=generated.namespace.urn,
+                    path=f"import[{generated.namespace.urn}]",
+                    source=library,
+                    rule="NDR-IMPORT",
+                    imported_namespace=generated.namespace.urn,
+                )
+            )
         return QName(generated.namespace.urn, local_name)
 
     def own_qname(self, local_name: str) -> QName:
         """A QName in the schema being generated."""
         return QName(self.namespace.urn, local_name)
+
+    # -- provenance-recorded emission ----------------------------------------------
+
+    def emit(
+        self,
+        item: "ComplexType | SimpleType | ElementDecl",
+        *,
+        source: ElementWrapper,
+        rule: str,
+        type_ref: QName | None = None,
+    ) -> None:
+        """Append a top-level schema component, recording its provenance.
+
+        The only sanctioned way for library builders to add top-level
+        items (enforced by ``tools/check_provenance_recording.py``):
+        every emitted component gets a :class:`ProvenanceRecord` naming
+        its UML source and NDR rule.
+        """
+        if isinstance(item, ComplexType):
+            kind = "complexType"
+        elif isinstance(item, SimpleType):
+            kind = "simpleType"
+        elif isinstance(item, ElementDecl):
+            kind = "element"
+        else:  # pragma: no cover - the component model is closed
+            raise GenerationError(f"cannot emit schema item {item!r}")
+        self.schema.items.append(item)
+        self.record(kind=kind, name=item.name, path=item.name, source=source, rule=rule, type_ref=type_ref)
+
+    def record(
+        self,
+        *,
+        kind: str,
+        name: str,
+        path: str,
+        source: ElementWrapper,
+        rule: str,
+        type_ref: QName | None = None,
+    ) -> None:
+        """Record provenance for a construct emitted at ``path``.
+
+        ``type_ref`` marks the construct's type reference; when it lives
+        in another library's namespace the record carries the import edge.
+        """
+        imported: str | None = None
+        if type_ref is not None and type_ref.namespace not in (self.namespace.urn, XSD_NS):
+            imported = type_ref.namespace
+        self.provenance.append(
+            record_for(
+                namespace_urn=self.namespace.urn,
+                schema_file=self.schema_file,
+                kind=kind,
+                name=name,
+                path=path,
+                source=source,
+                rule=rule,
+                imported_namespace=imported,
+            )
+        )
 
     # -- annotations -----------------------------------------------------------------
 
@@ -286,6 +405,7 @@ class SchemaGenerator:
         self._run_fingerprints: dict[_MemoKey, str] = {}
         self._fingerprint_context = FingerprintContext()
         self._libraries_by_name: dict[str, Library] | None = None
+        self._ids_revision: int | None = None
         # ensure_library is the hottest instrumented call site; bind its
         # counters once per generator instead of per lookup.
         self._memo_hits = counter("xsdgen.memo_hits")
@@ -306,6 +426,9 @@ class SchemaGenerator:
         with span("xsdgen.generate", library=library.name) as generate_span:
             if self.options.validate_first:
                 self._validate_first()
+            # Stable xmi:ids first: assigning ids mutates elements (bumping
+            # the structural revision), so it must precede fingerprinting.
+            self._ensure_xmi_ids()
             # Per-run state: the model may have mutated since the last run.
             self._run_fingerprints = {}
             self._fingerprint_context = FingerprintContext()
@@ -332,11 +455,17 @@ class SchemaGenerator:
                     schemas = self._run_schemas()
                 else:
                     schemas = self._reachable_schemas(library, root)
+            # Assemble the run's provenance index in sorted-URN order so
+            # serial, parallel and warm-cache runs index identically.
+            provenance = ProvenanceIndex()
+            for urn in sorted(schemas):
+                provenance.extend(schemas[urn].provenance)
             result = GenerationResult(
                 schemas=schemas,
                 session=self.session,
                 root_namespace=root_namespace,
                 errors=list(self._failed.values()),
+                provenance=provenance,
             )
             generate_span.set(schemas=len(result.schemas))
             if result.errors:
@@ -357,6 +486,21 @@ class SchemaGenerator:
         return result
 
     # -- internals ----------------------------------------------------------------------
+
+    def _ensure_xmi_ids(self) -> None:
+        """Give every model element a deterministic xmi:id for provenance.
+
+        Models loaded from XMI already carry ids (:func:`assign_ids` keeps
+        them); programmatically built models get ``id_N`` in walk order.
+        Memoized on the structural revision *after* assignment, since id
+        assignment itself mutates elements.
+        """
+        if self._ids_revision == structural_revision():
+            return
+        from repro.xmi.ids import assign_ids
+
+        assign_ids(self.model.model)
+        self._ids_revision = structural_revision()
 
     def _validate_first(self) -> None:
         from repro.validation.engine import validate_model
@@ -455,6 +599,8 @@ class SchemaGenerator:
             placeholder = self._generated.get(key)
             if placeholder is not None:
                 placeholder.schema = generated.schema
+                placeholder.provenance = generated.provenance
+                placeholder.embed_provenance = generated.embed_provenance
                 generated = placeholder
             else:
                 self._generated[key] = generated
@@ -484,6 +630,7 @@ class SchemaGenerator:
                     namespace=generated.namespace,
                     schema=generated.schema,
                     dependencies=tuple(dep.name for dep in dep_libraries),
+                    provenance=tuple(generated.provenance),
                 )
             )
         return generated, dep_keys
@@ -519,7 +666,13 @@ class SchemaGenerator:
             f"({entry.key[:12]})"
         )
         _log.debug("cache hit for %s %r (%s)", library.stereotype, library.name, entry.key[:12])
-        generated = GeneratedSchema(library, entry.namespace, entry.schema)
+        generated = GeneratedSchema(
+            library,
+            entry.namespace,
+            entry.schema,
+            provenance=list(entry.provenance),
+            embed_provenance=self.options.embed_provenance,
+        )
         dep_keys: list[_MemoKey] = []
         for name in entry.dependencies:
             try:
@@ -740,7 +893,13 @@ class SchemaGenerator:
                 )
             counter("xsdgen.schemas_generated").inc()
         return (
-            GeneratedSchema(library, builder.namespace, builder.schema),
+            GeneratedSchema(
+                library,
+                builder.namespace,
+                builder.schema,
+                provenance=builder.provenance,
+                embed_provenance=self.options.embed_provenance,
+            ),
             builder.imported_libraries,
         )
 

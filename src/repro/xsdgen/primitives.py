@@ -7,8 +7,14 @@ Integer ...) the build-in types of the XSD schema are taken."
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.xmlutil.qname import QName
 from repro.xsd.components import XSD_NS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.uml.classifier import Classifier
+    from repro.xsdgen.generator import SchemaBuilder
 
 #: CCTS primitive name -> XSD built-in local name.
 PRIMITIVE_BUILTINS: dict[str, str] = {
@@ -50,3 +56,35 @@ def builtin_for_primitive_name(name: str) -> QName | None:
 def builtin_or_string(name: str) -> QName:
     """Like :func:`builtin_for_primitive_name` but falls back to ``xsd:string``."""
     return builtin_for_primitive_name(name) or QName(XSD_NS, "string")
+
+
+def record_primitive_mapping(
+    builder: "SchemaBuilder", classifier: "Classifier", path: str
+) -> None:
+    """Record a primitive-to-built-in substitution at ``path``.
+
+    PRIMLibraries generate no schema of their own, so the only observable
+    artifact of a primitive type is the XSD built-in standing in for it at
+    a CON/SUP use site.  The classifier is a raw UML element (not a CCTS
+    wrapper), so the record is built directly rather than via
+    :func:`~repro.xsdgen.provenance.record_for`.
+    """
+    from repro.obs.metrics import counter
+    from repro.xsdgen.provenance import ProvenanceRecord
+
+    qname = builtin_or_string(classifier.name)
+    counter("xsdgen.provenance_records").inc()
+    builder.provenance.append(
+        ProvenanceRecord(
+            target_namespace=builder.namespace.urn,
+            schema_file=builder.schema_file,
+            target_kind="builtin",
+            target_name=qname.local,
+            target_path=path,
+            source_stereotype="PRIM",
+            source_name=classifier.name,
+            source_path=classifier.qualified_name,
+            source_id=getattr(classifier, "xmi_id", None),
+            rule="NDR-PRIM-BUILTIN",
+        )
+    )

@@ -60,15 +60,27 @@ def _build(builder: "SchemaBuilder", library: QdtLibrary, session) -> None:
         base_cdt = qdt.based_on
         if base_cdt is None:
             session.fail(f"QDT {qdt.name!r} has no basedOn dependency to a CDT")
+        type_name = complex_type_name(qdt.name)
         enum = qdt.content_enum
-        attributes = supplementary_attributes(builder, qdt)
+        attributes = supplementary_attributes(builder, qdt, type_name)
         if enum is not None:
+            rule = "NDR-QDT-ENUM"
+            base_qname = component_type_qname(builder, enum.element)
             simple_content = SimpleContent(
-                base=component_type_qname(builder, enum.element),
+                base=base_qname,
                 derivation="extension",
                 attributes=attributes,
             )
+            builder.record(
+                kind="extension",
+                name=base_qname.local,
+                path=f"{type_name}/extension@base",
+                source=content,
+                rule="NDR-CON-BASE",
+                type_ref=base_qname,
+            )
         else:
+            rule = "NDR-QDT-RESTRICT"
             cdt_library = builder.generator.library_of(base_cdt)
             base_qname = builder.qname_in(cdt_library, complex_type_name(base_cdt.name))
             kept = {sup.name for sup in qdt.supplementary_components}
@@ -85,22 +97,32 @@ def _build(builder: "SchemaBuilder", library: QdtLibrary, session) -> None:
                         f"remove it, instances must still carry it"
                     )
                     continue
-                dropped.append(
-                    AttributeDecl(
-                        name=attribute_name(sup.name),
-                        type=component_type_qname(builder, sup.element.type),
-                        use=AttributeUse.PROHIBITED,
-                    )
+                prohibited = AttributeDecl(
+                    name=attribute_name(sup.name),
+                    type=component_type_qname(builder, sup.element.type),
+                    use=AttributeUse.PROHIBITED,
+                )
+                dropped.append(prohibited)
+                builder.record(
+                    kind="attribute",
+                    name=prohibited.name,
+                    path=f"{type_name}/@{prohibited.name}",
+                    source=sup,
+                    rule="NDR-QDT-SUP-PROHIBIT",
+                    type_ref=prohibited.type,
                 )
             simple_content = SimpleContent(
                 base=base_qname,
                 derivation="restriction",
                 attributes=attributes + dropped,
             )
-        builder.schema.items.append(
+        builder.emit(
             ComplexType(
-                name=complex_type_name(qdt.name),
+                name=type_name,
                 simple_content=simple_content,
                 annotation=builder.annotation_for(qdt, "QDT", qdt.name),
-            )
+            ),
+            source=qdt,
+            rule=rule,
+            type_ref=base_qname,
         )

@@ -44,6 +44,13 @@ class GenerationOptions:
     :class:`~repro.xsdgen.generator.LibraryFailure` on
     ``GenerationResult.errors`` and still builds every library not
     reachable from a failing one.
+
+    ``embed_provenance`` renders each schema's provenance records into an
+    ``xs:annotation/xs:appinfo`` block when serializing (see
+    docs/observability.md, "Provenance").  Off by default: the generated
+    schema text is then byte-identical to a provenance-unaware run.  The
+    flag does not key the cache -- provenance is stored alongside the
+    schema and the embedding decision is made at serialization time.
     """
 
     annotated: bool = False
@@ -55,6 +62,7 @@ class GenerationOptions:
     cache_dir: Path | None = None
     jobs: int = 1
     on_error: str = "raise"
+    embed_provenance: bool = False
 
     def __post_init__(self) -> None:
         if self.on_error not in ("raise", "collect"):

@@ -1,0 +1,90 @@
+"""Tier-1 wiring for tools/check_provenance_recording.py.
+
+The lint guarantees the provenance layer stays complete: library builders
+may only add top-level schema components through ``SchemaBuilder.emit``,
+which records a :class:`~repro.xsdgen.provenance.ProvenanceRecord` for
+each one.  A direct ``.items.append`` would emit an unexplainable
+construct, so the tree must stay clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+XSDGEN = ROOT / "src" / "repro" / "xsdgen"
+
+
+def _checker():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import check_provenance_recording
+    finally:
+        sys.path.pop(0)
+    return check_provenance_recording
+
+
+def test_builder_modules_are_clean():
+    checker = _checker()
+    assert checker.find_violations(XSDGEN) == []
+
+
+def test_direct_append_is_flagged(tmp_path):
+    checker = _checker()
+    (tmp_path / "doc_library.py").write_text(
+        textwrap.dedent(
+            """
+            def build(builder, element):
+                builder.schema.items.append(element)
+            """
+        ),
+        encoding="utf-8",
+    )
+    violations = checker.find_violations(tmp_path)
+    assert len(violations) == 1
+    assert violations[0].startswith("doc_library.py:3")
+    assert "SchemaBuilder.emit" in violations[0]
+
+
+def test_extend_and_augmented_assign_are_flagged(tmp_path):
+    checker = _checker()
+    (tmp_path / "qdt_library.py").write_text(
+        textwrap.dedent(
+            """
+            def build(builder, types):
+                builder.schema.items.extend(types)
+                builder.schema.items += types
+            """
+        ),
+        encoding="utf-8",
+    )
+    violations = checker.find_violations(tmp_path)
+    assert len(violations) == 2
+    assert "items.extend" in violations[0]
+    assert "augmented assignment" in violations[1]
+
+
+def test_non_builder_modules_are_exempt(tmp_path):
+    checker = _checker()
+    (tmp_path / "generator.py").write_text(
+        "def emit(self, item):\n    self.schema.items.append(item)\n",
+        encoding="utf-8",
+    )
+    assert checker.find_violations(tmp_path) == []
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    checker = _checker()
+    assert checker.main([str(XSDGEN)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    (tmp_path / "enum_library.py").write_text(
+        "def build(builder, st):\n    builder.schema.items.append(st)\n",
+        encoding="utf-8",
+    )
+    assert checker.main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "unrecorded schema emission" in out
+    assert "enum_library.py:2" in out

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Seed the perf trajectory: end-to-end generation medians to a JSON report.
+
+Runs the easybiz catalog's full schema generation in three arms --
+
+* **cold** -- a fresh :class:`SchemaGenerator` per run, no cache,
+* **warm** -- fresh generators sharing a pre-warmed
+  :class:`~repro.xsdgen.cache.GenerationCache` (a second CLI invocation
+  or long-lived service),
+* **parallel** -- cold builds with ``jobs=4`` (byte-identical output),
+
+and writes ``BENCH_end_to_end.json`` at the repo root: per-arm median
+milliseconds over ``--repeats`` runs plus schema/byte counts, so CI can
+archive one small artifact per commit and the perf trajectory of the
+generator is recorded instead of folklore.  Run directly::
+
+    python tools/bench_report.py [--repeats N] [--out FILE]
+
+The report asserts nothing; regressions are judged by comparing the
+artifacts across commits (pytest-benchmark arms in ``benchmarks/`` keep
+the hard thresholds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.catalog import build_easybiz_model  # noqa: E402
+from repro.xsdgen import GenerationCache, GenerationOptions, SchemaGenerator  # noqa: E402
+
+ROOT_NAME = "HoardingPermit"
+
+
+def _timed(fn, repeats: int) -> tuple[float, object]:
+    """(median seconds, last result) of ``repeats`` timed calls."""
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
+def _arm_stats(result) -> dict:
+    texts = [generated.to_string() for generated in result.schemas.values()]
+    return {
+        "schemas": len(result.schemas),
+        "bytes": sum(len(text.encode("utf-8")) for text in texts),
+        "provenance_records": len(result.provenance),
+    }
+
+
+def run_report(repeats: int) -> dict:
+    """Measure all arms; returns the JSON-ready report."""
+    catalog = build_easybiz_model()
+    model = catalog.model
+    library = catalog.doc_library
+
+    cold_options = GenerationOptions(validate_first=False)
+
+    def cold():
+        return SchemaGenerator(model, cold_options).generate(library, root=ROOT_NAME)
+
+    cache = GenerationCache()
+    warm_options = GenerationOptions(validate_first=False, use_cache=True)
+    SchemaGenerator(model, warm_options, cache=cache).generate(library, root=ROOT_NAME)
+
+    def warm():
+        return SchemaGenerator(model, warm_options, cache=cache).generate(
+            library, root=ROOT_NAME
+        )
+
+    parallel_options = GenerationOptions(validate_first=False, jobs=4)
+
+    def parallel():
+        return SchemaGenerator(model, parallel_options).generate(library, root=ROOT_NAME)
+
+    arms = {}
+    for name, fn in (("cold", cold), ("warm_cache", warm), ("parallel_jobs4", parallel)):
+        median_s, result = _timed(fn, repeats)
+        arms[name] = {"median_ms": round(median_s * 1000.0, 3), **_arm_stats(result)}
+    return {
+        "benchmark": "end_to_end_generation",
+        "catalog": "easybiz",
+        "root": ROOT_NAME,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "arms": arms,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; writes the report and prints a one-line summary per arm."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=7, help="timed runs per arm (default 7)")
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_end_to_end.json"),
+        help="report file (default: BENCH_end_to_end.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    report = run_report(max(1, args.repeats))
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    for name, arm in report["arms"].items():
+        print(
+            f"{name}: {arm['median_ms']:.3f}ms median, {arm['schemas']} schema(s), "
+            f"{arm['bytes']} bytes, {arm['provenance_records']} provenance record(s)"
+        )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Lint: library builders must emit schema components through the recorder.
+
+Every top-level XSD component a builder produces must carry a provenance
+record (see :mod:`repro.xsdgen.provenance`), so the builder modules may
+only append to a schema's item list through ``SchemaBuilder.emit`` --
+never via a direct ``....items.append(...)`` (or ``items.extend`` /
+``items +=``), which would produce an unexplainable construct.
+
+The check is AST-based and scoped to the builder modules (the generator
+core itself owns ``emit`` and is exempt).  Run directly::
+
+    python tools/check_provenance_recording.py
+
+or via the test suite (``tests/test_provenance_lint.py`` wires it as a
+tier-1 test).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Builder modules (relative to src/repro/xsdgen) that must route all
+#: top-level emission through SchemaBuilder.emit.
+BUILDER_FILES = (
+    "abie_types.py",
+    "bie_library.py",
+    "cdt_library.py",
+    "doc_library.py",
+    "enum_library.py",
+    "qdt_library.py",
+    "primitives.py",
+)
+
+
+def _is_items_attribute(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr == "items"
+
+
+def find_violations(xsdgen_root: Path) -> list[str]:
+    """Unrecorded emission sites as ``path:line reason`` strings."""
+    violations: list[str] = []
+    for name in BUILDER_FILES:
+        path = xsdgen_root / name
+        if not path.is_file():
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        found: list[tuple[int, str]] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("append", "extend", "insert")
+                and _is_items_attribute(node.func.value)
+            ):
+                found.append(
+                    (
+                        node.lineno,
+                        f"{name}:{node.lineno} direct .items.{node.func.attr}() "
+                        f"-- use SchemaBuilder.emit so provenance is recorded",
+                    )
+                )
+            elif (
+                isinstance(node, ast.AugAssign)
+                and _is_items_attribute(node.target)
+            ):
+                found.append(
+                    (
+                        node.lineno,
+                        f"{name}:{node.lineno} augmented assignment to .items "
+                        f"-- use SchemaBuilder.emit so provenance is recorded",
+                    )
+                )
+        violations.extend(message for _, message in sorted(found))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns 0 when clean, 1 when violations exist."""
+    arguments = argv if argv is not None else sys.argv[1:]
+    if arguments:
+        xsdgen_root = Path(arguments[0])
+    else:
+        xsdgen_root = Path(__file__).resolve().parent.parent / "src" / "repro" / "xsdgen"
+    violations = find_violations(xsdgen_root)
+    if violations:
+        print("unrecorded schema emission in builder modules:")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print("OK: builder modules emit top-level components via the provenance recorder")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
