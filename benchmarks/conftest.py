@@ -7,8 +7,13 @@ regions (the timed callables rebuild whatever they measure).
 
 Set ``REPRO_BENCH_OBS=/path/to/report.json`` to run the whole session
 under tracing and export the span trees plus the metrics snapshot next to
-the bench numbers (see docs/observability.md).  Tracing stays off
-otherwise so timings remain uninstrumented.
+the bench numbers (see docs/observability.md).  Pass
+``--profile-out FILE`` (and optionally ``--profile-format
+table|json|collapsed``) to additionally fold every traced span into one
+call-tree profile written at session end -- collapsed output feeds
+straight into ``flamegraph.pl``.  Tracing stays off without either
+switch so timings remain uninstrumented; profiled timings are for
+shape-reading, not for comparing against untraced baselines.
 """
 
 from __future__ import annotations
@@ -24,11 +29,29 @@ from repro.catalog.ecommerce import build_ecommerce_model
 from repro.catalog.figure1 import build_figure1_model
 
 
+def pytest_addoption(parser):
+    """Benchmark profiling switches (tracing implied when either is used)."""
+    group = parser.getgroup("repro profiling")
+    group.addoption(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="trace the benchmark session and write a span-tree profile to FILE",
+    )
+    group.addoption(
+        "--profile-format",
+        default="collapsed",
+        choices=["table", "json", "collapsed"],
+        help="profile rendering for --profile-out (default: collapsed)",
+    )
+
+
 @pytest.fixture(scope="session", autouse=True)
-def export_observability():
-    """Export span timings and metrics when REPRO_BENCH_OBS names a file."""
+def export_observability(request):
+    """Export spans/metrics (REPRO_BENCH_OBS) and/or a profile (--profile-out)."""
     out = os.environ.get("REPRO_BENCH_OBS")
-    if not out:
+    profile_out = request.config.getoption("--profile-out")
+    if not out and not profile_out:
         yield
         return
     import repro.obs as obs
@@ -36,11 +59,20 @@ def export_observability():
     tracer = obs.configure(trace=True, ring_capacity=4096, reset_metrics=True)
     yield
     ring = tracer.ring_buffer()
-    payload = {
-        "metrics": obs.get_metrics().snapshot(),
-        "spans": [root.to_dict() for root in (ring.roots if ring is not None else [])],
-    }
-    Path(out).write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    if out:
+        payload = {
+            "metrics": obs.get_metrics().snapshot(),
+            "spans": [root.to_dict() for root in (ring.roots if ring is not None else [])],
+        }
+        Path(out).write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    if profile_out:
+        from repro.obs.prof import profile_from_tracer
+
+        profile = profile_from_tracer(tracer)
+        Path(profile_out).write_text(
+            profile.render(request.config.getoption("--profile-format"), top=40) + "\n",
+            encoding="utf-8",
+        )
     obs.disable()
 
 

@@ -24,7 +24,11 @@
     upcc reverse schemas/ --out reconstructed.xmi
     upcc diff a.xmi b.xmi
     upcc compat old-schemas/ new-schemas/
-    upcc stats [easybiz|ecommerce]                # trace/metric report
+    upcc stats [easybiz|ecommerce] [--json]       # trace/metric report
+    upcc profile easybiz --runs 10                # call-tree hot-path table
+    upcc profile easybiz --profile-format collapsed \
+        --profile-out easybiz.folded              # flamegraph.pl input
+    upcc profile easybiz --cprofile-out funcs.txt # + function-level pstats
 
 Observability: every subcommand accepts the global ``--trace`` flag
 (print the span tree of the run to stderr) and ``--metrics-out FILE``
@@ -390,29 +394,60 @@ def _cmd_compat(args: argparse.Namespace) -> int:
     return 1
 
 
+#: Catalog models the report subcommands (``stats``, ``profile``) can run.
+_REPORT_CATALOGS = {
+    "easybiz": "HoardingPermit",
+    "ecommerce": "PurchaseOrder",
+}
+
+
+def _report_catalog(name: str):
+    """(root element name, built catalog) for a report subcommand."""
+    from repro.catalog import build_easybiz_model, build_ecommerce_model
+
+    builders = {"easybiz": build_easybiz_model, "ecommerce": build_ecommerce_model}
+    return _REPORT_CATALOGS[name], builders[name]()
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Run a catalog generation under tracing and print the obs report."""
+    import json
+
     import repro.obs as obs
-    from repro.catalog import build_easybiz_model, build_ecommerce_model
     from repro.validation import validate_model
     from repro.xsdgen import SchemaGenerator
 
-    catalogs = {
-        "easybiz": ("HoardingPermit", build_easybiz_model),
-        "ecommerce": ("PurchaseOrder", build_ecommerce_model),
-    }
-    root, build = catalogs[args.name]
+    root, catalog = _report_catalog(args.name)
     tracer = obs.configure(trace=True, reset_metrics=True)
-    catalog = build()
     generator = SchemaGenerator(catalog.model)
     for _ in range(max(1, args.runs)):
         result = generator.generate(catalog.doc_library, root=root)
     report = validate_model(catalog.model)
+    coverage = result.coverage()
+    if args.json:
+        payload = {
+            "model": args.name,
+            "runs": max(1, args.runs),
+            "schemas": len(result.schemas),
+            "validation": {
+                "ok": report.ok,
+                "errors": len(report.errors),
+                "warnings": len(report.warnings),
+            },
+            "coverage": {
+                "total_elements": coverage.total_elements,
+                "mapped": coverage.mapped,
+                "unmapped": [list(pair) for pair in coverage.unmapped],
+            },
+            "metrics": obs.get_metrics().snapshot(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"model: {args.name} ({len(result.schemas)} schema(s), "
           f"{report.summary()})")
     print()
     print("== provenance coverage ==")
-    print(result.coverage().render_text())
+    print(coverage.render_text())
     print()
     print("== span tree ==")
     ring = tracer.ring_buffer()
@@ -421,6 +456,53 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print()
     print("== metrics ==")
     print(obs.get_metrics().render_text())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Repeat a catalog generation under tracing; emit the call-tree profile."""
+    import repro.obs as obs
+    from repro.obs.prof import cprofile_session, cprofile_stats_text, profile_from_tracer
+    from repro.xsdgen import GenerationOptions, SchemaGenerator
+
+    root, catalog = _report_catalog(args.name)
+    tracer = obs.configure(trace=True, ring_capacity=8192, reset_metrics=True)
+    options = GenerationOptions(
+        validate_first=False,
+        use_cache=args.use_cache,
+        jobs=max(1, args.jobs),
+    )
+    runs = max(1, args.runs)
+
+    def run_all() -> None:
+        # A fresh generator per run keeps every repetition cold (modulo
+        # --use-cache), so the profile reflects full generation cost.
+        for _ in range(runs):
+            SchemaGenerator(catalog.model, options).generate(catalog.doc_library, root=root)
+
+    profiler = None
+    if args.cprofile_out:
+        with cprofile_session() as profiler:
+            run_all()
+    else:
+        run_all()
+    profile = profile_from_tracer(tracer)
+    text = profile.render(args.profile_format, top=args.top)
+    if args.profile_out:
+        Path(args.profile_out).write_text(text + "\n", encoding="utf-8")
+        print(
+            f"wrote {args.profile_format} profile ({profile.span_count} span(s), "
+            f"{len(profile.nodes)} path(s)) to {args.profile_out}"
+        )
+    else:
+        print(text)
+    if args.cprofile_out:
+        stats_text = cprofile_stats_text(profiler, top=args.top)
+        if args.cprofile_out == "-":
+            print(stats_text)
+        else:
+            Path(args.cprofile_out).write_text(stats_text, encoding="utf-8")
+            print(f"wrote cProfile report to {args.cprofile_out}")
     return 0
 
 
@@ -662,7 +744,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs", type=int, default=2,
         help="generation runs on the same generator (default 2, so memo hits show)",
     )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON document (schemas, validation, "
+        "coverage, metrics snapshot) instead of the text report",
+    )
     stats.set_defaults(func=_cmd_stats)
+
+    profile = commands.add_parser(
+        "profile",
+        help="repeat a catalog generation under tracing and emit a call-tree profile",
+    )
+    profile.add_argument(
+        "name", nargs="?", default="easybiz", choices=["easybiz", "ecommerce"],
+        help="catalog model to profile (default: easybiz)",
+    )
+    profile.add_argument(
+        "--runs", type=int, default=5,
+        help="generation runs, one fresh generator each (default 5)",
+    )
+    profile.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="profile the parallel build path with N worker threads",
+    )
+    profile.add_argument(
+        "--use-cache", action="store_true",
+        help="profile warm-cache runs through the shared generation cache",
+    )
+    profile.add_argument(
+        "--profile-format", choices=["table", "json", "collapsed"], default="table",
+        help="output format: hot-path table (default), JSON, or collapsed "
+        "flamegraph stacks (root;child;leaf <self-wall-us>)",
+    )
+    profile.add_argument(
+        "--profile-out", metavar="FILE",
+        help="write the profile to FILE instead of stdout",
+    )
+    profile.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="rows in the table / cProfile report (default 20)",
+    )
+    profile.add_argument(
+        "--cprofile-out", metavar="FILE",
+        help="also run the generations under cProfile and write the "
+        "function-level pstats report to FILE ('-' for stdout)",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     return parser
 
@@ -672,7 +799,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     observed = args.trace or args.metrics_out
-    if observed and args.command != "stats":
+    # stats and profile configure tracing themselves; reconfiguring here
+    # would detach their sinks.
+    if observed and args.command not in ("stats", "profile"):
         import repro.obs as obs
 
         obs.configure(trace=args.trace, reset_metrics=True)
@@ -698,7 +827,7 @@ def main(argv: list[str] | None = None) -> int:
 def _report_observability(args: argparse.Namespace) -> None:
     import repro.obs as obs
 
-    if args.trace and args.command != "stats":
+    if args.trace and args.command not in ("stats", "profile"):
         ring = obs.get_tracer().ring_buffer()
         if ring is not None:
             print("== span tree ==", file=sys.stderr)

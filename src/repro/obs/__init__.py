@@ -1,13 +1,18 @@
-"""Pipeline observability: tracing spans, metrics, logging interop.
+"""Pipeline observability: tracing spans, metrics, profiling, logging interop.
 
-Zero-dependency, stdlib-only.  Three parts:
+Zero-dependency, stdlib-only.  Four parts:
 
 * :mod:`repro.obs.trace` -- hierarchical :class:`Span` context managers
-  collected by a thread-safe :class:`Tracer` with pluggable sinks
-  (in-memory ring buffer, logfmt-to-stderr, JSON-lines file),
+  (wall + thread-CPU time) collected by a thread-safe :class:`Tracer`
+  with pluggable sinks (in-memory ring buffer, logfmt-to-stderr,
+  JSON-lines file),
 * :mod:`repro.obs.metrics` -- named counters, gauges and histogram timers
   with a deterministic ``snapshot()`` / ``render_text()`` /
   ``render_json()`` reporting API,
+* :mod:`repro.obs.prof` -- deterministic call-tree :class:`Profile`
+  aggregation over finished spans with top-N table, JSON and
+  collapsed-stack ("flamegraph") renderings plus an optional
+  :mod:`cProfile` attach,
 * :mod:`repro.obs.logging_bridge` -- standard :mod:`logging` loggers for
   the pipeline plus a handler that forwards records into the trace sinks.
 
@@ -48,6 +53,14 @@ from repro.obs.metrics import (
     get_registry,
     histogram,
     set_registry,
+)
+from repro.obs.prof import (
+    Profile,
+    ProfileNode,
+    build_profile,
+    cprofile_session,
+    cprofile_stats_text,
+    profile_from_tracer,
 )
 from repro.obs.trace import (
     JsonLinesSink,
@@ -120,15 +133,21 @@ __all__ = [
     "LogfmtSink",
     "MetricsRegistry",
     "PIPELINE_LOGGERS",
+    "Profile",
+    "ProfileNode",
     "RingBufferSink",
     "Span",
     "SpanSink",
     "TraceSinkHandler",
     "Tracer",
+    "build_profile",
     "configure",
     "counter",
+    "cprofile_session",
+    "cprofile_stats_text",
     "disable",
     "gauge",
+    "profile_from_tracer",
     "get_logger",
     "get_metrics",
     "get_registry",

@@ -64,6 +64,10 @@ class Span:
     children: list["Span"] = field(default_factory=list)
     parent: "Span | None" = field(default=None, repr=False, compare=False)
     span_id: str = field(default_factory=_next_span_id, compare=False)
+    #: CPU nanoseconds (``time.thread_time_ns`` delta) the opening thread
+    #: spent inside the span.  Valid because a span context manager enters
+    #: and exits on one thread; ``None`` while the span is still open.
+    cpu_ns: int | None = field(default=None, compare=False)
 
     @property
     def duration_ms(self) -> float:
@@ -71,6 +75,20 @@ class Span:
         if self.ended_at is None:
             return 0.0
         return (self.ended_at - self.started_at) * 1000.0
+
+    @property
+    def cpu_ms(self) -> float:
+        """Thread CPU time in milliseconds (0.0 while the span is open).
+
+        Wall time counts scheduler waits and blocking I/O; CPU time only
+        counts cycles this thread actually burned, so ``duration_ms -
+        cpu_ms`` exposes time spent waiting (lock contention, disk, the
+        GIL) — the quantity profiles need to tell "slow code" from
+        "starved code".
+        """
+        if self.cpu_ns is None:
+            return 0.0
+        return self.cpu_ns / 1e6
 
     @property
     def finished(self) -> bool:
@@ -100,6 +118,7 @@ class Span:
         data: dict[str, Any] = {
             "name": self.name,
             "duration_ms": round(self.duration_ms, 3),
+            "cpu_ms": round(self.cpu_ms, 3),
             "status": self.status,
         }
         if self.attributes:
@@ -217,6 +236,7 @@ class LogfmtSink(SpanSink):
         pairs: list[tuple[str, Any]] = [
             ("span", span.name),
             ("dur_ms", f"{span.duration_ms:.3f}"),
+            ("cpu_ms", f"{span.cpu_ms:.3f}"),
             ("status", span.status),
         ]
         pairs.extend(span.attributes.items())
@@ -335,6 +355,7 @@ class Tracer:
         parent = self._current.get()
         span_ = Span(name=name, attributes=dict(attributes), parent=parent)
         span_.started_at = time.perf_counter()
+        cpu_started = time.thread_time_ns()
         token = self._current.set(span_)
         try:
             yield span_
@@ -343,6 +364,7 @@ class Tracer:
             span_.error = f"{type(error).__name__}: {error}"
             raise
         finally:
+            span_.cpu_ns = time.thread_time_ns() - cpu_started
             span_.ended_at = time.perf_counter()
             self._current.reset(token)
             if parent is not None:

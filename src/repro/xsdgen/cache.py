@@ -450,6 +450,19 @@ class GenerationCache:
         self._misses.inc()
         return None
 
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` would hit, *without* counting a hit or miss.
+
+        Used by the generator's parallel scheduler to size the real work
+        (cache-miss-eligible libraries) before deciding between threads
+        and a serial run -- a planning peek, so it must not skew the
+        ``xsdgen.cache_hits``/``misses`` counters or the LRU order.
+        """
+        with self._lock:
+            if key in self._entries:
+                return True
+        return self.cache_dir is not None and self._disk_path(key).is_file()
+
     def put(self, entry: CachedGeneration) -> None:
         """Insert (or refresh) an entry; persists when disk is enabled."""
         self._insert(entry)

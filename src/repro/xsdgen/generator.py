@@ -18,6 +18,7 @@ byte-identical to a serial run.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -76,6 +77,12 @@ _log = get_logger("repro.xsdgen")
 
 #: Memo key: (identity of the library package, resolved DOC root or None).
 _MemoKey = tuple[int, "str | None"]
+
+#: Library stereotypes that generate a schema document of their own --
+#: the only ones the parallel scheduler can hand to a worker thread.
+_SCHEMA_STEREOTYPES = frozenset(
+    {BIE_LIBRARY, CDT_LIBRARY, DOC_LIBRARY, ENUM_LIBRARY, QDT_LIBRARY}
+)
 
 
 @dataclass
@@ -442,8 +449,16 @@ class SchemaGenerator:
                 # Collect mode always prebuilds from the structural
                 # dependency graph: a failing library must not hide the
                 # independent libraries it would have discovered serially.
-                if self.options.jobs > 1 or collect:
+                if collect:
                     self._parallel_prebuild(library, root, max(1, self.options.jobs))
+                elif self.options.jobs > 1:
+                    if self._worth_prebuilding():
+                        self._parallel_prebuild(library, root, self.options.jobs)
+                    else:
+                        # The whole model holds fewer libraries than the
+                        # parallel threshold, so even dependency discovery
+                        # is overhead: build serially via ensure_library.
+                        counter("xsdgen.parallel_fallback").inc()
                 root_namespace: str | None = None
                 try:
                     generated = self.ensure_library(library, root)
@@ -799,6 +814,17 @@ class SchemaGenerator:
         handling) and scheduled dependencies-first, so no worker ever waits
         on another thread's in-flight build.  The subsequent serial pass in
         :meth:`generate` then assembles the result purely from memo hits.
+
+        Small models fall back to a serial loop: when fewer
+        cache-miss-eligible libraries than ``min_parallel_libraries``
+        (default ``2 * jobs``) are reachable, thread-pool setup costs more
+        than it saves, so the components build in dependency order on the
+        calling thread and ``xsdgen.parallel_fallback`` counts the skip.
+
+        Worker threads run inside a :func:`contextvars.copy_context`
+        snapshot taken at submit time, so the ``xsdgen.parallel`` span
+        active here is the active span *inside* the worker too -- library
+        build spans parent under it instead of surfacing as orphan roots.
         """
         graph: dict[int, tuple[Library, list[int]]] = {}
 
@@ -838,13 +864,44 @@ class SchemaGenerator:
                 candidate = graph[node][0]
                 self.ensure_library(candidate, root if node == entry_node else None)
 
+        eligible = self._eligible_builds(graph, entry_node, root)
+        threshold = self.options.min_parallel_libraries
+        if threshold is None:
+            threshold = 2 * jobs
+        if jobs <= 1 or eligible < threshold:
+            if jobs > 1:
+                counter("xsdgen.parallel_fallback").inc()
+                _log.debug(
+                    "serial fallback: %d eligible librar%s below threshold %d (jobs=%d)",
+                    eligible, "y" if eligible == 1 else "ies", threshold, jobs,
+                )
+            with span(
+                "xsdgen.parallel",
+                libraries=len(graph), jobs=jobs, eligible=eligible, mode="serial",
+            ):
+                # Tarjan emits components dependencies-first, so an
+                # in-order loop never builds an importer before its imports.
+                for index in range(len(components)):
+                    try:
+                        build_component(index)
+                    except ReproError:
+                        if self.options.on_error != "collect":
+                            raise
+            return
         ready = [index for index in range(len(components)) if indegree[index] == 0]
         pending: dict[Future, int] = {}
-        with span("xsdgen.parallel", libraries=len(graph), jobs=jobs):
+        with span(
+            "xsdgen.parallel",
+            libraries=len(graph), jobs=jobs, eligible=eligible, mode="threads",
+        ):
             with ThreadPoolExecutor(max_workers=jobs) as pool:
                 while ready or pending:
                     for index in ready:
-                        pending[pool.submit(build_component, index)] = index
+                        # Snapshot the trace context (the open xsdgen.parallel
+                        # span) per submit; Context.run is single-flight, so
+                        # each task needs its own copy.
+                        task_context = contextvars.copy_context()
+                        pending[pool.submit(task_context.run, build_component, index)] = index
                     ready = []
                     done, _ = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
@@ -861,6 +918,48 @@ class SchemaGenerator:
                             indegree[dependent] -= 1
                             if indegree[dependent] == 0:
                                 ready.append(dependent)
+
+    def _worth_prebuilding(self) -> bool:
+        """Cheap preflight for ``jobs > 1``: can parallelism possibly pay?
+
+        The model's schema-capable library count (a memoized scan) bounds
+        the reachable graph from above, so when even that sits below the
+        parallel threshold the structural dependency discovery inside
+        :meth:`_parallel_prebuild` is pure overhead -- exactly what made
+        the ``parallel_jobs4`` bench arm lose to ``cold`` on small models.
+        """
+        threshold = self.options.min_parallel_libraries
+        if threshold is None:
+            threshold = 2 * self.options.jobs
+        if threshold == 0:
+            return True
+        total = sum(
+            1
+            for candidate in self.model.libraries()
+            if candidate.stereotype in _SCHEMA_STEREOTYPES
+        )
+        return total >= threshold
+
+    def _eligible_builds(
+        self, graph: dict[int, tuple[Library, list[int]]], entry_node: int, root: "Abie | str | None"
+    ) -> int:
+        """How many reachable libraries this run will actually *build*.
+
+        Libraries the cache can replay are cheap memo work, not thread
+        fodder, so they do not count toward the parallelism threshold.
+        Uses :meth:`GenerationCache.contains` -- a planning peek that
+        leaves the hit/miss counters and LRU order untouched.
+        """
+        if self.cache is None:
+            return len(graph)
+        eligible = 0
+        for node, (candidate, _) in graph.items():
+            if candidate.stereotype == PRIM_LIBRARY:
+                continue
+            key = self._memo_key(candidate, root if node == entry_node else None)
+            if not self.cache.contains(self._fingerprint_for(candidate, key)):
+                eligible += 1
+        return eligible
 
     # -- single-library build -------------------------------------------------------
 

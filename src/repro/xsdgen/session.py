@@ -38,6 +38,13 @@ class GenerationOptions:
     parallelism are off by default so a bare ``SchemaGenerator`` behaves
     exactly like the paper's add-in.
 
+    ``min_parallel_libraries`` guards against paying thread-pool overhead
+    on models too small to amortize it: when fewer cache-miss-eligible
+    libraries than this are reachable, a ``jobs > 1`` run builds them
+    serially instead (recorded by the ``xsdgen.parallel_fallback``
+    counter).  ``None`` (the default) means ``2 * jobs``; ``0`` disables
+    the fallback and always uses the pool.
+
     ``on_error`` selects the failure policy: ``"raise"`` (default)
     aborts the run on the first failing library, mirroring the paper's
     error dialog; ``"collect"`` isolates each failing library as a
@@ -61,6 +68,7 @@ class GenerationOptions:
     use_cache: bool = False
     cache_dir: Path | None = None
     jobs: int = 1
+    min_parallel_libraries: int | None = None
     on_error: str = "raise"
     embed_provenance: bool = False
 
@@ -68,6 +76,11 @@ class GenerationOptions:
         if self.on_error not in ("raise", "collect"):
             raise ValueError(
                 f"on_error must be 'raise' or 'collect', got {self.on_error!r}"
+            )
+        if self.min_parallel_libraries is not None and self.min_parallel_libraries < 0:
+            raise ValueError(
+                f"min_parallel_libraries must be >= 0 or None, "
+                f"got {self.min_parallel_libraries!r}"
             )
 
 

@@ -1,37 +1,54 @@
 #!/usr/bin/env python
-"""Seed the perf trajectory: end-to-end generation medians to a JSON report.
+"""The perf-trajectory tool: bench medians, history, baseline compare, profiles.
 
-Runs the easybiz catalog's full schema generation in three arms --
+Runs the easybiz catalog's end-to-end generation in three arms --
 
 * **cold** -- a fresh :class:`SchemaGenerator` per run, no cache,
 * **warm** -- fresh generators sharing a pre-warmed
   :class:`~repro.xsdgen.cache.GenerationCache` (a second CLI invocation
   or long-lived service),
-* **parallel** -- cold builds with ``jobs=4`` (byte-identical output),
+* **parallel** -- cold builds with ``jobs=4`` (byte-identical output;
+  small models take the serial fallback, which is the point being
+  measured),
 
-and writes ``BENCH_end_to_end.json`` at the repo root: per-arm median
-milliseconds over ``--repeats`` runs plus schema/byte counts, so CI can
-archive one small artifact per commit and the perf trajectory of the
-generator is recorded instead of folklore.  Run directly::
+and writes ``BENCH_end_to_end.json``: per-arm median milliseconds over
+``--repeats`` runs plus schema/byte counts.  Beyond the snapshot report
+it maintains the *trajectory*:
+
+* every run appends one JSON line (report + UTC timestamp + git commit)
+  to ``BENCH_history.jsonl`` (``--history FILE`` / ``--no-history``), so
+  the full perf history of a checkout accretes locally and as a CI
+  artifact;
+* ``--baseline FILE`` compares the fresh numbers to a committed report
+  with a configurable ``--tolerance`` (soft) -- the hard CI gate lives in
+  ``tools/check_perf_regression.py``, which reuses the same comparison;
+* ``--profile-out FILE`` re-runs each arm once under tracing *after* the
+  timed passes (timings stay uninstrumented) and writes the span-tree
+  profile in ``--profile-format`` table/json/collapsed form.
+
+Run directly::
 
     python tools/bench_report.py [--repeats N] [--out FILE]
-
-The report asserts nothing; regressions are judged by comparing the
-artifacts across commits (pytest-benchmark arms in ``benchmarks/`` keep
-the hard thresholds).
+        [--baseline BENCH_end_to_end.json] [--tolerance PCT]
+        [--profile-out profile.folded] [--profile-format collapsed]
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import statistics
+import subprocess
 import sys
 import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_perf_regression import compare_reports, render_deltas  # noqa: E402
 
 from repro.catalog import build_easybiz_model  # noqa: E402
 from repro.xsdgen import GenerationCache, GenerationOptions, SchemaGenerator  # noqa: E402
@@ -59,8 +76,8 @@ def _arm_stats(result) -> dict:
     }
 
 
-def run_report(repeats: int) -> dict:
-    """Measure all arms; returns the JSON-ready report."""
+def _arms() -> list[tuple[str, object]]:
+    """The named, closed-over arm callables (building their fixtures)."""
     catalog = build_easybiz_model()
     model = catalog.model
     library = catalog.doc_library
@@ -84,8 +101,13 @@ def run_report(repeats: int) -> dict:
     def parallel():
         return SchemaGenerator(model, parallel_options).generate(library, root=ROOT_NAME)
 
+    return [("cold", cold), ("warm_cache", warm), ("parallel_jobs4", parallel)]
+
+
+def run_report(repeats: int) -> dict:
+    """Measure all arms; returns the JSON-ready report."""
     arms = {}
-    for name, fn in (("cold", cold), ("warm_cache", warm), ("parallel_jobs4", parallel)):
+    for name, fn in _arms():
         median_s, result = _timed(fn, repeats)
         arms[name] = {"median_ms": round(median_s * 1000.0, 3), **_arm_stats(result)}
     return {
@@ -98,6 +120,49 @@ def run_report(repeats: int) -> dict:
     }
 
 
+def write_profile(path: Path, format: str) -> dict:
+    """One traced pass per arm -> a span-tree profile file; returns summary.
+
+    Runs *after* the timed passes so tracing overhead never touches the
+    reported medians.
+    """
+    import repro.obs as obs
+    from repro.obs.prof import profile_from_tracer
+
+    tracer = obs.configure(trace=True, ring_capacity=8192, reset_metrics=True)
+    try:
+        for _, fn in _arms():
+            fn()
+        profile = profile_from_tracer(tracer)
+        path.write_text(profile.render(format, top=40) + "\n", encoding="utf-8")
+    finally:
+        obs.disable()
+    return {"spans": profile.span_count, "paths": len(profile.nodes)}
+
+
+def _git_commit() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def append_history(path: Path, report: dict) -> None:
+    """Append one trajectory line: the report stamped with time and commit."""
+    entry = dict(report)
+    entry["recorded_at"] = datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    commit = _git_commit()
+    if commit:
+        entry["git_commit"] = commit
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; writes the report and prints a one-line summary per arm."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -106,6 +171,32 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         default=str(REPO_ROOT / "BENCH_end_to_end.json"),
         help="report file (default: BENCH_end_to_end.json at the repo root)",
+    )
+    parser.add_argument(
+        "--history",
+        default=str(REPO_ROOT / "BENCH_history.jsonl"),
+        help="trajectory file to append this run to (default: BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true", help="skip appending to the history file"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="compare the fresh medians against this committed report",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=30.0,
+        help="soft tolerance in percent for --baseline comparison (default 30)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="also write a span-tree profile of one traced pass per arm",
+    )
+    parser.add_argument(
+        "--profile-format", choices=["table", "json", "collapsed"], default="collapsed",
+        help="profile rendering for --profile-out (default: collapsed flamegraph stacks)",
     )
     args = parser.parse_args(argv)
     report = run_report(max(1, args.repeats))
@@ -117,6 +208,32 @@ def main(argv: list[str] | None = None) -> int:
             f"{arm['bytes']} bytes, {arm['provenance_records']} provenance record(s)"
         )
     print(f"wrote {out}")
+    if not args.no_history:
+        history = Path(args.history)
+        append_history(history, report)
+        print(f"appended to {history}")
+    if args.profile_out:
+        profile_path = Path(args.profile_out)
+        summary = write_profile(profile_path, args.profile_format)
+        print(
+            f"wrote {args.profile_format} profile ({summary['spans']} span(s), "
+            f"{summary['paths']} path(s)) to {profile_path}"
+        )
+    if args.baseline:
+        try:
+            baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read baseline {args.baseline}: {error}", file=sys.stderr)
+            return 1
+        print(f"== trajectory vs {args.baseline} (soft tolerance {args.tolerance:.0f}%) ==")
+        print(
+            render_deltas(
+                compare_reports(
+                    baseline, report,
+                    warn_pct=args.tolerance, fail_pct=float("inf"),
+                )
+            )
+        )
     return 0
 
 
