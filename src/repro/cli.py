@@ -520,6 +520,31 @@ def _cmd_check_instance(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_validate_instances(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.instances.pipeline import ValidationPipeline
+    from repro.xsd.validator import SchemaSet
+
+    schemas = Path(args.schemas)
+    if schemas.is_dir():
+        schema_set = SchemaSet.from_directory(schemas)
+    else:
+        schema_set = SchemaSet.from_files([schemas])
+    pipeline = ValidationPipeline(
+        schema_set,
+        engine=args.engine,
+        jobs=args.jobs,
+        fail_fast=args.fail_fast,
+    )
+    report = pipeline.run(args.corpus)
+    if args.report == "json":
+        print(json_module.dumps(report.to_json(), indent=2))
+    else:
+        print(report.to_text())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -678,6 +703,37 @@ def build_parser() -> argparse.ArgumentParser:
     instance.add_argument("--out", help="output file (stdout when omitted)")
     instance.add_argument("--minimal", action="store_true", help="omit optional content")
     instance.set_defaults(func=_cmd_instance)
+
+    validate_instances = commands.add_parser(
+        "validate-instances",
+        help="validate a corpus of XML instances against generated schemas",
+    )
+    validate_instances.add_argument(
+        "schemas", help="schema directory (*.xsd, recursive) or a single .xsd file"
+    )
+    validate_instances.add_argument(
+        "corpus",
+        help="corpus directory (*.xml, recursive), a single .xml file, "
+        "or a manifest file listing one document path per line",
+    )
+    validate_instances.add_argument(
+        "--jobs", type=int, default=1, help="worker threads (default 1 = serial)"
+    )
+    validate_instances.add_argument(
+        "--engine",
+        choices=["compiled", "interpreted"],
+        default="compiled",
+        help="validation engine (default: compiled)",
+    )
+    validate_instances.add_argument(
+        "--report", choices=["text", "json"], default="text", help="report format"
+    )
+    validate_instances.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop at the first invalid document (forces serial execution)",
+    )
+    validate_instances.set_defaults(func=_cmd_validate_instances)
 
     check = commands.add_parser("check-instance", help="validate an XML instance")
     check.add_argument("schemas", help="directory of generated schemas")

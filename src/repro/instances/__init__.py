@@ -9,7 +9,10 @@ package produces such messages:
   type and facet set,
 * :mod:`repro.instances.mutate` -- controlled corruptions used by negative
   tests and the end-to-end benchmark (a validator that accepts everything
-  proves nothing).
+  proves nothing),
+* :mod:`repro.instances.pipeline` -- batch validation of whole corpora
+  (compiled or interpreted engine, optional thread-pool fan-out,
+  per-document fault isolation).
 """
 
 from repro.instances.generator import InstanceGenerator
@@ -20,10 +23,20 @@ from repro.instances.mutate import (
     drop_required_attribute,
     drop_required_child,
 )
+from repro.instances.pipeline import (
+    BatchReport,
+    DocumentReport,
+    ValidationPipeline,
+    discover_corpus,
+)
 from repro.instances.values import sample_value
 
 __all__ = [
+    "BatchReport",
+    "DocumentReport",
     "InstanceGenerator",
+    "ValidationPipeline",
+    "discover_corpus",
     "add_unknown_attribute",
     "add_unknown_child",
     "corrupt_enumeration_value",

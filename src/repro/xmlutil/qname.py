@@ -17,6 +17,14 @@ class QName:
     namespace: str
     local: str
 
+    def __post_init__(self) -> None:
+        # Instances are hashed far more often than constructed (content-model
+        # lookups key transition tables by QName), so cache the hash once.
+        object.__setattr__(self, "_hash", hash((self.namespace, self.local)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def clark(self) -> str:
         """Return the Clark-notation form ``{namespace}local``."""
         if self.namespace:

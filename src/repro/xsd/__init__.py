@@ -35,6 +35,14 @@ from repro.xsd.components import (
     SimpleType,
 )
 from repro.xsd.compat import Change, CompatibilityReport, check_compatibility
+from repro.xsd.compiled import (
+    CompilationCache,
+    CompiledSchemaSet,
+    compile_schema_set,
+    fingerprint_schema_set,
+    get_compilation_cache,
+    set_compilation_cache,
+)
 from repro.xsd.parser import parse_schema
 from repro.xsd.validator import SchemaSet, ValidationProblem, validate_instance
 from repro.xsd.writer import schema_to_string, schema_to_xml
@@ -58,6 +66,12 @@ __all__ = [
     "SimpleType",
     "ValidationProblem",
     "XSD_NS",
+    "CompilationCache",
+    "CompiledSchemaSet",
+    "compile_schema_set",
+    "fingerprint_schema_set",
+    "get_compilation_cache",
+    "set_compilation_cache",
     "parse_schema",
     "schema_to_string",
     "schema_to_xml",

@@ -224,6 +224,105 @@ def match_nfa(particle: Particle, tokens: list[QName], symbol_of: SymbolOf) -> M
 
 
 # ---------------------------------------------------------------------------
+# Determinized (DFA) engine
+# ---------------------------------------------------------------------------
+
+#: Subset-construction ceiling; larger models fall back to NFA simulation.
+MAX_DFA_STATES = 512
+
+
+class DeterminizedModel:
+    """A table-driven DFA determinized from a :class:`CompiledModel`.
+
+    Matching is one dict lookup per token instead of an epsilon-closure
+    sweep, and produces byte-identical :class:`MatchResult` values (same
+    assignments, failure index and expected set).  Built ahead of time by
+    :func:`determinize`; the compiled-validator layer uses it on the
+    per-document hot path.
+    """
+
+    __slots__ = ("_tables",)
+
+    def __init__(
+        self,
+        tables: list[tuple[dict[QName, tuple[int, ElementDecl]], bool, tuple[str, ...]]],
+    ) -> None:
+        self._tables = tables
+
+    def match(self, tokens: list[QName]) -> MatchResult:
+        """Match ``tokens`` against the determinized model."""
+        tables = self._tables
+        state = 0
+        assignments: list[ElementDecl] = []
+        for index, token in enumerate(tokens):
+            entry = tables[state][0].get(token)
+            if entry is None:
+                return MatchResult(
+                    ok=False,
+                    assignments=assignments,
+                    failure_index=index,
+                    expected=tables[state][2],
+                )
+            assignments.append(entry[1])
+            state = entry[0]
+        transitions, accepting, expected = tables[state]
+        if accepting:
+            return MatchResult(ok=True, assignments=assignments)
+        return MatchResult(
+            ok=False, assignments=assignments, failure_index=None, expected=expected
+        )
+
+
+def determinize(model: CompiledModel) -> DeterminizedModel | None:
+    """The DFA form of ``model``, or None when not safely determinizable.
+
+    Safe means provably result-identical to :meth:`CompiledModel.match`:
+    construction bails out (returns None, caller keeps the NFA) when a
+    state set offers the *same* token through *different* declarations --
+    a Unique Particle Attribution violation, where the NFA's pick depends
+    on set iteration order -- or when subset construction exceeds
+    :data:`MAX_DFA_STATES`.  Everything the NDR generator emits
+    determinizes.
+    """
+    start = model._closure({model.start})
+    state_ids: dict[frozenset[int], int] = {frozenset(start): 0}
+    representatives: list[set[int]] = [start]
+    tables: list[tuple[dict[QName, tuple[int, ElementDecl]], bool, tuple[str, ...]]] = []
+    cursor = 0
+    while cursor < len(representatives):
+        representative = representatives[cursor]
+        cursor += 1
+        targets: dict[QName, set[int]] = {}
+        matched: dict[QName, ElementDecl] = {}
+        for state in representative:
+            for symbol, decl, target in model._edges[state]:
+                bucket = targets.get(symbol)
+                if bucket is None:
+                    targets[symbol] = {target}
+                    matched[symbol] = decl
+                else:
+                    bucket.add(target)
+                    if matched[symbol] is not decl:
+                        return None  # UPA violation: NFA pick is order-dependent
+        transitions: dict[QName, tuple[int, ElementDecl]] = {}
+        for symbol, next_states in targets.items():
+            closure = model._closure(next_states)
+            key = frozenset(closure)
+            next_id = state_ids.get(key)
+            if next_id is None:
+                if len(representatives) >= MAX_DFA_STATES:
+                    return None
+                next_id = len(representatives)
+                state_ids[key] = next_id
+                representatives.append(closure)
+            transitions[symbol] = (next_id, matched[symbol])
+        tables.append(
+            (transitions, model.accept in representative, model._expected_at(representative))
+        )
+    return DeterminizedModel(tables)
+
+
+# ---------------------------------------------------------------------------
 # Reference backtracking engine
 # ---------------------------------------------------------------------------
 

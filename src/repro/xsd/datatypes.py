@@ -5,11 +5,30 @@ section 4.1: "Where primitive types are needed (String, Integer ...) the
 build-in types of the XSD schema are taken").  The validator needs lexical
 checks for those built-ins plus the facet machinery of simple-type
 restrictions.
+
+Facet semantics follow XML Schema 1.0 part 2:
+
+* range facets (``minInclusive`` ...) compare exact :class:`decimal.Decimal`
+  values, never floats -- ``9223372036854775808`` must *fail* a
+  ``maxInclusive`` of ``9223372036854775807`` even though both round to the
+  same ``float``;
+* calendar types reject impossible dates (``2024-02-31``) and out-of-range
+  clock fields (``29:99:99``) via real calendar arithmetic, not just digit
+  patterns;
+* ``length``/``minLength``/``maxLength`` measure *octets* for ``hexBinary``
+  and ``base64Binary`` (the XSD value space), not lexical characters.
+
+:func:`compile_facets` pre-compiles a facet list into one closure per facet
+(patterns compiled once, bounds parsed once) for the compiled-validator
+layer in :mod:`repro.xsd.compiled`; :func:`check_facets` stays the
+per-call convenience API and produces identical problem lists.
 """
 
 from __future__ import annotations
 
+import datetime as _datetime
 import re
+from decimal import Decimal, InvalidOperation
 from typing import Callable
 
 from repro.xmlutil.qname import QName
@@ -18,13 +37,13 @@ from repro.xsd.components import XSD_NS, Facet
 _INTEGER_RE = re.compile(r"^[+-]?\d+$")
 _DECIMAL_RE = re.compile(r"^[+-]?(\d+(\.\d*)?|\.\d+)$")
 _FLOAT_RE = re.compile(r"^([+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?|INF|-INF|NaN)$")
-_DATE_RE = re.compile(r"^-?\d{4,}-\d{2}-\d{2}(Z|[+-]\d{2}:\d{2})?$")
-_TIME_RE = re.compile(r"^\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?$")
+_DATE_RE = re.compile(r"^(-?)(\d{4,})-(\d{2})-(\d{2})(Z|[+-]\d{2}:\d{2})?$")
+_TIME_RE = re.compile(r"^(\d{2}):(\d{2}):(\d{2})(\.\d+)?(Z|[+-]\d{2}:\d{2})?$")
 _DATETIME_RE = re.compile(
     r"^-?\d{4,}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?$"
 )
-_GYEAR_RE = re.compile(r"^-?\d{4,}(Z|[+-]\d{2}:\d{2})?$")
-_GYEARMONTH_RE = re.compile(r"^-?\d{4,}-\d{2}(Z|[+-]\d{2}:\d{2})?$")
+_GYEAR_RE = re.compile(r"^-?(\d{4,})(Z|[+-]\d{2}:\d{2})?$")
+_GYEARMONTH_RE = re.compile(r"^-?(\d{4,})-(\d{2})(Z|[+-]\d{2}:\d{2})?$")
 _BASE64_RE = re.compile(r"^[A-Za-z0-9+/\s]*={0,2}\s*$")
 _HEX_RE = re.compile(r"^([0-9a-fA-F]{2})*$")
 _NCNAME_RE = re.compile(r"^[A-Za-z_][\w.\-]*$")
@@ -32,21 +51,81 @@ _LANGUAGE_RE = re.compile(r"^[a-zA-Z]{1,8}(-[a-zA-Z0-9]{1,8})*$")
 _DURATION_RE = re.compile(
     r"^-?P(?=.)(\d+Y)?(\d+M)?(\d+D)?(T(?=.)(\d+H)?(\d+M)?(\d+(\.\d+)?S)?)?$"
 )
+_WHITESPACE_RE = re.compile(r"\s+")
+
+#: Days per month in a non-leap year (index 1-12).
+_MONTH_DAYS = (0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def _is_leap_year(year: int) -> bool:
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def _check_timezone(suffix: str | None) -> bool:
+    """Validate an optional ``Z``/``+hh:mm`` suffix (offsets up to 14:00)."""
+    if not suffix or suffix == "Z":
+        return True
+    hours, minutes = int(suffix[1:3]), int(suffix[4:6])
+    if hours > 14 or minutes > 59:
+        return False
+    return hours < 14 or minutes == 0
 
 
 def _check_date(value: str) -> bool:
-    if not _DATE_RE.match(value):
+    match = _DATE_RE.match(value)
+    if not match:
         return False
-    body = value.lstrip("-")[:10]
-    _, month, day = body.split("-")
-    return 1 <= int(month) <= 12 and 1 <= int(day) <= 31
+    year, month, day = int(match[2]), int(match[3]), int(match[4])
+    if year == 0 or not 1 <= month <= 12:
+        # XSD 1.0 prohibits the year 0000.
+        return False
+    if not match[1] and 1 <= year <= 9999:
+        try:
+            _datetime.date(year, month, day)
+        except ValueError:
+            return False
+    else:
+        # Outside datetime.date's range (negative or five-digit years):
+        # proleptic-Gregorian month lengths by hand.
+        days = _MONTH_DAYS[month] + (1 if month == 2 and _is_leap_year(year) else 0)
+        if not 1 <= day <= days:
+            return False
+    return _check_timezone(match[5])
+
+
+def _check_time(value: str) -> bool:
+    match = _TIME_RE.match(value)
+    if not match:
+        return False
+    hour, minute, second = int(match[1]), int(match[2]), int(match[3])
+    if hour == 24:
+        # 24:00:00 is XSD's end-of-day; every sub-field must be zero.
+        if minute != 0 or second != 0:
+            return False
+        if match[4] and match[4].strip("0") != ".":
+            return False
+    elif hour > 23 or minute > 59 or second > 59:
+        return False
+    return _check_timezone(match[5])
 
 
 def _check_datetime(value: str) -> bool:
     if not _DATETIME_RE.match(value):
         return False
-    date_part = value.split("T", 1)[0]
-    return _check_date(date_part)
+    date_part, _, time_part = value.partition("T")
+    return _check_date(date_part) and _check_time(time_part)
+
+
+def _check_gyear(value: str) -> bool:
+    match = _GYEAR_RE.match(value)
+    return bool(match) and int(match[1]) != 0 and _check_timezone(match[2])
+
+
+def _check_gyearmonth(value: str) -> bool:
+    match = _GYEARMONTH_RE.match(value)
+    if not match:
+        return False
+    return int(match[1]) != 0 and 1 <= int(match[2]) <= 12 and _check_timezone(match[3])
 
 
 def _check_boolean(value: str) -> bool:
@@ -95,11 +174,11 @@ _BUILTIN_CHECKS: dict[str, Callable[[str], bool]] = {
     "float": lambda value: bool(_FLOAT_RE.match(value)),
     "double": lambda value: bool(_FLOAT_RE.match(value)),
     "date": _check_date,
-    "time": lambda value: bool(_TIME_RE.match(value)),
+    "time": _check_time,
     "dateTime": _check_datetime,
     "duration": lambda value: bool(_DURATION_RE.match(value)),
-    "gYear": lambda value: bool(_GYEAR_RE.match(value)),
-    "gYearMonth": lambda value: bool(_GYEARMONTH_RE.match(value)),
+    "gYear": _check_gyear,
+    "gYearMonth": _check_gyearmonth,
     "base64Binary": lambda value: bool(_BASE64_RE.match(value)) and len(re.sub(r"\s", "", value)) % 4 == 0,
     "hexBinary": lambda value: bool(_HEX_RE.match(value)),
 }
@@ -112,6 +191,9 @@ _NUMERIC_TYPES = frozenset(
         "unsignedInt", "unsignedShort", "unsignedByte", "decimal", "float", "double",
     }
 )
+
+#: Built-ins whose length facets measure decoded octets, not characters.
+_BINARY_TYPES = frozenset({"hexBinary", "base64Binary"})
 
 
 def is_builtin(qname: QName) -> bool:
@@ -143,62 +225,192 @@ def normalize_whitespace(qname: QName, value: str) -> str:
     return " ".join(value.split())
 
 
+def compile_builtin(qname: QName) -> tuple[Callable[[str], str], Callable[[str], bool]]:
+    """A pre-resolved ``(normalizer, lexical check)`` pair for ``qname``.
+
+    ``normalizer(value)`` applies the type's whiteSpace facet and
+    ``check(normalized)`` is the lexical test -- together equivalent to
+    :func:`normalize_whitespace` + :func:`check_builtin` but without the
+    per-call namespace tests and dict lookups.  Both normalizations are
+    idempotent, so the check may be handed already-normalized input.
+    """
+    if qname.namespace != XSD_NS:
+        return _collapse, lambda value: False
+    if qname.local == "string":
+        normalize = _identity
+    elif qname.local == "normalizedString":
+        normalize = _replace_whitespace
+    else:
+        normalize = _collapse
+    check = _BUILTIN_CHECKS.get(qname.local)
+    if check is None:
+        return normalize, lambda value: True
+    return normalize, check
+
+
+def _identity(value: str) -> str:
+    return value
+
+
+def _replace_whitespace(value: str) -> str:
+    return value.replace("\n", " ").replace("\t", " ").replace("\r", " ")
+
+
+def _collapse(value: str) -> str:
+    return " ".join(value.split())
+
+
+def measured_length(value: str, base: QName) -> int:
+    """The length XSD's length facets constrain for a value of ``base``.
+
+    ``hexBinary``/``base64Binary`` lengths are defined over the *decoded
+    octets* (two hex digits, or a base64 quantum minus its padding, per
+    octet); every other type measures characters.
+    """
+    if base.namespace == XSD_NS:
+        if base.local == "hexBinary":
+            return len(value) // 2
+        if base.local == "base64Binary":
+            chars = _WHITESPACE_RE.sub("", value)
+            padding = len(chars) - len(chars.rstrip("="))
+            return max((len(chars) // 4) * 3 - padding, 0)
+    return len(value)
+
+
+def _to_decimal(value: str) -> Decimal | None:
+    """Exact numeric value of an XSD numeric lexical; None when not numeric.
+
+    ``INF``/``-INF``/``NaN`` (the float/double specials) map onto their
+    :class:`~decimal.Decimal` counterparts, so range comparisons stay exact
+    for arbitrary-precision integers and decimals while the specials keep
+    IEEE ordering.
+    """
+    try:
+        return Decimal(value)
+    except InvalidOperation:
+        return None
+
+
 def check_facets(facets: list[Facet], value: str, base: QName) -> list[str]:
     """Validate ``value`` against constraining facets; returns problems.
 
     Enumeration facets combine disjunctively (any match passes); all other
-    facets must each hold.
+    facets must each hold.  ``base`` (the built-in the restriction chain
+    bottoms out at) decides numeric comparison and binary length semantics.
     """
-    problems: list[str] = []
-    enumerations = [facet.value for facet in facets if facet.kind == "enumeration"]
-    if enumerations and value not in enumerations:
-        problems.append(
-            f"value {value!r} is not one of the enumerated values {enumerations!r}"
-        )
+    return compile_facets(facets, base)(value)
+
+
+def compile_facets(facets: list[Facet], base: QName) -> Callable[[str], list[str]]:
+    """Pre-compile ``facets`` into one reusable checker closure.
+
+    Patterns are compiled once, numeric bounds and length limits parsed
+    once; the returned callable maps a (whitespace-normalized) value to the
+    same problem list :func:`check_facets` produces, in the same order.
+    The compiled-validator layer calls this at schema-compile time so the
+    per-document hot path does no facet parsing at all.
+    """
     numeric = base.namespace == XSD_NS and base.local in _NUMERIC_TYPES
+    checks: list[Callable[[str], str | None]] = []
+    enumerations = [facet.value for facet in facets if facet.kind == "enumeration"]
+    if enumerations:
+        allowed = frozenset(enumerations)
+
+        def check_enumeration(value: str) -> str | None:
+            if value not in allowed:
+                return (
+                    f"value {value!r} is not one of the enumerated values "
+                    f"{enumerations!r}"
+                )
+            return None
+
+        checks.append(check_enumeration)
     for facet in facets:
         if facet.kind == "enumeration":
             continue
-        problem = _check_single_facet(facet, value, numeric)
-        if problem is not None:
-            problems.append(problem)
-    return problems
+        checks.append(_compile_single_facet(facet, base, numeric))
+
+    def run(value: str) -> list[str]:
+        problems = []
+        for check in checks:
+            problem = check(value)
+            if problem is not None:
+                problems.append(problem)
+        return problems
+
+    return run
 
 
-def _check_single_facet(facet: Facet, value: str, numeric: bool) -> str | None:
-    if facet.kind == "pattern":
-        if re.fullmatch(facet.value, value) is None:
-            return f"value {value!r} does not match pattern {facet.value!r}"
-        return None
-    if facet.kind == "length" and len(value) != int(facet.value):
-        return f"value {value!r} length {len(value)} != {facet.value}"
-    if facet.kind == "minLength" and len(value) < int(facet.value):
-        return f"value {value!r} shorter than minLength {facet.value}"
-    if facet.kind == "maxLength" and len(value) > int(facet.value):
-        return f"value {value!r} longer than maxLength {facet.value}"
-    if facet.kind in ("minInclusive", "maxInclusive", "minExclusive", "maxExclusive"):
-        try:
-            number = float(value) if numeric else None
-        except ValueError:
-            return f"value {value!r} is not numeric for facet {facet.kind}"
-        if number is None:
-            return None  # range facets on non-numeric bases are out of subset
-        bound = float(facet.value)
-        if facet.kind == "minInclusive" and number < bound:
-            return f"value {value} < minInclusive {facet.value}"
-        if facet.kind == "maxInclusive" and number > bound:
-            return f"value {value} > maxInclusive {facet.value}"
-        if facet.kind == "minExclusive" and number <= bound:
-            return f"value {value} <= minExclusive {facet.value}"
-        if facet.kind == "maxExclusive" and number >= bound:
-            return f"value {value} >= maxExclusive {facet.value}"
-        return None
-    if facet.kind == "totalDigits":
-        digits = sum(1 for ch in value if ch.isdigit())
-        if digits > int(facet.value):
-            return f"value {value!r} has more than {facet.value} digits"
-    if facet.kind == "fractionDigits":
-        _, _, fraction = value.partition(".")
-        if len(fraction) > int(facet.value):
-            return f"value {value!r} has more than {facet.value} fraction digits"
-    return None
+def _compile_single_facet(
+    facet: Facet, base: QName, numeric: bool
+) -> Callable[[str], str | None]:
+    kind = facet.kind
+    if kind == "pattern":
+        program = re.compile(facet.value)
+
+        def check_pattern(value: str) -> str | None:
+            if program.fullmatch(value) is None:
+                return f"value {value!r} does not match pattern {facet.value!r}"
+            return None
+
+        return check_pattern
+    if kind in ("length", "minLength", "maxLength"):
+        limit = int(facet.value)
+
+        def check_length(value: str) -> str | None:
+            length = measured_length(value, base)
+            if kind == "length" and length != limit:
+                return f"value {value!r} length {length} != {facet.value}"
+            if kind == "minLength" and length < limit:
+                return f"value {value!r} shorter than minLength {facet.value}"
+            if kind == "maxLength" and length > limit:
+                return f"value {value!r} longer than maxLength {facet.value}"
+            return None
+
+        return check_length
+    if kind in ("minInclusive", "maxInclusive", "minExclusive", "maxExclusive"):
+        if not numeric:
+            # Range facets on non-numeric bases are out of subset.
+            return lambda value: None
+        bound = _to_decimal(facet.value)
+
+        def check_range(value: str) -> str | None:
+            number = _to_decimal(value)
+            if number is None:
+                return f"value {value!r} is not numeric for facet {kind}"
+            if bound is None or number.is_nan() or bound.is_nan():
+                # NaN (and an unparseable bound) is incomparable: no
+                # ordering facet can hold or fail, mirroring IEEE 754.
+                return None
+            if kind == "minInclusive" and number < bound:
+                return f"value {value} < minInclusive {facet.value}"
+            if kind == "maxInclusive" and number > bound:
+                return f"value {value} > maxInclusive {facet.value}"
+            if kind == "minExclusive" and number <= bound:
+                return f"value {value} <= minExclusive {facet.value}"
+            if kind == "maxExclusive" and number >= bound:
+                return f"value {value} >= maxExclusive {facet.value}"
+            return None
+
+        return check_range
+    if kind == "totalDigits":
+        limit = int(facet.value)
+
+        def check_total_digits(value: str) -> str | None:
+            digits = sum(1 for ch in value if ch.isdigit())
+            if digits > limit:
+                return f"value {value!r} has more than {facet.value} digits"
+            return None
+
+        return check_total_digits
+    if kind == "fractionDigits":
+        limit = int(facet.value)
+
+        def check_fraction_digits(value: str) -> str | None:
+            _, _, fraction = value.partition(".")
+            if len(fraction) > limit:
+                return f"value {value!r} has more than {facet.value} fraction digits"
+            return None
+
+        return check_fraction_digits
+    return lambda value: None

@@ -7,7 +7,9 @@ from repro.xsd.components import XSD_NS, Facet
 from repro.xsd.datatypes import (
     check_builtin,
     check_facets,
+    compile_facets,
     is_builtin,
+    measured_length,
     normalize_whitespace,
 )
 
@@ -146,3 +148,156 @@ class TestFacets:
     def test_range_facet_on_garbage_value(self):
         problems = check_facets([Facet("minInclusive", "0")], "abc", _q("integer"))
         assert problems
+
+
+class TestCalendarLexicals:
+    """Regression tests: impossible dates and clock fields must be rejected."""
+
+    @pytest.mark.parametrize(
+        "local,value",
+        [
+            ("date", "2024-02-29"),  # leap year
+            ("date", "2000-02-29"),  # divisible by 400: leap
+            ("date", "2024-04-30"),
+            ("date", "2024-12-31"),
+            ("date", "-0001-01-01"),  # proleptic negative year
+            ("date", "20024-02-29"),  # five-digit leap year
+            ("date", "2024-02-29+14:00"),  # maximum timezone offset
+            ("time", "00:00:00"),
+            ("time", "23:59:59"),
+            ("time", "24:00:00"),  # XSD end-of-day
+            ("time", "24:00:00.000"),
+            ("time", "10:30:00-14:00"),
+            ("dateTime", "2024-02-29T23:59:59Z"),
+            ("gYearMonth", "2024-12"),
+        ],
+    )
+    def test_valid_calendar_values(self, local, value):
+        assert check_builtin(_q(local), value), f"{value!r} should be a valid {local}"
+
+    @pytest.mark.parametrize(
+        "local,value",
+        [
+            ("date", "2024-02-31"),  # February never has 31 days
+            ("date", "2023-02-29"),  # not a leap year
+            ("date", "2100-02-29"),  # divisible by 100, not 400: not leap
+            ("date", "2024-04-31"),  # April has 30 days
+            ("date", "2024-06-31"),
+            ("date", "0000-01-01"),  # year zero prohibited in XSD 1.0
+            ("date", "-0000-01-01"),
+            ("date", "-0001-02-29"),  # -1 is not a leap year proleptically
+            ("date", "2024-01-01+15:00"),  # offset beyond +-14:00
+            ("date", "2024-01-01+14:30"),
+            ("time", "29:99:99"),  # the _TIME_RE bug: all fields out of range
+            ("time", "24:00:01"),  # only exactly 24:00:00 is allowed
+            ("time", "24:30:00"),
+            ("time", "24:00:00.5"),
+            ("time", "10:60:00"),
+            ("time", "10:30:60"),
+            ("dateTime", "2023-02-29T10:00:00"),
+            ("dateTime", "2024-01-01T25:00:00"),
+            ("gYear", "0000"),
+            ("gYearMonth", "2007-13"),  # month out of range
+            ("gYearMonth", "0000-01"),
+        ],
+    )
+    def test_invalid_calendar_values(self, local, value):
+        assert not check_builtin(_q(local), value), f"{value!r} should be an invalid {local}"
+
+
+class TestExactRangeFacets:
+    """Regression tests: range facets must not round through float."""
+
+    def test_long_boundary_exact(self):
+        # 2**63 rounds to the same float as 2**63 - 1, so the old
+        # float-based comparison let it slip past maxInclusive.
+        facets = [Facet("maxInclusive", "9223372036854775807")]
+        assert check_facets(facets, "9223372036854775807", _q("integer")) == []
+        assert check_facets(facets, "9223372036854775808", _q("integer"))
+
+    def test_long_lower_boundary_exact(self):
+        facets = [Facet("minInclusive", "-9223372036854775808")]
+        assert check_facets(facets, "-9223372036854775808", _q("integer")) == []
+        assert check_facets(facets, "-9223372036854775809", _q("integer"))
+
+    def test_unsigned_long_boundary_exact(self):
+        facets = [Facet("maxInclusive", "18446744073709551615")]
+        assert check_facets(facets, "18446744073709551615", _q("integer")) == []
+        assert check_facets(facets, "18446744073709551616", _q("integer"))
+
+    def test_high_precision_decimal(self):
+        facets = [Facet("maxInclusive", "1.00000000000000000001")]
+        assert check_facets(facets, "1.00000000000000000001", _q("decimal")) == []
+        assert check_facets(facets, "1.00000000000000000002", _q("decimal"))
+
+    def test_exclusive_boundaries_exact(self):
+        facets = [Facet("maxExclusive", "9223372036854775808")]
+        assert check_facets(facets, "9223372036854775807", _q("integer")) == []
+        assert check_facets(facets, "9223372036854775808", _q("integer"))
+
+    def test_float_specials_keep_ordering(self):
+        facets = [Facet("maxInclusive", "100")]
+        assert check_facets(facets, "INF", _q("double"))
+        assert check_facets(facets, "-INF", _q("double")) == []
+        # NaN is incomparable: range facets neither hold nor fail.
+        assert check_facets(facets, "NaN", _q("double")) == []
+
+
+class TestBinaryLengths:
+    """Regression tests: binary length facets measure decoded octets."""
+
+    def test_measured_length_hex(self):
+        assert measured_length("53616d", _q("hexBinary")) == 3
+
+    def test_measured_length_base64(self):
+        assert measured_length("U2FtcGxl", _q("base64Binary")) == 6  # "Sample"
+        assert measured_length("U28=", _q("base64Binary")) == 2  # one pad char
+        assert measured_length("Uw==", _q("base64Binary")) == 1  # two pad chars
+        assert measured_length("U2Ft cGxl", _q("base64Binary")) == 6  # whitespace
+
+    def test_measured_length_string_unchanged(self):
+        assert measured_length("53616d", _q("string")) == 6
+
+    def test_hex_length_facet_in_octets(self):
+        facets = [Facet("length", "3")]
+        assert check_facets(facets, "53616d", _q("hexBinary")) == []
+        assert check_facets(facets, "5361", _q("hexBinary"))
+
+    def test_base64_length_facets_in_octets(self):
+        assert check_facets([Facet("length", "6")], "U2FtcGxl", _q("base64Binary")) == []
+        assert check_facets([Facet("minLength", "2")], "Uw==", _q("base64Binary"))
+        assert check_facets([Facet("maxLength", "2")], "U2FtcGxl", _q("base64Binary"))
+        assert check_facets([Facet("maxLength", "6")], "U2FtcGxl", _q("base64Binary")) == []
+
+    def test_length_message_reports_octets(self):
+        problems = check_facets([Facet("length", "4")], "53616d", _q("hexBinary"))
+        assert problems == ["value '53616d' length 3 != 4"]
+
+
+class TestCompiledFacets:
+    """compile_facets must agree with check_facets byte-for-byte."""
+
+    CASES = [
+        ([Facet("enumeration", "A"), Facet("enumeration", "B")], _q("token"), ["A", "C", ""]),
+        ([Facet("pattern", "[A-Z]{3}")], _q("token"), ["USD", "usd", "USDX"]),
+        ([Facet("length", "3"), Facet("pattern", "[a-z]+")], _q("string"), ["abc", "ab", "ABC"]),
+        ([Facet("minInclusive", "0"), Facet("maxInclusive", "10")], _q("integer"),
+         ["-1", "0", "5", "10", "11", "abc"]),
+        ([Facet("totalDigits", "3"), Facet("fractionDigits", "1")], _q("decimal"),
+         ["1.2", "12.34", "1234"]),
+        ([Facet("length", "3")], _q("hexBinary"), ["53616d", "5361"]),
+        ([Facet("maxInclusive", "9223372036854775807")], _q("integer"),
+         ["9223372036854775807", "9223372036854775808"]),
+    ]
+
+    @pytest.mark.parametrize("facets,base,values", CASES)
+    def test_equivalent_to_check_facets(self, facets, base, values):
+        compiled = compile_facets(facets, base)
+        for value in values:
+            assert compiled(value) == check_facets(facets, value, base)
+
+    def test_checker_is_reusable(self):
+        compiled = compile_facets([Facet("pattern", r"\d+")], _q("token"))
+        assert compiled("123") == []
+        assert compiled("abc") != []
+        assert compiled("456") == []

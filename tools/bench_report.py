@@ -54,6 +54,7 @@ from repro.catalog import build_easybiz_model  # noqa: E402
 from repro.xsdgen import GenerationCache, GenerationOptions, SchemaGenerator  # noqa: E402
 
 ROOT_NAME = "HoardingPermit"
+INSTANCE_CORPUS_SIZE = 200
 
 
 def _timed(fn, repeats: int) -> tuple[float, object]:
@@ -104,12 +105,65 @@ def _arms() -> list[tuple[str, object]]:
     return [("cold", cold), ("warm_cache", warm), ("parallel_jobs4", parallel)]
 
 
+def _instance_arms(corpus_root: Path) -> list[tuple[str, object]]:
+    """Instance-validation arms over a generated 200-document corpus.
+
+    Mirrors ``benchmarks/bench_instance_throughput.py``: the uncompiled
+    serial path is the baseline the compiled/parallel arms are graded
+    against (the ISSUE-7 acceptance bar is compiled+parallel >= 3x).
+    """
+    from repro.instances import InstanceGenerator, ValidationPipeline, add_unknown_child
+    from repro.xmlutil.writer import XmlWriter
+
+    catalog = build_easybiz_model()
+    result = SchemaGenerator(catalog.model, GenerationOptions()).generate(
+        catalog.doc_library, root=ROOT_NAME
+    )
+    schema_set = result.schema_set()
+    corpus = corpus_root / "instance_corpus"
+    corpus.mkdir(parents=True, exist_ok=True)
+    writer = XmlWriter()
+    for index in range(INSTANCE_CORPUS_SIZE):
+        generator = InstanceGenerator(
+            schema_set, fill_optional=True, repeat_unbounded=3 + index % 3
+        )
+        document = generator.generate(ROOT_NAME)
+        if index % 40 == 39:
+            add_unknown_child(document)
+        (corpus / f"doc{index:04d}.xml").write_text(
+            writer.to_string(document), encoding="utf-8"
+        )
+
+    def arm(engine: str, jobs: int):
+        pipeline = ValidationPipeline(schema_set, engine=engine, jobs=jobs)
+        return lambda: pipeline.run(corpus)
+
+    return [
+        ("validate_interpreted_serial", arm("interpreted", 1)),
+        ("validate_compiled_serial", arm("compiled", 1)),
+        ("validate_compiled_jobs4", arm("compiled", 4)),
+    ]
+
+
+def _instance_arm_stats(report) -> dict:
+    return {"docs": report.docs_total, "invalid": report.docs_invalid}
+
+
 def run_report(repeats: int) -> dict:
     """Measure all arms; returns the JSON-ready report."""
+    import tempfile
+
     arms = {}
     for name, fn in _arms():
         median_s, result = _timed(fn, repeats)
         arms[name] = {"median_ms": round(median_s * 1000.0, 3), **_arm_stats(result)}
+    with tempfile.TemporaryDirectory(prefix="bench_instances_") as corpus_root:
+        for name, fn in _instance_arms(Path(corpus_root)):
+            median_s, result = _timed(fn, repeats)
+            arms[name] = {
+                "median_ms": round(median_s * 1000.0, 3),
+                **_instance_arm_stats(result),
+            }
     return {
         "benchmark": "end_to_end_generation",
         "catalog": "easybiz",
@@ -126,6 +180,8 @@ def write_profile(path: Path, format: str) -> dict:
     Runs *after* the timed passes so tracing overhead never touches the
     reported medians.
     """
+    import tempfile
+
     import repro.obs as obs
     from repro.obs.prof import profile_from_tracer
 
@@ -133,6 +189,9 @@ def write_profile(path: Path, format: str) -> dict:
     try:
         for _, fn in _arms():
             fn()
+        with tempfile.TemporaryDirectory(prefix="bench_instances_") as corpus_root:
+            for _, fn in _instance_arms(Path(corpus_root)):
+                fn()
         profile = profile_from_tracer(tracer)
         path.write_text(profile.render(format, top=40) + "\n", encoding="utf-8")
     finally:
@@ -203,10 +262,16 @@ def main(argv: list[str] | None = None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     for name, arm in report["arms"].items():
-        print(
-            f"{name}: {arm['median_ms']:.3f}ms median, {arm['schemas']} schema(s), "
-            f"{arm['bytes']} bytes, {arm['provenance_records']} provenance record(s)"
-        )
+        if "docs" in arm:
+            print(
+                f"{name}: {arm['median_ms']:.3f}ms median, {arm['docs']} doc(s), "
+                f"{arm['invalid']} invalid"
+            )
+        else:
+            print(
+                f"{name}: {arm['median_ms']:.3f}ms median, {arm['schemas']} schema(s), "
+                f"{arm['bytes']} bytes, {arm['provenance_records']} provenance record(s)"
+            )
     print(f"wrote {out}")
     if not args.no_history:
         history = Path(args.history)
