@@ -24,6 +24,7 @@
     upcc reverse schemas/ --out reconstructed.xmi
     upcc diff a.xmi b.xmi
     upcc compat old-schemas/ new-schemas/
+    upcc serve --port 8437 --workers 8            # warm-cache HTTP daemon
     upcc stats [easybiz|ecommerce] [--json]       # trace/metric report
     upcc profile easybiz --runs 10                # call-tree hot-path table
     upcc profile easybiz --profile-format collapsed \
@@ -520,6 +521,34 @@ def _cmd_check_instance(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the warm-cache HTTP daemon until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from repro.serve import ServeApp, ServeConfig, UpccServer
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=max(1, args.workers),
+        queue_size=max(1, args.queue_size),
+        timeout_s=args.timeout,
+        drain_timeout_s=args.drain_timeout,
+    )
+    server = UpccServer(ServeApp(cache_dir=args.cache_dir), config)
+    server.start()
+    print(f"listening on {server.url}", flush=True)
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda _signum, _frame: stop.set())
+    stop.wait()
+    print("draining...", flush=True)
+    clean = server.drain()
+    print(f"drained {'cleanly' if clean else 'with leftovers'}", flush=True)
+    return 0 if clean else 1
+
+
 def _cmd_validate_instances(args: argparse.Namespace) -> int:
     import json as json_module
 
@@ -734,6 +763,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop at the first invalid document (forces serial execution)",
     )
     validate_instances.set_defaults(func=_cmd_validate_instances)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the long-running HTTP daemon (generate/validate/explain "
+        "with process-warm caches)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="port to listen on (default 0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, metavar="K",
+        help="worker threads handling queued requests (default 4)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64, metavar="N",
+        help="bounded request queue; overflow is rejected with 503 + "
+        "Retry-After (default 64)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request ceiling before the client gets a 504 (default 30)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-drain budget on SIGTERM/SIGINT (default 10)",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist the generation cache to DIR (shared with "
+        "'upcc generate --cache-dir')",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     check = commands.add_parser("check-instance", help="validate an XML instance")
     check.add_argument("schemas", help="directory of generated schemas")

@@ -241,6 +241,25 @@ class ValidationPipeline:
             self._docs_invalid.inc()
         return report
 
+    def validate_string(self, text: str, label: str) -> DocumentReport:
+        """Validate one in-memory document; the fault-isolated twin of
+        :meth:`validate_path` for callers (e.g. ``upcc serve``) whose
+        documents arrive over the wire instead of from disk."""
+        started = time.perf_counter()
+        with span("instances.validate", document=label, engine=self.engine):
+            try:
+                problems = self.validate_text(text)
+            except ReproError as error:
+                report = DocumentReport(path=label, ok=False, error=str(error))
+            else:
+                report = DocumentReport(path=label, ok=not problems, problems=problems)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self._validate_ms.observe(elapsed_ms)
+        self._docs_total.inc()
+        if not report.ok:
+            self._docs_invalid.inc()
+        return report
+
     # -- batches ---------------------------------------------------------------
 
     def run(self, corpus: str | Path) -> BatchReport:
@@ -263,6 +282,35 @@ class ValidationPipeline:
         return BatchReport(
             documents=reports,
             jobs=self.jobs,
+            engine=self.engine,
+            elapsed_ms=elapsed_ms,
+        )
+
+    def run_strings(self, documents: list[tuple[str, str]]) -> BatchReport:
+        """Validate ``(name, xml text)`` pairs; the in-memory twin of :meth:`run`.
+
+        Always serial: the serving layer calls this once per request from a
+        worker thread that is already one lane of a pool, so fanning out
+        again would oversubscribe the process.
+        """
+        started = time.perf_counter()
+        with span(
+            "instances.batch",
+            corpus="<memory>",
+            documents=len(documents),
+            jobs=1,
+            engine=self.engine,
+        ):
+            reports: list[DocumentReport] = []
+            for name, text in documents:
+                report = self.validate_string(text, name)
+                reports.append(report)
+                if self.fail_fast and not report.ok:
+                    break
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        return BatchReport(
+            documents=reports,
+            jobs=1,
             engine=self.engine,
             elapsed_ms=elapsed_ms,
         )

@@ -1,0 +1,31 @@
+"""Long-running ``upcc serve`` daemon: warm-cache HTTP schema services.
+
+The paper's pipeline -- model in, schemas out, instances validated -- is
+batch-shaped, but the workload it describes (partners continuously
+exchanging business documents) is a *service*.  This package turns the
+pipeline into one process that stays warm:
+
+* :class:`~repro.serve.app.ServeApp` -- endpoint logic sharing the
+  process-wide generation and compilation caches plus a parsed-model LRU
+  and a fingerprint-keyed schema-set registry,
+* :class:`~repro.serve.server.UpccServer` /
+  :class:`~repro.serve.server.ServeConfig` -- the stdlib HTTP daemon:
+  bounded worker pool, 503 backpressure, per-request timeouts, graceful
+  drain with zero dropped responses,
+* :mod:`repro.serve.loadgen` -- the stdlib load generator driving the
+  throughput benchmark and the CI smoke test.
+
+Endpoints: ``POST /generate``, ``POST /validate``, ``GET /explain``,
+``GET /stats``, ``GET /healthz``.  See the README's "Running as a
+service" section for the wire formats.
+"""
+
+from repro.serve.app import SchemaSetEntry, ServeApp
+from repro.serve.server import ServeConfig, UpccServer
+
+__all__ = [
+    "SchemaSetEntry",
+    "ServeApp",
+    "ServeConfig",
+    "UpccServer",
+]

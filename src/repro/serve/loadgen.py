@@ -1,0 +1,275 @@
+"""Stdlib load generator for the ``upcc serve`` daemon.
+
+Drives concurrent request streams against a running server and reports
+throughput (req/s) and tail latency (p50/p95/p99).  Doubles as:
+
+* the CI smoke driver -- ``python -m repro.serve.loadgen --url URL
+  --requests 50 --concurrency 8`` boots its own easybiz workload (one
+  ``/generate``, then a barrage of ``/validate``) against an already
+  running server and exits non-zero on any dropped response, and
+* the measurement core of ``benchmarks/bench_serve_throughput.py`` and
+  the ``serve_validate`` arm of ``tools/bench_report.py`` (via
+  :func:`run_load`).
+
+Each worker thread holds one keep-alive :class:`http.client.HTTPConnection`
+and replays the request loop; ``503`` (backpressure) responses are retried
+with a short linear backoff and counted separately -- a load test that
+outruns the queue is *supposed* to see 503s, and the report distinguishes
+"shed and retried" from "failed".
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+__all__ = ["LoadResult", "request_json", "run_load", "main"]
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one load run."""
+
+    requests: int  #: responses received (any status)
+    ok: int  #: 2xx responses
+    retried_503: int  #: backpressure shed-and-retry events
+    failed: int  #: non-2xx final outcomes (incl. exhausted retries)
+    dropped: int  #: requests that got *no* response (connection died)
+    elapsed_s: float
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th latency percentile in ms (q in 0..100); 0 when empty."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+        return ordered[index]
+
+    def to_json(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "retried_503": self.retried_503,
+            "failed": self.failed,
+            "dropped": self.dropped,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "rps": round(self.rps, 1),
+            "p50_ms": round(self.percentile(50), 3),
+            "p95_ms": round(self.percentile(95), 3),
+            "p99_ms": round(self.percentile(99), 3),
+        }
+
+
+def request_json(
+    url: str,
+    path: str,
+    payload: dict | None = None,
+    *,
+    method: str | None = None,
+    timeout_s: float = 60.0,
+) -> tuple[int, dict]:
+    """One JSON request on a fresh connection; ``(status, parsed body)``."""
+    parts = urlsplit(url)
+    connection = http.client.HTTPConnection(
+        parts.hostname, parts.port, timeout=timeout_s
+    )
+    try:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        connection.request(
+            method or ("POST" if payload is not None else "GET"),
+            path,
+            body=body,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+def run_load(
+    url: str,
+    path: str,
+    payload: dict,
+    *,
+    requests: int,
+    concurrency: int,
+    timeout_s: float = 60.0,
+    max_retries: int = 50,
+) -> LoadResult:
+    """Fire ``requests`` POSTs at ``url``+``path`` from ``concurrency`` threads.
+
+    Every worker reuses one keep-alive connection; 503 responses back off
+    (5 ms * attempt) and retry up to ``max_retries`` times.  The payload is
+    serialized once -- the wire bytes are identical across requests, so
+    the server's warm paths are exercised, not JSON encoding.
+    """
+    parts = urlsplit(url)
+    body = json.dumps(payload).encode("utf-8")
+    headers = {"Content-Type": "application/json"}
+    lock = threading.Lock()
+    counters = {"ok": 0, "retried": 0, "failed": 0, "dropped": 0, "responses": 0}
+    latencies: list[float] = []
+    remaining = iter(range(requests))
+
+    def next_request() -> bool:
+        with lock:
+            return next(remaining, None) is not None
+
+    def worker() -> None:
+        connection = http.client.HTTPConnection(
+            parts.hostname, parts.port, timeout=timeout_s
+        )
+        try:
+            while next_request():
+                started = time.perf_counter()
+                status = None
+                for attempt in range(max_retries + 1):
+                    try:
+                        connection.request("POST", path, body=body, headers=headers)
+                        response = connection.getresponse()
+                        response.read()
+                        status = response.status
+                    except (OSError, http.client.HTTPException):
+                        # The server never drops an admitted request, so a
+                        # dead connection here is a real finding; reconnect
+                        # for the next request but record the drop.
+                        connection.close()
+                        connection = http.client.HTTPConnection(
+                            parts.hostname, parts.port, timeout=timeout_s
+                        )
+                        break
+                    if status != 503:
+                        break
+                    with lock:
+                        counters["retried"] += 1
+                    time.sleep(0.005 * (attempt + 1))
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                with lock:
+                    if status is None:
+                        counters["dropped"] += 1
+                        continue
+                    counters["responses"] += 1
+                    latencies.append(elapsed_ms)
+                    if 200 <= status < 300:
+                        counters["ok"] += 1
+                    else:
+                        counters["failed"] += 1
+        finally:
+            connection.close()
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{index}", daemon=True)
+        for index in range(max(1, concurrency))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed_s = time.perf_counter() - started
+    return LoadResult(
+        requests=counters["responses"],
+        ok=counters["ok"],
+        retried_503=counters["retried"],
+        failed=counters["failed"],
+        dropped=counters["dropped"],
+        elapsed_s=elapsed_s,
+        latencies_ms=latencies,
+    )
+
+
+def _easybiz_workload(url: str, documents: int) -> tuple[str, dict]:
+    """Register the easybiz schemas on the server; a ready /validate payload.
+
+    Builds the catalog model in-process, POSTs it to ``/generate``, derives
+    a sample instance from the returned schemas, and returns ``(schema set
+    id, validate payload)`` -- everything the barrage needs.
+    """
+    from repro.catalog import build_easybiz_model
+    from repro.instances import InstanceGenerator
+    from repro.xmi import write_xmi
+    from repro.xsd.parser import parse_schema
+    from repro.xsd.validator import SchemaSet
+
+    catalog = build_easybiz_model()
+    xmi_text = write_xmi(catalog.model.model, None)
+    status, generated = request_json(
+        url,
+        "/generate",
+        {"xmi": xmi_text, "library": catalog.doc_library.name, "root": "HoardingPermit"},
+    )
+    if status != 200:
+        raise RuntimeError(f"/generate failed with {status}: {generated.get('error')}")
+    schema_set = SchemaSet(
+        [parse_schema(text) for text in generated["schemas"].values()]
+    )
+    instance = InstanceGenerator(schema_set).generate_string("HoardingPermit")
+    payload = {
+        "schema_set": generated["schema_set"],
+        "documents": [
+            {"name": f"doc{index}.xml", "xml": instance} for index in range(documents)
+        ],
+    }
+    return generated["schema_set"], payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: self-contained easybiz load run against a live server."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="drive load against a running upcc serve daemon",
+    )
+    parser.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8437")
+    parser.add_argument("--requests", type=int, default=100, help="total /validate requests (default 100)")
+    parser.add_argument("--concurrency", type=int, default=8, help="worker threads (default 8)")
+    parser.add_argument("--documents", type=int, default=4, help="instance documents per request (default 4)")
+    parser.add_argument("--timeout", type=float, default=60.0, help="per-request timeout in seconds")
+    parser.add_argument("--json", action="store_true", help="emit the result as JSON")
+    args = parser.parse_args(argv)
+
+    status, health = request_json(args.url, "/healthz", timeout_s=args.timeout)
+    if status != 200:
+        print(f"error: {args.url}/healthz returned {status}: {health}", file=sys.stderr)
+        return 1
+    _set_id, payload = _easybiz_workload(args.url, max(1, args.documents))
+    result = run_load(
+        args.url,
+        "/validate",
+        payload,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        timeout_s=args.timeout,
+    )
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        summary = result.to_json()
+        print(
+            f"{summary['requests']} responses in {summary['elapsed_s']}s "
+            f"({summary['rps']} req/s); ok={summary['ok']} failed={summary['failed']} "
+            f"dropped={summary['dropped']} retried_503={summary['retried_503']}"
+        )
+        print(
+            f"latency ms: p50={summary['p50_ms']} p95={summary['p95_ms']} "
+            f"p99={summary['p99_ms']}"
+        )
+    if result.dropped or result.failed or result.ok != args.requests:
+        print("error: load run saw failed or dropped responses", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

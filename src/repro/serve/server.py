@@ -1,0 +1,454 @@
+"""The ``upcc serve`` HTTP daemon: worker pool, backpressure, graceful drain.
+
+Stdlib only.  A :class:`ThreadingHTTPServer` accepts connections; each
+connection thread parses the request and -- for the work endpoints
+(``/generate``, ``/validate``, ``/explain``) -- enqueues a :class:`_Job`
+onto a *bounded* queue consumed by ``workers`` long-lived worker threads,
+then waits (with the per-request timeout) for the job's done-event.  This
+decouples concurrency admission from connection count:
+
+* queue full           -> immediate ``503`` with ``Retry-After`` (backpressure),
+* job waited too long  -> ``504``; the job is flagged abandoned so a worker
+  never burns CPU on a response nobody is waiting for,
+* draining             -> new work gets ``503``, queued work still completes.
+
+``/healthz`` and ``/stats`` are answered inline on the connection thread so
+they stay responsive while the pool is saturated -- exactly when an
+operator needs them.
+
+Graceful drain (:meth:`UpccServer.drain`, wired to ``SIGTERM``/``SIGINT``
+by the CLI): stop admitting work, let the queue and in-flight jobs finish,
+stop the workers, then shut the listener down.  Connection threads are
+non-daemon and ``server_close`` joins them, so every admitted request gets
+its response bytes written before the process exits -- zero dropped
+responses, asserted by ``tests/test_serve.py``.
+
+Observability: every request runs under a ``serve.request`` span (the
+worker executes the job inside the connection thread's snapshot of the
+trace context, so pipeline child spans parent under it across the thread
+hop) and records ``serve.requests_total{endpoint=..}``,
+``serve.request_ms{endpoint=..}``, ``serve.queue_depth`` and
+``serve.rejected_total{reason=..}``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import queue
+import select
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.logging_bridge import get_logger
+from repro.obs.metrics import counter, gauge, histogram
+from repro.obs.trace import span
+from repro.serve.app import ServeApp
+
+__all__ = ["ServeConfig", "UpccServer"]
+
+_log = get_logger("repro.serve")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one server instance (all have serving-friendly defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = ephemeral; read the bound port from ``UpccServer.port``
+    workers: int = 4
+    queue_size: int = 64
+    timeout_s: float = 30.0  #: per-request ceiling before the client gets a 504
+    drain_timeout_s: float = 10.0
+    max_body_bytes: int = 32 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("ServeConfig needs workers >= 1")
+        if self.queue_size < 1:
+            raise ValueError("ServeConfig needs queue_size >= 1")
+
+
+class _Job:
+    """One unit of queued work plus its completion handshake.
+
+    The connection thread waits on ``done``; the worker publishes
+    ``result`` then sets it.  ``abandon()`` (called when the wait times
+    out) wins any race with ``claim()`` (called by the worker before
+    executing), so a timed-out job is either never run or its result is
+    discarded -- but never both executed *and* re-queued.
+    """
+
+    __slots__ = ("endpoint", "fn", "context", "done", "result", "_state", "_lock")
+
+    def __init__(self, endpoint: str, fn: Callable[[], tuple[int, dict]]) -> None:
+        self.endpoint = endpoint
+        self.fn = fn
+        # Snapshot the caller's trace context at enqueue time so the
+        # worker's child spans parent under this request's serve.request.
+        self.context = contextvars.copy_context()
+        self.done = threading.Event()
+        self.result: tuple[int, dict] | None = None
+        self._state = "queued"
+        self._lock = threading.Lock()
+
+    def claim(self) -> bool:
+        """Worker-side: take the job; False if the client already gave up."""
+        with self._lock:
+            if self._state != "queued":
+                return False
+            self._state = "running"
+            return True
+
+    def abandon(self) -> bool:
+        """Client-side: give up on the job; False if a worker already has it."""
+        with self._lock:
+            if self._state != "queued":
+                return False
+            self._state = "abandoned"
+            return True
+
+    def finish(self, result: tuple[int, dict]) -> None:
+        self.result = result
+        self.done.set()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Connection-thread side: routing, framing, admission control."""
+
+    protocol_version = "HTTP/1.1"
+    # Backstop so an idle keep-alive (or dead) client can't pin its
+    # connection thread forever -- drain joins these threads.
+    timeout = 5
+    server_version = "upcc-serve"
+    sys_version = ""
+
+    @property
+    def upcc(self) -> "UpccServer":
+        return self.server.upcc_server  # type: ignore[attr-defined]
+
+    # Route BaseHTTPRequestHandler's stderr chatter through the obs logger.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        _log.debug("%s %s", self.address_string(), format % args)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        url = urlsplit(self.path)
+        if url.path == "/healthz":
+            self._respond_inline("healthz", self.upcc.app.health(self.upcc.draining))
+        elif url.path == "/stats":
+            self._respond_inline("stats", self.upcc.app.stats())
+        elif url.path == "/explain":
+            params = {
+                key: values[0] for key, values in parse_qs(url.query).items()
+            }
+            self._dispatch("explain", lambda: self.upcc.app.explain(params))
+        else:
+            self._send(404, {"error": f"no such endpoint: GET {url.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        url = urlsplit(self.path)
+        if url.path == "/generate":
+            endpoint, handler = "generate", self.upcc.app.generate
+        elif url.path == "/validate":
+            endpoint, handler = "validate", self.upcc.app.validate
+        else:
+            self._send(404, {"error": f"no such endpoint: POST {url.path}"})
+            return
+        try:
+            payload = self._read_json()
+        except _BadRequest as error:
+            self._count(endpoint)
+            self._send(error.status, {"error": str(error)})
+            return
+        self._dispatch(endpoint, lambda: handler(payload))
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _read_json(self) -> Any:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            raise _BadRequest(411, "Content-Length required") from None
+        if length > self.upcc.config.max_body_bytes:
+            raise _BadRequest(
+                413, f"request body exceeds {self.upcc.config.max_body_bytes} bytes"
+            )
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _BadRequest(400, f"request body is not valid JSON: {error}") from None
+
+    def _respond_inline(self, endpoint: str, result: tuple[int, dict]) -> None:
+        """Answer on the connection thread (healthz/stats never queue)."""
+        started = time.perf_counter()
+        with span("serve.request", endpoint=endpoint) as request_span:
+            status, payload = result
+            request_span.set(status=status)
+        self._count(endpoint, started)
+        self._send(status, payload)
+
+    def _dispatch(self, endpoint: str, fn: Callable[[], tuple[int, dict]]) -> None:
+        """Admit work onto the queue and wait for (or give up on) its result."""
+        upcc = self.upcc
+        started = time.perf_counter()
+        with span("serve.request", endpoint=endpoint) as request_span:
+            status, payload = upcc.submit(endpoint, fn)
+            request_span.set(status=status)
+        self._count(endpoint, started)
+        headers = {"Retry-After": "1"} if status == 503 else None
+        self._send(status, payload, headers)
+
+    def _count(self, endpoint: str, started: float | None = None) -> None:
+        counter("serve.requests_total", endpoint=endpoint).inc()
+        if started is not None:
+            histogram("serve.request_ms", endpoint=endpoint).observe(
+                (time.perf_counter() - started) * 1000.0
+            )
+
+    def _send(
+        self, status: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        if self.upcc.draining:
+            # Nudge keep-alive clients off so drain's thread joins finish.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class _BadRequest(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _HttpServer(ThreadingHTTPServer):
+    # Non-daemon connection threads + block_on_close: server_close() joins
+    # them, so drain cannot finish before every response is written.
+    daemon_threads = False
+    block_on_close = True
+    # The default listen(5) backlog rejects bursts the bounded queue is
+    # designed to absorb (as 503s); admit the burst, answer it properly.
+    request_queue_size = 128
+    upcc_server: "UpccServer"
+
+
+class UpccServer:
+    """The long-running daemon: listener + bounded queue + worker pool.
+
+    Lifecycle: ``start()`` binds and spins everything up (``port`` resolves
+    the ephemeral port); ``drain()`` performs the graceful shutdown and
+    returns whether it completed cleanly within the drain timeout.  Usable
+    as a context manager in tests (``with UpccServer(...) as server:``) --
+    exit drains.
+    """
+
+    def __init__(self, app: ServeApp | None = None, config: ServeConfig | None = None) -> None:
+        self.app = app if app is not None else ServeApp()
+        self.config = config if config is not None else ServeConfig()
+        self.draining = False
+        self._queue: queue.Queue[_Job | None] = queue.Queue(self.config.queue_size)
+        self._inflight = 0
+        self._idle = threading.Condition()
+        self._workers: list[threading.Thread] = []
+        self._serve_thread: threading.Thread | None = None
+        self._httpd: _HttpServer | None = None
+        self._started = False
+        self._queue_depth = gauge("serve.queue_depth")
+        self._rejected_backpressure = counter("serve.rejected_total", reason="backpressure")
+        self._rejected_draining = counter("serve.rejected_total", reason="draining")
+        self._rejected_timeout = counter("serve.rejected_total", reason="timeout")
+        self.app.server_info = self.info
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "UpccServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self._httpd = _HttpServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.upcc_server = self
+        for index in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"upcc-serve-worker-{index}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="upcc-serve-listener",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        _log.info(
+            "serving on http://%s:%d (%d workers, queue %d)",
+            self.host, self.port, self.config.workers, self.config.queue_size,
+        )
+        return self
+
+    def __enter__(self) -> "UpccServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.drain()
+
+    @property
+    def host(self) -> str:
+        assert self._httpd is not None
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral ``port=0`` after ``start``)."""
+        assert self._httpd is not None
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def info(self) -> dict[str, Any]:
+        """Queue/pool facts for ``/stats``."""
+        return {
+            "workers": self.config.workers,
+            "queue_size": self.config.queue_size,
+            "queue_depth": self._queue.qsize(),
+            "inflight": self._inflight,
+            "draining": self.draining,
+        }
+
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Gracefully stop: reject new work, finish admitted work, shut down.
+
+        Returns True when the queue emptied and all in-flight jobs finished
+        within the timeout (``config.drain_timeout_s`` by default); on
+        False the server is still shut down, but some queued jobs were
+        discarded (their clients received 503s at admission, never
+        silence).
+        """
+        if not self._started:
+            return True
+        deadline = time.monotonic() + (
+            self.config.drain_timeout_s if timeout_s is None else timeout_s
+        )
+        self.draining = True
+        clean = True
+        with self._idle:
+            while self._queue.qsize() > 0 or self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._idle.wait(timeout=min(remaining, 0.1)):
+                    if deadline - time.monotonic() <= 0:
+                        clean = False
+                        break
+        for _ in self._workers:
+            # Sentinels wake every worker; queue.put may block briefly if
+            # an unclean drain left the queue full, hence the timeout.
+            try:
+                self._queue.put(None, timeout=0.5)
+            except queue.Full:
+                clean = False
+        for worker in self._workers:
+            worker.join(timeout=max(0.1, deadline - time.monotonic() + 1.0))
+            if worker.is_alive():
+                clean = False
+        assert self._httpd is not None
+        # Empty the TCP accept backlog before closing the listener: a
+        # client whose connect() already succeeded must get a real
+        # response (a 503 from admission), not a reset.  While the
+        # listening socket polls readable there are pending connections;
+        # serve_forever is still running and accepts them.
+        while time.monotonic() < deadline + 1.0:
+            try:
+                pending, _, _ = select.select([self._httpd.socket], [], [], 0.05)
+            except (OSError, ValueError):  # listener already closed
+                break
+            if not pending:
+                break
+            time.sleep(0.02)
+        self._httpd.shutdown()
+        self._httpd.server_close()  # joins connection threads: responses flushed
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        _log.info("drained %s", "cleanly" if clean else "with leftovers")
+        return clean
+
+    # -- work admission --------------------------------------------------------
+
+    def submit(self, endpoint: str, fn: Callable[[], tuple[int, dict]]) -> tuple[int, dict]:
+        """Queue one unit of work and wait for its result (connection thread)."""
+        if self.draining:
+            self._rejected_draining.inc()
+            return 503, {"error": "server is draining"}
+        job = _Job(endpoint, fn)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            self._rejected_backpressure.inc()
+            return 503, {"error": "request queue is full, retry later"}
+        self._queue_depth.set(self._queue.qsize())
+        if job.done.wait(timeout=self.config.timeout_s):
+            assert job.result is not None
+            return job.result
+        if job.abandon():
+            # Never claimed: it will be skipped when a worker dequeues it.
+            with self._idle:
+                self._idle.notify_all()
+            self._rejected_timeout.inc()
+            return 504, {"error": f"request timed out after {self.config.timeout_s}s"}
+        # A worker claimed it while we were giving up; the result is
+        # imminent -- grant a short grace so the work isn't wasted.
+        if job.done.wait(timeout=1.0):
+            assert job.result is not None
+            return job.result
+        self._rejected_timeout.inc()
+        return 504, {"error": f"request timed out after {self.config.timeout_s}s"}
+
+    # -- worker side -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            self._queue_depth.set(self._queue.qsize())
+            if job is None:
+                return
+            if not job.claim():  # client gave up while the job was queued
+                self._job_done()
+                continue
+            with self._idle:
+                self._inflight += 1
+            try:
+                # Run inside the connection thread's context snapshot so
+                # pipeline spans parent under its serve.request span.
+                result = job.context.run(self._execute, job)
+            finally:
+                with self._idle:
+                    self._inflight -= 1
+                self._job_done()
+            job.finish(result)
+
+    def _execute(self, job: _Job) -> tuple[int, dict]:
+        try:
+            return job.fn()
+        except Exception as error:  # noqa: BLE001 -- a worker must survive anything
+            _log.exception("unhandled error serving /%s", job.endpoint)
+            return 500, {"error": f"internal error: {error.__class__.__name__}: {error}"}
+
+    def _job_done(self) -> None:
+        self._queue.task_done()
+        with self._idle:
+            self._idle.notify_all()

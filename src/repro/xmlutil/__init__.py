@@ -13,16 +13,25 @@ byte-for-byte across runs.
 """
 
 from repro.xmlutil.escape import escape_attribute, escape_text, is_valid_xml_name
-from repro.xmlutil.qname import QName, split_qname
+from repro.xmlutil.qname import (
+    XML_NAMESPACE,
+    XMLNS_NAMESPACE,
+    QName,
+    resolve_prefixed,
+    split_qname,
+)
 from repro.xmlutil.writer import XmlElement, XmlWriter, parse_xml
 
 __all__ = [
     "QName",
+    "XML_NAMESPACE",
+    "XMLNS_NAMESPACE",
     "XmlElement",
     "XmlWriter",
     "escape_attribute",
     "escape_text",
     "is_valid_xml_name",
     "parse_xml",
+    "resolve_prefixed",
     "split_qname",
 ]

@@ -21,8 +21,12 @@ _NAME_START = (
 _NAME_CHAR = _NAME_START + "\\-.0-9·̀-ͯ‿-⁀"
 _NAME_RE = re.compile(f"^[{_NAME_START}][{_NAME_CHAR}]*$")
 
-_TEXT_REPLACEMENTS = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
-_ATTR_REPLACEMENTS = _TEXT_REPLACEMENTS + [('"', "&quot;"), ("\n", "&#10;"), ("\t", "&#9;"), ("\r", "&#13;")]
+# Carriage returns must leave as character references even in text content:
+# an XML parser normalizes a literal \r (or \r\n) to \n on input (XML 1.0
+# section 2.11), so writing it raw would break serialize->parse->serialize
+# byte identity.
+_TEXT_REPLACEMENTS = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;"), ("\r", "&#13;")]
+_ATTR_REPLACEMENTS = _TEXT_REPLACEMENTS + [('"', "&quot;"), ("\n", "&#10;"), ("\t", "&#9;")]
 
 
 def escape_text(value: str) -> str:

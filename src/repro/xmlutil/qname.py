@@ -4,6 +4,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: The namespace the ``xml`` prefix is implicitly bound to (Namespaces in
+#: XML 1.0, section 3): it needs no declaration and cannot be rebound.
+XML_NAMESPACE = "http://www.w3.org/XML/1998/namespace"
+
+#: The namespace of namespace declarations themselves.  The ``xmlns``
+#: prefix is reserved: it must never be declared, nor used as an ordinary
+#: element/attribute prefix.
+XMLNS_NAMESPACE = "http://www.w3.org/2000/xmlns/"
+
 
 @dataclass(frozen=True, order=True)
 class QName:
@@ -50,9 +59,17 @@ class QName:
 
 
 def split_qname(text: str) -> tuple[str | None, str]:
-    """Split a prefixed name into ``(prefix, local)``; prefix is None if absent."""
+    """Split a prefixed name into ``(prefix, local)``; prefix is None if absent.
+
+    A name with more than one colon is not a QName (Namespaces in XML 1.0
+    allows at most one) and raises :class:`ValueError` -- silently treating
+    ``a:b:c`` as prefix ``a`` with local part ``b:c`` would fabricate a
+    local name no schema can declare.
+    """
     if ":" in text:
         prefix, _, local = text.partition(":")
+        if ":" in local:
+            raise ValueError(f"invalid QName {text!r}: more than one colon")
         return prefix, local
     return None, text
 
@@ -61,9 +78,17 @@ def resolve_prefixed(text: str, namespaces: dict[str | None, str]) -> QName:
     """Resolve ``prefix:local`` against a prefix->URI map into a :class:`QName`.
 
     A missing prefix resolves against the default namespace (key ``None``),
-    falling back to the empty namespace when no default is declared.
+    falling back to the empty namespace when no default is declared.  The
+    ``xml`` prefix resolves implicitly to :data:`XML_NAMESPACE` whether or
+    not it was declared (so ``xml:lang`` works on any document), and the
+    reserved ``xmlns`` prefix is always rejected -- both per Namespaces in
+    XML 1.0, section 3.
     """
     prefix, local = split_qname(text)
+    if prefix == "xml":
+        return QName(XML_NAMESPACE, local)
+    if prefix == "xmlns":
+        raise KeyError(f"the reserved prefix 'xmlns' cannot name elements or attributes: {text!r}")
     namespace = namespaces.get(prefix, "" if prefix is None else None)
     if namespace is None:
         raise KeyError(f"undeclared namespace prefix {prefix!r} in {text!r}")

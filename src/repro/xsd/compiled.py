@@ -45,7 +45,7 @@ from typing import Callable
 from repro.errors import InstanceValidationError, SchemaError
 from repro.obs.metrics import counter, gauge
 from repro.obs.trace import span
-from repro.xmlutil.qname import QName, split_qname
+from repro.xmlutil.qname import XML_NAMESPACE, QName, split_qname
 from repro.xmlutil.writer import XmlElement
 from repro.xsd import datatypes
 from repro.xsd.components import (
@@ -131,8 +131,15 @@ class _Scope:
     def resolve_tag(self, tag: str) -> QName:
         qname = self.tags.get(tag)
         if qname is None:
-            prefix, local = split_qname(tag)
-            if prefix is not None:
+            try:
+                prefix, local = split_qname(tag)
+            except ValueError as error:
+                raise InstanceValidationError(str(error)) from None
+            if prefix == "xml":
+                # Implicitly declared on every document (mirroring the
+                # interpreted resolver and ElementTree's C parser).
+                namespace = XML_NAMESPACE
+            elif prefix is not None:
                 namespace = self.map.get(prefix)
                 if namespace is None:
                     raise InstanceValidationError(
@@ -147,11 +154,18 @@ class _Scope:
     def resolve_attr(self, name: str) -> QName:
         qname = self.attrs.get(name)
         if qname is None:
-            prefix, local = split_qname(name)
+            try:
+                prefix, local = split_qname(name)
+            except ValueError as error:
+                raise InstanceValidationError(str(error)) from None
             # Unprefixed attributes live in no namespace per the XML spec;
-            # an undeclared prefix falls back to no namespace (mirroring
-            # the interpreted resolver).
-            namespace = self.map.get(prefix, "") if prefix is not None else ""
+            # xml:* lives in the implicit XML namespace; any other
+            # undeclared prefix falls back to no namespace (mirroring the
+            # interpreted resolver).
+            if prefix == "xml":
+                namespace = XML_NAMESPACE
+            else:
+                namespace = self.map.get(prefix, "") if prefix is not None else ""
             qname = _intern_qname(namespace, local)
             self.attrs[name] = qname
         return qname

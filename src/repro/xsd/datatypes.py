@@ -52,6 +52,7 @@ _DURATION_RE = re.compile(
     r"^-?P(?=.)(\d+Y)?(\d+M)?(\d+D)?(T(?=.)(\d+H)?(\d+M)?(\d+(\.\d+)?S)?)?$"
 )
 _WHITESPACE_RE = re.compile(r"\s+")
+_ANYURI_WS_RE = re.compile(r"[ \t\n\r]")
 
 #: Days per month in a non-leap year (index 1-12).
 _MONTH_DAYS = (0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
@@ -155,7 +156,10 @@ _BUILTIN_CHECKS: dict[str, Callable[[str], bool]] = {
     "Name": lambda value: bool(_NCNAME_RE.match(value.replace(":", "_"))),
     "ID": lambda value: bool(_NCNAME_RE.match(value)),
     "IDREF": lambda value: bool(_NCNAME_RE.match(value)),
-    "anyURI": lambda value: " " not in value.strip(),
+    # anyURI collapses whitespace, so leading/trailing runs are tolerated;
+    # *internal* whitespace of any kind (space, tab, newline, CR) is not a
+    # legal URI character.
+    "anyURI": lambda value: not _ANYURI_WS_RE.search(value.strip()),
     "boolean": _check_boolean,
     "integer": lambda value: bool(_INTEGER_RE.match(value)),
     "nonNegativeInteger": _bounded_integer(0, None),

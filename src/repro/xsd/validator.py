@@ -14,7 +14,7 @@ from pathlib import Path
 from typing import Literal
 
 from repro.errors import InstanceValidationError, SchemaError
-from repro.xmlutil.qname import QName, split_qname
+from repro.xmlutil.qname import XML_NAMESPACE, QName, split_qname
 from repro.xmlutil.writer import XmlElement, parse_xml
 from repro.xsd import datatypes
 from repro.xsd.components import (
@@ -32,10 +32,13 @@ from repro.xsd.parser import parse_schema
 
 Engine = Literal["nfa", "backtracking"]
 
-#: Attributes the validator ignores on instance elements.
+#: Attributes the validator ignores on instance elements.  The XML
+#: namespace is listed because ``xml:lang``/``xml:space`` are implicitly
+#: available on any element without a schema declaration.
 _IGNORED_ATTR_NAMESPACES = (
     "http://www.w3.org/2001/XMLSchema-instance",
     "http://www.w3.org/2000/xmlns/",
+    XML_NAMESPACE,
 )
 
 
@@ -70,15 +73,33 @@ def _resolve_instance(element: XmlElement, inherited: dict[str | None, str]) -> 
             scope[name[len("xmlns:"):]] = value
         else:
             plain_attrs.append((name, value))
-    prefix, local = split_qname(element.tag)
-    namespace = scope.get(prefix, "") if prefix is not None else scope.get(None, "")
-    if prefix is not None and prefix not in scope:
-        raise InstanceValidationError(f"undeclared prefix {prefix!r} on element {element.tag!r}")
+    try:
+        prefix, local = split_qname(element.tag)
+    except ValueError as error:
+        raise InstanceValidationError(str(error)) from None
+    if prefix == "xml":
+        # The xml prefix is implicitly bound and needs no declaration.
+        namespace = XML_NAMESPACE
+    else:
+        namespace = scope.get(prefix, "") if prefix is not None else scope.get(None, "")
+        if prefix is not None and prefix not in scope:
+            raise InstanceValidationError(
+                f"undeclared prefix {prefix!r} on element {element.tag!r}"
+            )
     attributes: dict[QName, str] = {}
     for name, value in plain_attrs:
-        attr_prefix, attr_local = split_qname(name)
-        # Unprefixed attributes live in no namespace per the XML spec.
-        attr_namespace = scope.get(attr_prefix, "") if attr_prefix is not None else ""
+        try:
+            attr_prefix, attr_local = split_qname(name)
+        except ValueError as error:
+            raise InstanceValidationError(str(error)) from None
+        # Unprefixed attributes live in no namespace per the XML spec;
+        # xml:* attributes live in the implicitly declared XML namespace.
+        if attr_prefix == "xml":
+            attr_namespace = XML_NAMESPACE
+        elif attr_prefix is not None:
+            attr_namespace = scope.get(attr_prefix, "")
+        else:
+            attr_namespace = ""
         attributes[QName(attr_namespace, attr_local)] = value
     return _ResolvedElement(
         qname=QName(namespace, local),

@@ -47,6 +47,16 @@ nav ul { columns: 2; }
 """
 
 
+def _doc_text(value: str) -> str:
+    """Escape model-supplied documentation text for HTML.
+
+    Beyond :func:`html.escape`, carriage returns become ``&#13;`` -- the
+    same rule as XML character data (parsers normalize a literal ``\\r``
+    away on input), so definitions round-trip through the page source.
+    """
+    return html.escape(value).replace("\r", "&#13;")
+
+
 def _anchor(namespace: str, local: str) -> str:
     return f"t-{abs(hash((namespace, local))) % 10**10}-{local}"
 
@@ -76,10 +86,10 @@ def _annotation_html(annotation: Annotation | None) -> str:
     entries = dict(annotation.entries)
     den = entries.get("DictionaryEntryName")
     if den:
-        parts.append(f'<div class="den">{html.escape(den)}</div>')
+        parts.append(f'<div class="den">{_doc_text(den)}</div>')
     definition = entries.get("Definition")
     if definition:
-        parts.append(f'<div class="def">{html.escape(definition)}</div>')
+        parts.append(f'<div class="def">{_doc_text(definition)}</div>')
     return "".join(parts)
 
 

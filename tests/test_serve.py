@@ -1,0 +1,379 @@
+"""Tests for the ``upcc serve`` daemon: contracts, warm paths, drain.
+
+The heavy load characteristics (hundreds of concurrent requests against
+the 200-document corpus) live in ``benchmarks/bench_serve_throughput.py``;
+this file pins the behavioral contracts at tier-1 scale:
+
+* endpoint shapes and error codes,
+* byte-identity of ``/generate`` and ``/validate`` output with the CLI
+  paths (the daemon is a warm transport, never a different pipeline),
+* warm-cache reuse across requests,
+* backpressure (503 + ``Retry-After``), per-request timeouts (504),
+* graceful drain with zero dropped responses,
+* the ``serve.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.instances import InstanceGenerator
+from repro.instances.pipeline import ValidationPipeline
+from repro.obs.metrics import get_registry
+from repro.serve import ServeApp, ServeConfig, UpccServer
+from repro.serve.loadgen import LoadResult, request_json, run_load
+from repro.xmi import write_xmi
+
+
+@pytest.fixture(scope="module")
+def easybiz_xmi():
+    from repro.catalog.easybiz import build_easybiz_model
+
+    catalog = build_easybiz_model()
+    return write_xmi(catalog.model.model, None), catalog.doc_library.name
+
+
+@pytest.fixture()
+def server():
+    with UpccServer(ServeApp(), ServeConfig(workers=2, queue_size=16, timeout_s=20)) as running:
+        yield running
+
+
+def _generate(server, easybiz_xmi):
+    xmi_text, library = easybiz_xmi
+    status, payload = request_json(
+        server.url,
+        "/generate",
+        {"xmi": xmi_text, "library": library, "root": "HoardingPermit"},
+    )
+    assert status == 200, payload
+    return payload
+
+
+def _raw_request(server, method, path, payload=None):
+    """One request returning (status, headers dict, parsed body)."""
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        connection.request(method, path, body=body,
+                          headers={"Content-Type": "application/json"} if body else {})
+        response = connection.getresponse()
+        return (
+            response.status,
+            dict(response.getheaders()),
+            json.loads(response.read().decode("utf-8")),
+        )
+    finally:
+        connection.close()
+
+
+class TestEndpointContracts:
+    def test_healthz(self, server):
+        assert request_json(server.url, "/healthz") == (200, {"status": "ok"})
+
+    def test_unknown_path_404(self, server):
+        status, payload = request_json(server.url, "/nope")
+        assert status == 404
+        assert "no such endpoint" in payload["error"]
+
+    def test_generate_returns_bundle_and_id(self, server, easybiz_xmi):
+        payload = _generate(server, easybiz_xmi)
+        assert payload["schema_set"]
+        assert payload["root"] == "HoardingPermit"
+        assert len(payload["schemas"]) >= 3
+        assert all(text.startswith("<?xml") for text in payload["schemas"].values())
+
+    def test_generate_rejects_missing_fields(self, server):
+        status, payload = request_json(server.url, "/generate", {"xmi": "<x/>"})
+        assert status == 400
+        assert "library" in payload["error"]
+
+    def test_generate_rejects_bad_model(self, server):
+        status, payload = request_json(
+            server.url, "/generate", {"xmi": "<notxmi/>", "library": "X"}
+        )
+        assert status == 400
+
+    def test_non_json_body_400(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request("POST", "/generate", body=b"{oops",
+                              headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            assert response.status == 400
+            response.read()
+        finally:
+            connection.close()
+
+    def test_validate_against_registered_set(self, server, easybiz_xmi):
+        generated = _generate(server, easybiz_xmi)
+        instance = self._instance(generated)
+        status, report = request_json(
+            server.url,
+            "/validate",
+            {"schema_set": generated["schema_set"],
+             "documents": [{"name": "permit.xml", "xml": instance}]},
+        )
+        assert status == 200, report
+        assert report["docs_total"] == 1
+        assert report["docs_invalid"] == 0
+        assert report["documents"][0]["path"] == "permit.xml"
+
+    def test_validate_flags_invalid_document(self, server, easybiz_xmi):
+        generated = _generate(server, easybiz_xmi)
+        status, report = request_json(
+            server.url,
+            "/validate",
+            {"schema_set": generated["schema_set"],
+             "documents": ["<WrongRoot xmlns='urn:nope'/>"]},
+        )
+        assert status == 200
+        assert report["docs_invalid"] == 1
+        assert report["documents"][0]["problems"]
+
+    def test_validate_unknown_set_404(self, server):
+        status, payload = request_json(
+            server.url, "/validate", {"schema_set": "deadbeef", "documents": ["<a/>"]}
+        )
+        assert status == 404
+        assert "unknown schema set" in payload["error"]
+
+    def test_validate_inline_schemas(self, server, easybiz_xmi):
+        generated = _generate(server, easybiz_xmi)
+        instance = self._instance(generated)
+        status, report = request_json(
+            server.url,
+            "/validate",
+            {"schemas": list(generated["schemas"].values()),
+             "documents": [instance]},
+        )
+        assert status == 200, report
+        assert report["docs_invalid"] == 0
+        # Inline schemas fingerprint to the same registry id as /generate:
+        # the compiled plans are shared, and the id is advertised back.
+        assert report["schema_set"] == generated["schema_set"]
+
+    def test_explain_finds_provenance(self, server, easybiz_xmi):
+        generated = _generate(server, easybiz_xmi)
+        status, payload = request_json(
+            server.url,
+            f"/explain?schema_set={generated['schema_set']}&target=HoardingPermitType",
+            method="GET",
+        )
+        assert status == 200
+        assert payload["matched"] >= 1
+        record = payload["records"][0]
+        assert record["rule_text"]
+        assert "HoardingPermitType" in record["describe"]
+
+    def test_explain_requires_schema_set(self, server):
+        status, payload = request_json(server.url, "/explain?target=X", method="GET")
+        assert status == 400
+
+    def test_stats_reports_server_and_caches(self, server, easybiz_xmi):
+        _generate(server, easybiz_xmi)
+        status, payload = request_json(server.url, "/stats")
+        assert status == 200
+        assert payload["server"]["workers"] == 2
+        assert payload["server"]["draining"] is False
+        assert payload["caches"]["models"] >= 1
+        assert "serve.queue_depth" in payload["metrics"]
+
+    @staticmethod
+    def _instance(generated):
+        from repro.xsd.parser import parse_schema
+        from repro.xsd.validator import SchemaSet
+
+        schema_set = SchemaSet(
+            [parse_schema(text) for text in generated["schemas"].values()]
+        )
+        return InstanceGenerator(schema_set).generate_string("HoardingPermit")
+
+
+class TestCliByteIdentity:
+    """The daemon must be a warm transport over the CLI pipeline, not a fork."""
+
+    def test_generate_matches_schemagenerator_output(self, server, easybiz_xmi, easybiz_result):
+        generated = _generate(server, easybiz_xmi)
+        expected = {
+            f"{item.namespace.folder}/{item.namespace.file_name}": item.to_string()
+            for item in easybiz_result.schemas.values()
+        }
+        assert generated["schemas"] == expected
+
+    def test_validate_matches_pipeline_report(self, server, easybiz_xmi, easybiz_schema_set, tmp_path):
+        generated = _generate(server, easybiz_xmi)
+        instance = TestEndpointContracts._instance(generated)
+        documents = [("a.xml", instance), ("b.xml", "<Broken xmlns='urn:no'/>")]
+        status, served = request_json(
+            server.url,
+            "/validate",
+            {"schema_set": generated["schema_set"],
+             "documents": [{"name": name, "xml": text} for name, text in documents]},
+        )
+        assert status == 200
+        served.pop("schema_set")
+        # The CLI path: a corpus on disk through ValidationPipeline.run.
+        for name, text in documents:
+            (tmp_path / name).write_text(text, encoding="utf-8")
+        local = ValidationPipeline(easybiz_schema_set).run(tmp_path).to_json()
+        for entry in local["documents"]:  # paths differ (disk vs wire labels)
+            entry["path"] = entry["path"].rsplit("/", 1)[-1]
+        assert json.dumps(served, indent=2) == json.dumps(local, indent=2)
+
+
+class TestWarmPaths:
+    def test_repeat_generate_hits_model_cache(self, easybiz_xmi):
+        with UpccServer(ServeApp(), ServeConfig(workers=2)) as server:
+            before = get_registry().counter("serve.model_cache_hits").value
+            _generate(server, easybiz_xmi)
+            _generate(server, easybiz_xmi)
+            _generate(server, easybiz_xmi)
+            hits = get_registry().counter("serve.model_cache_hits").value - before
+            assert hits >= 2
+
+    def test_repeat_generate_is_identical(self, server, easybiz_xmi):
+        first = _generate(server, easybiz_xmi)
+        second = _generate(server, easybiz_xmi)
+        assert first == second
+
+    def test_schema_set_survives_for_later_validates(self, server, easybiz_xmi):
+        generated = _generate(server, easybiz_xmi)
+        instance = TestEndpointContracts._instance(generated)
+        for _ in range(3):
+            status, report = request_json(
+                server.url,
+                "/validate",
+                {"schema_set": generated["schema_set"], "documents": [instance]},
+            )
+            assert status == 200
+            assert report["docs_invalid"] == 0
+
+
+class _SlowApp(ServeApp):
+    """Every /validate blocks until released -- for queue/timeout tests."""
+
+    def __init__(self, delay_s: float) -> None:
+        super().__init__()
+        self.delay_s = delay_s
+
+    def validate(self, payload):
+        time.sleep(self.delay_s)
+        return 200, {"slow": True}
+
+
+class TestBackpressureAndTimeouts:
+    def test_queue_overflow_returns_503_with_retry_after(self):
+        config = ServeConfig(workers=1, queue_size=1, timeout_s=10)
+        with UpccServer(_SlowApp(0.4), config) as server:
+            results = []
+            lock = threading.Lock()
+
+            def fire():
+                outcome = _raw_request(server, "POST", "/validate", {"documents": ["x"]})
+                with lock:
+                    results.append(outcome)
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            statuses = sorted(status for status, _, _ in results)
+            assert 503 in statuses  # the queue is 1 deep; overflow sheds
+            assert 200 in statuses  # admitted work still completes
+            rejected = [headers for status, headers, _ in results if status == 503]
+            assert all(headers.get("Retry-After") == "1" for headers in rejected)
+
+    def test_slow_request_times_out_504(self):
+        config = ServeConfig(workers=1, queue_size=4, timeout_s=0.1)
+        with UpccServer(_SlowApp(2.0), config) as server:
+            status, _headers, payload = _raw_request(
+                server, "POST", "/validate", {"documents": ["x"]}
+            )
+            assert status == 504
+            assert "timed out" in payload["error"]
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_inflight_and_rejects_new(self):
+        config = ServeConfig(workers=2, queue_size=16, timeout_s=10, drain_timeout_s=10)
+        server = UpccServer(_SlowApp(0.3), config).start()
+        outcomes = []
+        lock = threading.Lock()
+
+        def fire():
+            try:
+                status, _, _ = _raw_request(server, "POST", "/validate", {"documents": ["x"]})
+            except OSError:
+                status = -1  # a dropped response -- must never happen
+            with lock:
+                outcomes.append(status)
+
+        threads = [threading.Thread(target=fire) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)  # let the requests reach the queue
+        assert server.drain() is True
+        for thread in threads:
+            thread.join()
+        # Zero dropped responses: everything admitted finished with 200,
+        # everything arriving during the drain got an explicit 503.
+        assert -1 not in outcomes
+        assert outcomes.count(200) >= 2
+        assert set(outcomes) <= {200, 503}
+
+    def test_healthz_reports_draining(self):
+        server = UpccServer(_SlowApp(0.5), ServeConfig(workers=1)).start()
+        started = threading.Thread(
+            target=lambda: _raw_request(server, "POST", "/validate", {"documents": ["x"]})
+        )
+        started.start()
+        time.sleep(0.1)
+        drainer = threading.Thread(target=server.drain)
+        drainer.start()
+        time.sleep(0.1)
+        status, payload = request_json(server.url, "/healthz")
+        assert (status, payload) == (503, {"status": "draining"})
+        started.join()
+        drainer.join()
+
+    def test_double_drain_is_safe(self, server):
+        # The fixture's context exit drains a second time afterwards.
+        assert server.drain() is True
+
+
+class TestMetrics:
+    def test_request_metrics_emitted(self, server, easybiz_xmi):
+        _generate(server, easybiz_xmi)
+        request_json(server.url, "/healthz")
+        snapshot = get_registry().snapshot()
+        assert snapshot["serve.requests_total{endpoint=generate}"] >= 1
+        assert snapshot["serve.requests_total{endpoint=healthz}"] >= 1
+        assert snapshot["serve.request_ms{endpoint=generate}"]["count"] >= 1
+        assert "serve.queue_depth" in snapshot
+
+
+class TestLoadGenerator:
+    def test_run_load_counts_and_percentiles(self, server, easybiz_xmi):
+        generated = _generate(server, easybiz_xmi)
+        instance = TestEndpointContracts._instance(generated)
+        payload = {"schema_set": generated["schema_set"], "documents": [instance]}
+        result = run_load(
+            server.url, "/validate", payload, requests=20, concurrency=4
+        )
+        assert result.ok == 20
+        assert result.dropped == 0
+        assert result.failed == 0
+        assert len(result.latencies_ms) == 20
+        assert result.percentile(50) <= result.percentile(99)
+        assert result.to_json()["rps"] > 0
+
+    def test_percentile_of_empty_result(self):
+        empty = LoadResult(0, 0, 0, 0, 0, 0.0)
+        assert empty.percentile(99) == 0.0

@@ -29,6 +29,14 @@ class TestEscapeText:
     def test_quotes_untouched_in_text(self):
         assert escape_text('say "hi"') == 'say "hi"'
 
+    def test_carriage_return_becomes_charref(self):
+        # A literal \r in character data would be normalized to \n by any
+        # conforming parser (XML 1.0 section 2.11); only &#13; round-trips.
+        assert escape_text("a\rb") == "a&#13;b"
+
+    def test_crlf_preserved_distinctly(self):
+        assert escape_text("a\r\nb") == "a&#13;\nb"
+
 
 class TestEscapeAttribute:
     def test_double_quote(self):
@@ -70,3 +78,7 @@ class TestEscapeProperties:
         escaped = escape_attribute(value)
         assert '"' not in escaped
         assert "\n" not in escaped
+
+    @given(st.text())
+    def test_text_escape_removes_raw_carriage_returns(self, value):
+        assert "\r" not in escape_text(value)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.xmlutil.qname import QName, resolve_prefixed, split_qname
+from repro.xmlutil.qname import (
+    XML_NAMESPACE,
+    QName,
+    resolve_prefixed,
+    split_qname,
+)
 
 
 class TestQName:
@@ -45,6 +50,15 @@ class TestSplitQname:
     def test_unprefixed(self):
         assert split_qname("CodeType") == (None, "CodeType")
 
+    def test_more_than_one_colon_rejected(self):
+        # 'a:b:c' is not a QName; expat with namespace processing refuses
+        # it as not well-formed, so the interpreted path must too.
+        with pytest.raises(ValueError):
+            split_qname("a:b:c")
+
+    def test_trailing_colon_splits(self):
+        assert split_qname("a:") == ("a", "")
+
 
 class TestResolvePrefixed:
     def test_resolves_declared_prefix(self):
@@ -61,3 +75,18 @@ class TestResolvePrefixed:
     def test_undeclared_prefix_raises(self):
         with pytest.raises(KeyError):
             resolve_prefixed("nope:Code", {})
+
+    def test_xml_prefix_is_implicitly_bound(self):
+        # The 'xml' prefix never needs a declaration (XML Namespaces 1.0
+        # section 3); xml:lang must resolve without one.
+        assert resolve_prefixed("xml:lang", {}) == QName(XML_NAMESPACE, "lang")
+
+    def test_xml_prefix_ignores_conflicting_declarations(self):
+        namespaces = {"xml": "urn:wrong"}
+        assert resolve_prefixed("xml:lang", namespaces) == QName(XML_NAMESPACE, "lang")
+
+    def test_xmlns_prefix_rejected(self):
+        # 'xmlns' declares namespaces; it can never name an element or
+        # attribute.
+        with pytest.raises(KeyError):
+            resolve_prefixed("xmlns:foo", {"xmlns": "urn:decl"})

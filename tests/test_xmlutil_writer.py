@@ -150,3 +150,64 @@ class TestWriterParserProperties:
         once = writer.to_string(tree)
         twice = writer.to_string(parse_xml(once))
         assert once == twice
+
+
+# Text where whitespace matters: the normalized _text_value above never
+# exercises \r (which parsers normalize away unless written as &#13;).
+_whitespace_rich_text = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"),
+        whitelist_characters="\r\n\t",
+        max_codepoint=0x2FFF,
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestRoundTripFidelity:
+    def test_carriage_return_in_text_round_trips(self):
+        root = XmlElement("a")
+        root.add("b").text("line1\rline2\r\nline3")
+        writer = XmlWriter()
+        once = writer.to_string(root)
+        assert "&#13;" in once  # a literal \r would be normalized on parse
+        parsed = parse_xml(once)
+        assert parsed.find("b").text_content == "line1\rline2\r\nline3"
+        assert writer.to_string(parsed) == once
+
+    def test_carriage_return_in_attribute_round_trips(self):
+        root = XmlElement("a", {"note": "one\rtwo"})
+        writer = XmlWriter()
+        once = writer.to_string(root)
+        parsed = parse_xml(once)
+        assert parsed.attributes["note"] == "one\rtwo"
+        assert writer.to_string(parsed) == once
+
+    def test_xml_lang_attribute_round_trips(self):
+        root = XmlElement("a", {"xml:lang": "en-US"})
+        root.text("Hoarding Permit")
+        writer = XmlWriter()
+        once = writer.to_string(root)
+        parsed = parse_xml(once)
+        assert parsed.attributes["xml:lang"] == "en-US"
+        assert writer.to_string(parsed) == once
+
+    @given(_whitespace_rich_text)
+    def test_text_with_control_whitespace_round_trips(self, value):
+        root = XmlElement("a")
+        root.text(value)
+        writer = XmlWriter()
+        once = writer.to_string(root)
+        parsed = parse_xml(once)
+        assert parsed.text_content == value
+        assert writer.to_string(parsed) == once
+
+    @given(_whitespace_rich_text)
+    def test_attribute_with_control_whitespace_round_trips(self, value):
+        root = XmlElement("a", {"v": value})
+        writer = XmlWriter()
+        once = writer.to_string(root)
+        parsed = parse_xml(once)
+        assert parsed.attributes["v"] == value
+        assert writer.to_string(parsed) == once

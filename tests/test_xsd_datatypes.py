@@ -51,6 +51,7 @@ class TestBuiltinChecks:
             ("base64Binary", ""),
             ("hexBinary", "53616d"),
             ("anyURI", "urn:example:x"),
+            ("anyURI", "  urn:example:x  "),
             ("language", "en-US"),
             ("NCName", "valid_name"),
         ],
@@ -80,6 +81,9 @@ class TestBuiltinChecks:
             ("base64Binary", "QUJ"),
             ("hexBinary", "5"),
             ("anyURI", "has space"),
+            ("anyURI", "has\ttab"),
+            ("anyURI", "has\nnewline"),
+            ("anyURI", "has\rreturn"),
             ("language", "waytoolongprimarytag"),
             ("NCName", "1leading"),
         ],
