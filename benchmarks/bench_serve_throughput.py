@@ -145,6 +145,74 @@ def test_served_report_byte_identical_to_pipeline(server, corpus):
     assert served["docs_invalid"] == CORPUS_SIZE // 40
 
 
+def test_metric_increments_do_not_contend_across_instruments(benchmark):
+    """Per-instrument locks: 8 threads on 8 *different* counters.
+
+    Before ISSUE 9 every instrument shared the registry-wide lock, so
+    increments on unrelated counters from different serve workers
+    serialized on one mutex.  With per-instrument locks this workload has
+    no shared state at all; the benchmark pins that property (and the
+    perf gate would flag a regression back to a global lock, which
+    roughly doubles this timing on a multi-core box).
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    threads_n, increments = 8, 20_000
+    registry = MetricsRegistry()
+    counters = [
+        registry.counter("bench.contention", worker=index)
+        for index in range(threads_n)
+    ]
+
+    def hammer():
+        barrier = threading.Barrier(threads_n)
+
+        def work(instrument):
+            barrier.wait()
+            for _ in range(increments):
+                instrument.inc()
+
+        workers = [
+            threading.Thread(target=work, args=(instrument,))
+            for instrument in counters
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+
+    benchmark(hammer)
+    for instrument in counters:
+        assert instrument.value % increments == 0
+        assert instrument.value >= increments
+
+
+def test_metrics_scrape_under_load_is_consistent(server, corpus):
+    """A /metrics scrape during a barrage parses and is internally sane."""
+    from repro.obs.export import parse_prometheus_text
+    from repro.serve.loadgen import request_text
+
+    _result, _schema_set, documents = corpus
+    payload = _payload(server, documents)
+    scraped: list[str] = []
+
+    def scrape_mid_load():
+        time.sleep(0.05)
+        status, text = request_text(server.url, "/metrics")
+        assert status == 200
+        scraped.append(text)
+
+    scraper = threading.Thread(target=scrape_mid_load)
+    scraper.start()
+    outcome = run_load(server.url, "/validate", payload, requests=50, concurrency=8)
+    scraper.join()
+    assert outcome.ok == 50
+    families = parse_prometheus_text(scraped[0])  # raises on malformed payload
+    buckets = families["serve_request_ms"].buckets()
+    counts = [count for _, count in buckets]
+    assert counts == sorted(counts), "bucket series must stay cumulative mid-load"
+
+
 def test_graceful_drain_under_load_zero_dropped(corpus):
     """Drain mid-barrage: every connected client gets a real response."""
     result, _schema_set, documents = corpus

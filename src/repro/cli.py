@@ -25,6 +25,9 @@
     upcc diff a.xmi b.xmi
     upcc compat old-schemas/ new-schemas/
     upcc serve --port 8437 --workers 8            # warm-cache HTTP daemon
+    upcc serve --port 8437 --access-log access.jsonl --slow-ms 250 \
+        --slow-dir slow-traces                    # + request log, slow capture
+    upcc top --url http://127.0.0.1:8437          # live serve dashboard
     upcc stats [easybiz|ecommerce] [--json]       # trace/metric report
     upcc profile easybiz --runs 10                # call-tree hot-path table
     upcc profile easybiz --profile-format collapsed \
@@ -535,6 +538,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_size=max(1, args.queue_size),
         timeout_s=args.timeout,
         drain_timeout_s=args.drain_timeout,
+        access_log=args.access_log,
+        slow_ms=args.slow_ms,
+        slow_dir=args.slow_dir,
+        slow_keep=max(1, args.slow_keep),
     )
     server = UpccServer(ServeApp(cache_dir=args.cache_dir), config)
     server.start()
@@ -547,6 +554,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     clean = server.drain()
     print(f"drained {'cleanly' if clean else 'with leftovers'}", flush=True)
     return 0 if clean else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Delegate to the :mod:`repro.serve.top` dashboard loop."""
+    from repro.serve import top
+
+    argv = ["--url", args.url, "--interval", str(args.interval)]
+    if args.once:
+        argv.append("--once")
+    if args.count:
+        argv.extend(["--count", str(args.count)])
+    if args.json:
+        argv.append("--json")
+    return top.main(argv)
 
 
 def _cmd_validate_instances(args: argparse.Namespace) -> int:
@@ -796,7 +817,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the generation cache to DIR (shared with "
         "'upcc generate --cache-dir')",
     )
+    serve.add_argument(
+        "--access-log", metavar="FILE",
+        help="append one JSON line per request to FILE (method, path, "
+        "status, duration, queue wait, worker, request id)",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, metavar="MS",
+        help="capture the full span tree of any request slower than MS "
+        "(JSONL + Perfetto-loadable trace under --slow-dir)",
+    )
+    serve.add_argument(
+        "--slow-dir", default="slow-traces", metavar="DIR",
+        help="directory for slow-request captures (default slow-traces)",
+    )
+    serve.add_argument(
+        "--slow-keep", type=int, default=32, metavar="N",
+        help="bounded on-disk ring: keep at most N slow captures (default 32)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    top = commands.add_parser(
+        "top",
+        help="live terminal dashboard for a running serve daemon "
+        "(polls /stats + /metrics)",
+    )
+    top.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8437")
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll period (default 2)",
+    )
+    top.add_argument("--once", action="store_true", help="render one frame and exit")
+    top.add_argument(
+        "--count", type=int, default=0, metavar="N",
+        help="stop after N frames (default 0 = until interrupted)",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="emit the raw snapshot as JSON instead of the board",
+    )
+    top.set_defaults(func=_cmd_top)
 
     check = commands.add_parser("check-instance", help="validate an XML instance")
     check.add_argument("schemas", help="directory of generated schemas")

@@ -1,6 +1,6 @@
 """Pipeline observability: tracing spans, metrics, profiling, logging interop.
 
-Zero-dependency, stdlib-only.  Four parts:
+Zero-dependency, stdlib-only.  Six parts:
 
 * :mod:`repro.obs.trace` -- hierarchical :class:`Span` context managers
   (wall + thread-CPU time) collected by a thread-safe :class:`Tracer`
@@ -13,6 +13,11 @@ Zero-dependency, stdlib-only.  Four parts:
   aggregation over finished spans with top-N table, JSON and
   collapsed-stack ("flamegraph") renderings plus an optional
   :mod:`cProfile` attach,
+* :mod:`repro.obs.export` -- Prometheus text exposition of the metrics
+  registry (``GET /metrics`` on the serve daemon) plus a stdlib parser
+  and bucket-series quantile estimation for scrape consumers,
+* :mod:`repro.obs.runtime` -- a background :class:`RuntimeCollector`
+  publishing process gauges (RSS, GC, threads, fds, uptime),
 * :mod:`repro.obs.logging_bridge` -- standard :mod:`logging` loggers for
   the pipeline plus a handler that forwards records into the trace sinks.
 
@@ -54,6 +59,12 @@ from repro.obs.metrics import (
     histogram,
     set_registry,
 )
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus_text,
+    quantile_from_buckets,
+    render_prometheus,
+)
 from repro.obs.prof import (
     Profile,
     ProfileNode,
@@ -61,7 +72,9 @@ from repro.obs.prof import (
     cprofile_session,
     cprofile_stats_text,
     profile_from_tracer,
+    to_trace_events,
 )
+from repro.obs.runtime import RuntimeCollector, sample_runtime
 from repro.obs.trace import (
     JsonLinesSink,
     LogfmtSink,
@@ -133,9 +146,11 @@ __all__ = [
     "LogfmtSink",
     "MetricsRegistry",
     "PIPELINE_LOGGERS",
+    "PROMETHEUS_CONTENT_TYPE",
     "Profile",
     "ProfileNode",
     "RingBufferSink",
+    "RuntimeCollector",
     "Span",
     "SpanSink",
     "TraceSinkHandler",
@@ -147,15 +162,20 @@ __all__ = [
     "cprofile_stats_text",
     "disable",
     "gauge",
+    "parse_prometheus_text",
     "profile_from_tracer",
     "get_logger",
     "get_metrics",
     "get_registry",
     "get_tracer",
     "histogram",
+    "quantile_from_buckets",
+    "render_prometheus",
+    "sample_runtime",
     "set_registry",
     "set_tracer",
     "span",
+    "to_trace_events",
     "unwire_logging",
     "wire_logging",
 ]

@@ -1,0 +1,399 @@
+"""Prometheus text exposition for the metrics registry, plus a parser.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+into the `Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ (version
+``0.0.4``) served by ``GET /metrics`` on the ``upcc serve`` daemon:
+
+* one ``# HELP`` / ``# TYPE`` pair per metric family, families sorted by
+  name, dotted metric names sanitized to ``snake_case`` identifiers;
+* counters and gauges as plain samples with escaped label values;
+* histograms as cumulative ``<name>_bucket{le="..."}`` series over the
+  fixed log-scale ladder (:data:`repro.obs.metrics.DEFAULT_BUCKETS`),
+  closed by ``le="+Inf"``, plus ``<name>_sum`` and ``<name>_count``.
+
+:func:`parse_prometheus_text` is the stdlib-only inverse used by the
+exposition tests, the CI smoke step and ``upcc top``: it parses an
+exposition payload back into metric families and validates the
+structural invariants (TYPE before samples, bucket monotonicity,
+``_count`` == the ``+Inf`` bucket).  :func:`quantile_from_buckets`
+estimates percentiles from a scraped cumulative bucket series, which is
+how the load generator and dashboard report server-side p99 without any
+access to the raw observations.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "MetricFamily",
+    "escape_help_text",
+    "escape_label_value",
+    "format_value",
+    "parse_prometheus_text",
+    "quantile_from_buckets",
+    "render_prometheus",
+    "sanitize_metric_name",
+]
+
+#: The content type ``GET /metrics`` answers with.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: ``name{labels} value`` sample lines; label values are double-quoted
+#: with ``\\``, ``\"`` and ``\n`` escapes per the exposition spec.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """``name`` as a valid Prometheus metric name.
+
+    The registry's dotted names (``serve.request_ms``) become underscore
+    names (``serve_request_ms``); any other invalid character maps to
+    ``_`` and a leading digit gets a ``_`` prefix.
+    """
+    if _NAME_OK_RE.match(name):
+        return name
+    sanitized = _NAME_BAD_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def escape_label_value(value: Any) -> str:
+    """A label value escaped per the exposition spec (``\\``, ``"``, newline)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def escape_help_text(text: str) -> str:
+    """HELP-line text escaped per the exposition spec (``\\`` and newline)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """A sample value in exposition form (ints stay ints, ``+Inf`` spelled out)."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    as_float = float(value)
+    if math.isinf(as_float):
+        return "+Inf" if as_float > 0 else "-Inf"
+    if math.isnan(as_float):
+        return "NaN"
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def format_le(bound: float) -> str:
+    """A bucket bound as its ``le`` label value (``0.25``, ``10``, ``+Inf``)."""
+    if math.isinf(bound):
+        return "+Inf"
+    return format(bound, "g")
+
+
+def _render_labels(labels: dict[str, Any], extra: str | None = None) -> str:
+    parts = [
+        f'{key}="{escape_label_value(labels[key])}"' for key in sorted(labels)
+    ]
+    if extra is not None:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """``registry`` as a Prometheus text exposition payload.
+
+    Deterministic: families sorted by exposition name, series within a
+    family sorted by label set, one trailing newline.
+    """
+    counters, gauges, histograms = registry.instruments()
+    families: dict[str, tuple[str, str, list[str]]] = {}
+
+    def family(base_name: str, kind: str) -> list[str]:
+        name = sanitize_metric_name(base_name)
+        if name not in families:
+            help_text = escape_help_text(f"repro metric {base_name} ({kind})")
+            families[name] = (kind, help_text, [])
+        return families[name][2]
+
+    for instrument in sorted(counters, key=lambda c: (c.base_name, c.name)):
+        lines = family(instrument.base_name, "counter")
+        name = sanitize_metric_name(instrument.base_name)
+        lines.append(
+            f"{name}{_render_labels(instrument.labels)} "
+            f"{format_value(instrument.value)}"
+        )
+    for instrument in sorted(gauges, key=lambda g: (g.base_name, g.name)):
+        lines = family(instrument.base_name, "gauge")
+        name = sanitize_metric_name(instrument.base_name)
+        lines.append(
+            f"{name}{_render_labels(instrument.labels)} "
+            f"{format_value(float(instrument.value))}"
+        )
+    for instrument in sorted(histograms, key=lambda h: (h.base_name, h.name)):
+        lines = family(instrument.base_name, "histogram")
+        name = sanitize_metric_name(instrument.base_name)
+        pairs = instrument.cumulative_buckets()
+        with instrument._lock:
+            total, count = instrument.total, instrument.count
+        for bound, cumulative in pairs:
+            le = f'le="{format_le(bound)}"'
+            lines.append(
+                f"{name}_bucket{_render_labels(instrument.labels, le)} "
+                f"{cumulative}"
+            )
+        lines.append(
+            f"{name}_sum{_render_labels(instrument.labels)} "
+            f"{format_value(round(total, 6))}"
+        )
+        lines.append(f"{name}_count{_render_labels(instrument.labels)} {count}")
+
+    output: list[str] = []
+    for name in sorted(families):
+        kind, help_text, lines = families[name]
+        output.append(f"# HELP {name} {help_text}")
+        output.append(f"# TYPE {name} {kind}")
+        output.extend(lines)
+    return "\n".join(output) + "\n" if output else "\n"
+
+
+class MetricFamily:
+    """One parsed exposition family: type, help and its samples."""
+
+    __slots__ = ("name", "type", "help", "samples")
+
+    def __init__(self, name: str, type_: str | None = None,
+                 help_: str | None = None) -> None:
+        self.name = name
+        self.type = type_
+        self.help = help_
+        #: ``(sample name, labels dict, float value)`` in payload order.
+        self.samples: list[tuple[str, dict[str, str], float]] = []
+
+    def values(self) -> list[float]:
+        """The raw sample values, payload order."""
+        return [value for _, _, value in self.samples]
+
+    def buckets(self, labels: dict[str, str] | None = None) -> list[tuple[float, int]]:
+        """The cumulative ``(le, count)`` series of a histogram family.
+
+        ``labels`` (if given) filters to the series whose non-``le``
+        labels equal it; otherwise bucket samples across all series with
+        equal ``le`` are summed (scrape-side aggregation).
+        """
+        by_le: dict[float, int] = {}
+        for name, sample_labels, value in self.samples:
+            if not name.endswith("_bucket") or "le" not in sample_labels:
+                continue
+            rest = {k: v for k, v in sample_labels.items() if k != "le"}
+            if labels is not None and rest != labels:
+                continue
+            le_text = sample_labels["le"]
+            bound = float("inf") if le_text == "+Inf" else float(le_text)
+            by_le[bound] = by_le.get(bound, 0) + int(value)
+        return sorted(by_le.items())
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> dict[str, MetricFamily]:
+    """Parse an exposition payload into families; raise ``ValueError`` on defects.
+
+    Structural validation beyond raw syntax:
+
+    * a sample's family must match a preceding ``# TYPE`` (untyped
+      samples form an implicit ``untyped`` family, as the spec allows);
+    * histogram ``_bucket`` series must be cumulative (non-decreasing in
+      ``le`` order) and closed by ``le="+Inf"``;
+    * a histogram's ``_count`` must equal its ``+Inf`` bucket.
+    """
+    families: dict[str, MetricFamily] = {}
+
+    def family_for_sample(sample_name: str) -> MetricFamily:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if base in families and families[base].type == "histogram":
+                    return families[base]
+        if sample_name not in families:
+            families[sample_name] = MetricFamily(sample_name, "untyped")
+        return families[sample_name]
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            family = families.setdefault(name, MetricFamily(name))
+            family.help = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ", 1)
+            if len(parts) != 2:
+                raise ValueError(f"line {line_number}: malformed TYPE line: {line!r}")
+            name, type_ = parts
+            if type_ not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(
+                    f"line {line_number}: unknown metric type {type_!r}"
+                )
+            family = families.setdefault(name, MetricFamily(name))
+            if family.samples:
+                raise ValueError(
+                    f"line {line_number}: TYPE for {name!r} after its samples"
+                )
+            family.type = type_
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: unparsable sample: {line!r}")
+        labels_text = match.group("labels")
+        labels: dict[str, str] = {}
+        if labels_text:
+            consumed = 0
+            for label_match in _LABEL_RE.finditer(labels_text):
+                labels[label_match.group(1)] = _unescape_label_value(
+                    label_match.group(2)
+                )
+                consumed = label_match.end()
+            leftover = labels_text[consumed:].strip().strip(",")
+            if leftover:
+                raise ValueError(
+                    f"line {line_number}: unparsable labels {labels_text!r}"
+                )
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: unparsable value {match.group('value')!r}"
+            ) from None
+        family = family_for_sample(match.group("name"))
+        family.samples.append((match.group("name"), labels, value))
+
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: dict[str, MetricFamily]) -> None:
+    for family in families.values():
+        if family.type != "histogram":
+            continue
+        series: dict[tuple[tuple[str, str], ...], list[tuple[float, float]]] = {}
+        counts: dict[tuple[tuple[str, str], ...], float] = {}
+        for name, labels, value in family.samples:
+            rest = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            if name.endswith("_bucket"):
+                le_text = labels.get("le")
+                if le_text is None:
+                    raise ValueError(
+                        f"{family.name}: bucket sample without an le label"
+                    )
+                bound = float("inf") if le_text == "+Inf" else float(le_text)
+                series.setdefault(rest, []).append((bound, value))
+            elif name.endswith("_count"):
+                counts[rest] = value
+        for rest, pairs in series.items():
+            pairs.sort()
+            if not pairs or not math.isinf(pairs[-1][0]):
+                raise ValueError(
+                    f"{family.name}: bucket series not closed by le=\"+Inf\""
+                )
+            previous = -1.0
+            for bound, value in pairs:
+                if value < previous:
+                    raise ValueError(
+                        f"{family.name}: bucket counts not cumulative at "
+                        f"le={format_le(bound)}"
+                    )
+                previous = value
+            if rest in counts and counts[rest] != pairs[-1][1]:
+                raise ValueError(
+                    f"{family.name}: _count {counts[rest]} != +Inf bucket "
+                    f"{pairs[-1][1]}"
+                )
+
+
+def quantile_from_buckets(
+    buckets: Sequence[tuple[float, float]] | Iterable[tuple[float, float]],
+    q: float,
+) -> float:
+    """Estimated q-th percentile from a *cumulative* ``(le, count)`` series.
+
+    The scrape-side twin of :meth:`repro.obs.metrics.Histogram.quantile`:
+    linear interpolation inside the bucket containing the target rank.
+    The ``+Inf`` bucket has no finite upper edge, so estimates clamp to
+    the last finite bound.  0.0 when the series is empty.
+    """
+    pairs = sorted(buckets)
+    if not pairs:
+        return 0.0
+    total = pairs[-1][1]
+    if total <= 0:
+        return 0.0
+    target = max(1e-12, q / 100.0) * total
+    lower = 0.0
+    previous_count = 0.0
+    last_finite = 0.0
+    for bound, cumulative in pairs:
+        if cumulative >= target:
+            in_bucket = cumulative - previous_count
+            if math.isinf(bound):
+                return last_finite
+            if in_bucket <= 0:
+                return bound
+            fraction = (target - previous_count) / in_bucket
+            return lower + (bound - lower) * fraction
+        previous_count = cumulative
+        if not math.isinf(bound):
+            lower = bound
+            last_finite = bound
+    return last_finite

@@ -10,11 +10,22 @@ pre-register anything::
     with histogram("validation.rule_ms", rule=code).time():
         run_rule()
 
+Every instrument carries its *own* lock, so two counters incremented from
+different serve worker threads never contend with each other; the
+registry lock is only taken on first-creation and while snapshotting.
+Histograms additionally bucket every observation into a fixed log-scale
+latency ladder (:data:`DEFAULT_BUCKETS`, milliseconds), from which
+``to_dict()`` derives p50/p90/p99 estimates and
+:meth:`MetricsRegistry.render_prometheus` builds a cumulative
+``_bucket{le=...}`` exposition (see :mod:`repro.obs.export`).
+
 The registry is thread-safe, always on (increments are two dict lookups
 and an integer add -- cheap enough to leave enabled permanently), and
 exposes :meth:`MetricsRegistry.snapshot` / ``render_text`` /
-``render_json`` for reporting.  Snapshots are deterministic: keys are
-sorted, histogram aggregates are rounded.
+``render_json`` / ``render_prometheus`` for reporting.  Snapshots are
+deterministic: keys are sorted, histogram aggregates are rounded.
+Registering the same name as two different instrument kinds raises
+instead of silently shadowing one with the other.
 """
 
 from __future__ import annotations
@@ -22,8 +33,47 @@ from __future__ import annotations
 import json
 import threading
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from typing import Any, Iterator
+
+#: Fixed log-scale latency bucket upper bounds, in milliseconds.  A
+#: 1-2.5-5 ladder from 50 microseconds to 10 seconds: wide enough for
+#: everything from a warm cache hit to a cold 200-document validate, and
+#: fixed so two processes' bucket counts can be merged sample by sample.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: Characters that would make ``name{key=value,...}`` keys ambiguous if
+#: they appeared raw inside a label value.
+_LABEL_ESCAPES = {
+    "\\": "\\\\",
+    "=": "\\=",
+    ",": "\\,",
+    "{": "\\{",
+    "}": "\\}",
+    "\n": "\\n",
+    "\r": "\\r",
+}
+_LABEL_ESCAPE_TABLE = str.maketrans(_LABEL_ESCAPES)
+_LABEL_SPECIALS = tuple(_LABEL_ESCAPES)
+
+
+def escape_label_value(value: Any) -> str:
+    """``value`` as a string with key-structural characters backslash-escaped.
+
+    ``=``, ``,``, ``{``, ``}``, newlines and the backslash itself would
+    make ``name{key=value}`` keys ambiguous (two different label sets
+    could collide on one key, corrupting both series); escaping keeps the
+    key unambiguous *and* reversible.
+    """
+    text = str(value)
+    for special in _LABEL_SPECIALS:
+        if special in text:
+            return text.translate(_LABEL_ESCAPE_TABLE)
+    return text
 
 
 def _metric_key(name: str, labels: dict[str, Any]) -> str:
@@ -31,20 +81,25 @@ def _metric_key(name: str, labels: dict[str, Any]) -> str:
         return name
     if len(labels) == 1:
         [(key, value)] = labels.items()
-        return f"{name}{{{key}={value}}}"
-    rendered = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+        return f"{name}{{{key}={escape_label_value(value)}}}"
+    rendered = ",".join(
+        f"{key}={escape_label_value(labels[key])}" for key in sorted(labels)
+    )
     return f"{name}{{{rendered}}}"
 
 
 class Counter:
     """A monotonically increasing integer."""
 
-    __slots__ = ("name", "value", "_lock")
+    __slots__ = ("name", "base_name", "labels", "value", "_lock")
 
-    def __init__(self, name: str, lock: threading.Lock) -> None:
+    def __init__(self, name: str, base_name: str | None = None,
+                 labels: dict[str, Any] | None = None) -> None:
         self.name = name
+        self.base_name = base_name if base_name is not None else name
+        self.labels = dict(labels or {})
         self.value = 0
-        self._lock = lock
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (default 1)."""
@@ -55,12 +110,15 @@ class Counter:
 class Gauge:
     """A value that can go up and down (queue depth, memo size, ...)."""
 
-    __slots__ = ("name", "value", "_lock")
+    __slots__ = ("name", "base_name", "labels", "value", "_lock")
 
-    def __init__(self, name: str, lock: threading.Lock) -> None:
+    def __init__(self, name: str, base_name: str | None = None,
+                 labels: dict[str, Any] | None = None) -> None:
         self.name = name
+        self.base_name = base_name if base_name is not None else name
+        self.labels = dict(labels or {})
         self.value = 0.0
-        self._lock = lock
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Overwrite the current value."""
@@ -78,17 +136,37 @@ class Gauge:
 
 
 class Histogram:
-    """Aggregates observations: count, sum, min, max (milliseconds for timers)."""
+    """Aggregates observations into count/sum/min/max plus log-scale buckets.
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+    Observations (milliseconds for timers) land in the fixed
+    :data:`DEFAULT_BUCKETS` ladder; the final slot counts everything above
+    the last bound (the ``+Inf`` bucket of the Prometheus exposition).
+    Quantiles are estimated by linear interpolation inside the target
+    bucket, clamped to the observed min/max so a single observation
+    reports itself exactly.
+    """
 
-    def __init__(self, name: str, lock: threading.Lock) -> None:
+    __slots__ = (
+        "name", "base_name", "labels", "count", "total", "min", "max",
+        "bucket_counts", "_lock",
+    )
+
+    #: Upper bounds shared by every histogram (fixed => mergeable).
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+
+    def __init__(self, name: str, base_name: str | None = None,
+                 labels: dict[str, Any] | None = None) -> None:
         self.name = name
+        self.base_name = base_name if base_name is not None else name
+        self.labels = dict(labels or {})
         self.count = 0
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
-        self._lock = lock
+        #: Per-bucket (non-cumulative) observation counts; the extra
+        #: trailing slot is the overflow (+Inf) bucket.
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -99,6 +177,7 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            self.bucket_counts[bisect_left(self.buckets, value)] += 1
 
     @contextmanager
     def time(self) -> Iterator[None]:
@@ -114,19 +193,77 @@ class Histogram:
         """Arithmetic mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper bound, cumulative count)`` pairs ending with ``(inf, count)``.
+
+        This is exactly the Prometheus ``_bucket{le=...}`` series shape:
+        each count includes every smaller bucket, and the final ``inf``
+        entry equals the total observation count.
+        """
+        with self._lock:
+            counts = list(self.bucket_counts)
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.buckets, counts):
+            running += bucket_count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + counts[-1]))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-th percentile (q in 0..100) from the bucket counts.
+
+        Linear interpolation inside the bucket containing the target
+        rank, clamped to the observed min/max.  0.0 when empty.
+        """
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
+        if not self.count:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        target = max(1e-12, q / 100.0) * self.count
+        cumulative = 0
+        lower = 0.0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            upper = (
+                self.buckets[index] if index < len(self.buckets) else self.max
+            )
+            if bucket_count and cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+            lower = upper
+        return self.max
+
     def to_dict(self) -> dict[str, float | int]:
-        """Deterministic aggregate view of the distribution."""
-        return {
-            "count": self.count,
-            "sum": round(self.total, 3),
-            "min": round(self.min, 3) if self.min is not None else 0.0,
-            "max": round(self.max, 3) if self.max is not None else 0.0,
-            "mean": round(self.mean, 3),
-        }
+        """Deterministic aggregate view of the distribution.
+
+        Includes the bucket-derived p50/p90/p99 estimates so ``/stats``
+        and ``--metrics-out`` consumers see tails, not just the mean.
+        """
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": round(self.total, 3),
+                "min": round(self.min, 3) if self.min is not None else 0.0,
+                "max": round(self.max, 3) if self.max is not None else 0.0,
+                "mean": round(self.mean, 3),
+                "p50": round(self._quantile_locked(50.0), 3),
+                "p90": round(self._quantile_locked(90.0), 3),
+                "p99": round(self._quantile_locked(99.0), 3),
+            }
 
 
 class MetricsRegistry:
-    """Lazily creates and holds every instrument, keyed by name+labels."""
+    """Lazily creates and holds every instrument, keyed by name+labels.
+
+    The registry lock guards only instrument creation and snapshotting;
+    each instrument synchronizes its own updates, so increments on
+    different instruments never serialize against each other.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -142,7 +279,10 @@ class MetricsRegistry:
         instrument = self._counters.get(key)
         if instrument is None:
             with self._lock:
-                instrument = self._counters.setdefault(key, Counter(key, self._lock))
+                self._check_kind(key, "counter", self._counters)
+                instrument = self._counters.setdefault(
+                    key, Counter(key, name, labels)
+                )
         return instrument
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
@@ -151,7 +291,8 @@ class MetricsRegistry:
         instrument = self._gauges.get(key)
         if instrument is None:
             with self._lock:
-                instrument = self._gauges.setdefault(key, Gauge(key, self._lock))
+                self._check_kind(key, "gauge", self._gauges)
+                instrument = self._gauges.setdefault(key, Gauge(key, name, labels))
         return instrument
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
@@ -160,26 +301,68 @@ class MetricsRegistry:
         instrument = self._histograms.get(key)
         if instrument is None:
             with self._lock:
-                instrument = self._histograms.setdefault(key, Histogram(key, self._lock))
+                self._check_kind(key, "histogram", self._histograms)
+                instrument = self._histograms.setdefault(
+                    key, Histogram(key, name, labels)
+                )
         return instrument
 
+    def _check_kind(self, key: str, kind: str, own: dict[str, Any]) -> None:
+        """Reject a key already registered as a *different* instrument kind.
+
+        Without this, a counter and a gauge sharing one name would
+        silently shadow each other in :meth:`snapshot` (the later
+        ``merged.update`` wins and the other kind's data disappears).
+        Called with the registry lock held, just before creation.
+        """
+        for other_kind, instruments in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if instruments is not own and key in instruments:
+                raise ValueError(
+                    f"metric {key!r} is already registered as a {other_kind}; "
+                    f"it cannot also be a {kind} (one name, one kind)"
+                )
+
     # -- reporting ----------------------------------------------------------------
+
+    def instruments(self) -> tuple[list[Counter], list[Gauge], list[Histogram]]:
+        """Stable copies of the instrument lists (for exposition renderers)."""
+        with self._lock:
+            return (
+                list(self._counters.values()),
+                list(self._gauges.values()),
+                list(self._histograms.values()),
+            )
 
     def snapshot(self) -> dict[str, Any]:
         """All instruments as one sorted, JSON-ready mapping.
 
         Counters map to ints, gauges to floats, histograms to their
         aggregate dicts.  Calling twice without interleaved updates yields
-        an identical object.
+        an identical object.  A key registered under two instrument kinds
+        raises (the creation path already forbids it; this backstops
+        registries assembled by hand).
         """
-        with self._lock:
-            counters = {key: c.value for key, c in self._counters.items()}
-            gauges = {key: g.value for key, g in self._gauges.items()}
-            histograms = {key: h.to_dict() for key, h in self._histograms.items()}
-        merged: dict[str, Any] = {}
-        merged.update(counters)
-        merged.update(gauges)
-        merged.update(histograms)
+        counters, gauges, histograms = self.instruments()
+        merged: dict[str, Any] = {c.name: c.value for c in counters}
+        for gauge_ in gauges:
+            if gauge_.name in merged:
+                raise ValueError(
+                    f"metric {gauge_.name!r} is registered as both a counter "
+                    f"and a gauge; refusing to shadow one with the other"
+                )
+            merged[gauge_.name] = gauge_.value
+        for histogram_ in histograms:
+            if histogram_.name in merged:
+                raise ValueError(
+                    f"metric {histogram_.name!r} is registered as both a "
+                    f"histogram and a counter/gauge; refusing to shadow one "
+                    f"with the other"
+                )
+            merged[histogram_.name] = histogram_.to_dict()
         return {key: merged[key] for key in sorted(merged)}
 
     def render_text(self) -> str:
@@ -193,7 +376,9 @@ class MetricsRegistry:
             if isinstance(value, dict):
                 rendered = (
                     f"count={value['count']} sum={value['sum']}ms "
-                    f"min={value['min']}ms max={value['max']}ms mean={value['mean']}ms"
+                    f"min={value['min']}ms max={value['max']}ms "
+                    f"mean={value['mean']}ms p50={value['p50']}ms "
+                    f"p90={value['p90']}ms p99={value['p99']}ms"
                 )
             else:
                 rendered = str(value)
@@ -203,6 +388,17 @@ class MetricsRegistry:
     def render_json(self, indent: int | None = 2) -> str:
         """The snapshot as a JSON document."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        HELP/TYPE lines per family, cumulative ``_bucket{le=...}`` series
+        plus ``_sum``/``_count`` for histograms, label values escaped per
+        the format spec.  See :func:`repro.obs.export.render_prometheus`.
+        """
+        from repro.obs.export import render_prometheus
+
+        return render_prometheus(self)
 
     def reset(self) -> None:
         """Drop every instrument (tests and fresh CLI runs)."""

@@ -209,6 +209,60 @@ def profile_from_tracer(tracer: Tracer) -> Profile:
     return build_profile(ring.roots if ring is not None else ())
 
 
+# -- Chrome trace-event export ----------------------------------------------------
+
+
+def to_trace_events(
+    roots: Iterable[Span], *, pid: int = 1
+) -> dict[str, Any]:
+    """Finished span trees as a Chrome trace-event JSON document.
+
+    The returned object -- ``{"traceEvents": [...], "displayTimeUnit":
+    "ms"}`` -- loads directly into Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``.  Each span becomes one complete (``ph: "X"``)
+    event with microsecond ``ts``/``dur``; timestamps are rebased so the
+    earliest span starts at 0 (``Span.started_at`` is ``perf_counter``
+    time, whose epoch is arbitrary).  Every tree renders on its own
+    ``tid`` track so concurrent requests don't visually interleave, and
+    span ids, status and attributes ride along in ``args``.
+    """
+    root_list = [root for root in roots if root is not None]
+    if not root_list:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    origin = min(root.started_at for root in root_list)
+    events: list[dict[str, Any]] = []
+    for tid, root in enumerate(root_list, start=1):
+        for span_, _depth in root.walk():
+            if not span_.finished:
+                continue
+            args: dict[str, Any] = {"id": span_.span_id, "status": span_.status}
+            if span_.parent is not None:
+                args["parent_id"] = span_.parent.span_id
+            if span_.attributes:
+                args.update(
+                    {str(key): value for key, value in span_.attributes.items()}
+                )
+            if span_.error is not None:
+                args["error"] = span_.error
+            events.append({
+                "name": span_.name,
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": round((span_.started_at - origin) * 1e6, 3),
+                "dur": round(span_.duration_ms * 1000.0, 3),
+                "cat": "span",
+                "args": args,
+            })
+    events.sort(key=lambda event: (event["tid"], event["ts"], event["name"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def render_trace_events(roots: Iterable[Span], *, pid: int = 1) -> str:
+    """:func:`to_trace_events` as a JSON string (what the capture files hold)."""
+    return json.dumps(to_trace_events(roots, pid=pid), sort_keys=True)
+
+
 # -- function-level drill-down ---------------------------------------------------
 
 

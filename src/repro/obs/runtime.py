@@ -1,0 +1,156 @@
+"""Background process-runtime sampling: RSS, GC, threads, fds, uptime.
+
+:class:`RuntimeCollector` runs a daemon thread that periodically publishes
+process health as gauges on the metrics registry, so one ``GET /metrics``
+scrape carries both request telemetry *and* the runtime context needed to
+interpret it (is p99 climbing because RSS is, is the box leaking fds?):
+
+* ``runtime.rss_bytes`` -- resident set size,
+* ``runtime.gc_collections{gen=0|1|2}`` -- collections per GC generation,
+* ``runtime.threads`` -- live Python threads,
+* ``runtime.open_fds`` -- open file descriptors (``-1`` where unknowable),
+* ``runtime.uptime_s`` -- seconds since the collector started.
+
+Everything is stdlib-only (``resource``/``gc``/``threading``/``os``) and
+degrades gracefully: on platforms without ``/proc`` the fd count reports
+``-1`` and RSS falls back to ``resource.getrusage`` peak RSS.  A single
+:func:`sample_runtime` call does one synchronous sweep -- used by the
+collector loop, by tests, and by callers that want a sample without a
+thread.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+import time
+from typing import Any
+
+from repro.obs import metrics as metrics_mod
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["RuntimeCollector", "rss_bytes", "open_fds", "sample_runtime"]
+
+
+def rss_bytes() -> int:
+    """Current resident set size in bytes (best effort, 0 if unknowable).
+
+    Prefers ``/proc/self/status`` ``VmRSS`` (current RSS, Linux); falls
+    back to ``resource.getrusage`` ``ru_maxrss`` (*peak* RSS -- KiB on
+    Linux, bytes on macOS) elsewhere.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return peak if sys.platform == "darwin" else peak * 1024
+    except (ImportError, OSError):
+        return 0
+
+
+def open_fds() -> int:
+    """Count of open file descriptors, or ``-1`` where not measurable."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return -1
+
+
+def sample_runtime(
+    registry: MetricsRegistry | None = None, *, started_at: float | None = None
+) -> dict[str, Any]:
+    """One synchronous runtime sweep published as gauges; returns the values.
+
+    ``started_at`` (a ``time.monotonic`` instant) anchors
+    ``runtime.uptime_s``; when omitted the uptime gauge is left alone.
+    """
+    target = registry if registry is not None else metrics_mod.get_registry()
+    sample: dict[str, Any] = {
+        "rss_bytes": rss_bytes(),
+        "threads": threading.active_count(),
+        "open_fds": open_fds(),
+        "gc_collections": [stat.get("collections", 0) for stat in gc.get_stats()],
+    }
+    target.gauge("runtime.rss_bytes").set(sample["rss_bytes"])
+    target.gauge("runtime.threads").set(sample["threads"])
+    target.gauge("runtime.open_fds").set(sample["open_fds"])
+    for gen, collections in enumerate(sample["gc_collections"]):
+        target.gauge("runtime.gc_collections", gen=gen).set(collections)
+    if started_at is not None:
+        sample["uptime_s"] = round(time.monotonic() - started_at, 3)
+        target.gauge("runtime.uptime_s").set(sample["uptime_s"])
+    return sample
+
+
+class RuntimeCollector:
+    """Daemon thread publishing :func:`sample_runtime` every ``interval_s``.
+
+    Start/stop are idempotent; ``stop()`` wakes the sampler immediately
+    (it waits on an event, not a sleep) and joins the thread, so daemon
+    shutdown never blocks on a pending interval.  One final sample runs
+    on ``start()`` synchronously, so gauges exist before the first scrape
+    even with a long interval.
+    """
+
+    def __init__(
+        self,
+        interval_s: float = 5.0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.interval_s = max(0.05, float(interval_s))
+        self._registry = registry
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+        self.samples = 0
+
+    @property
+    def running(self) -> bool:
+        """True while the sampler thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def sample(self) -> dict[str, Any]:
+        """Take one sample now (also what the background loop calls)."""
+        values = sample_runtime(self._registry, started_at=self._started_at)
+        self.samples += 1
+        return values
+
+    def start(self) -> "RuntimeCollector":
+        """Begin sampling; returns self.  No-op when already running."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._started_at = time.monotonic()
+        self.sample()  # gauges exist before the first interval elapses
+        self._thread = threading.Thread(
+            target=self._loop, name="upcc-runtime-collector", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample()
+
+    def stop(self) -> None:
+        """Stop sampling and join the thread.  No-op when not running."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "RuntimeCollector":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

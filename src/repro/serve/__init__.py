@@ -12,20 +12,30 @@ pipeline into one process that stays warm:
   :class:`~repro.serve.server.ServeConfig` -- the stdlib HTTP daemon:
   bounded worker pool, 503 backpressure, per-request timeouts, graceful
   drain with zero dropped responses,
+* :mod:`repro.serve.access` -- structured JSON-lines request logging
+  (request ids, queue-wait attribution) and the bounded slow-request
+  span-capture store,
 * :mod:`repro.serve.loadgen` -- the stdlib load generator driving the
-  throughput benchmark and the CI smoke test.
+  throughput benchmark and the CI smoke test,
+* :mod:`repro.serve.top` -- the ``upcc top`` terminal dashboard polling
+  ``/stats`` + ``/metrics``.
 
 Endpoints: ``POST /generate``, ``POST /validate``, ``GET /explain``,
-``GET /stats``, ``GET /healthz``.  See the README's "Running as a
-service" section for the wire formats.
+``GET /stats``, ``GET /healthz``, ``GET /metrics`` (Prometheus text
+exposition), ``GET /slow`` (slow-request captures).  See the README's
+"Running as a service" section for the wire formats.
 """
 
+from repro.serve.access import AccessLog, SlowRequestStore, new_request_id
 from repro.serve.app import SchemaSetEntry, ServeApp
 from repro.serve.server import ServeConfig, UpccServer
 
 __all__ = [
+    "AccessLog",
     "SchemaSetEntry",
     "ServeApp",
     "ServeConfig",
+    "SlowRequestStore",
     "UpccServer",
+    "new_request_id",
 ]

@@ -94,6 +94,9 @@ class ServeApp:
         self._model_misses = counter("serve.model_cache_misses")
         #: Filled in by the HTTP layer so /stats can report queue facts.
         self.server_info: Callable[[], dict[str, Any]] | None = None
+        #: Filled in by the HTTP layer: the access-log ring of recent
+        #: requests, surfaced under ``recent_requests`` in /stats.
+        self.access_recent: Callable[[], list[dict[str, Any]]] | None = None
 
     # -- shared state ----------------------------------------------------------
 
@@ -322,6 +325,8 @@ class ServeApp:
         }
         if self.server_info is not None:
             payload["server"] = self.server_info()
+        if self.access_recent is not None:
+            payload["recent_requests"] = self.access_recent()
         return 200, payload
 
     def health(self, draining: bool) -> tuple[int, dict]:

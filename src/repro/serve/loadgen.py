@@ -29,7 +29,14 @@ import time
 from dataclasses import dataclass, field
 from urllib.parse import urlsplit
 
-__all__ = ["LoadResult", "request_json", "run_load", "main"]
+__all__ = [
+    "LoadResult",
+    "request_json",
+    "request_text",
+    "run_load",
+    "scrape_server_quantiles",
+    "main",
+]
 
 
 @dataclass
@@ -96,6 +103,64 @@ def request_json(
         return response.status, json.loads(response.read().decode("utf-8"))
     finally:
         connection.close()
+
+
+def request_text(
+    url: str, path: str, *, timeout_s: float = 30.0
+) -> tuple[int, str]:
+    """One GET on a fresh connection; ``(status, body text)``."""
+    parts = urlsplit(url)
+    connection = http.client.HTTPConnection(
+        parts.hostname, parts.port, timeout=timeout_s
+    )
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        connection.close()
+
+
+def scrape_server_quantiles(
+    url: str,
+    *,
+    metric: str = "serve_request_ms",
+    labels: dict[str, str] | None = None,
+    quantiles: tuple[float, ...] = (50.0, 95.0, 99.0),
+    timeout_s: float = 30.0,
+) -> dict[str, float] | None:
+    """Server-side latency quantiles scraped from ``GET /metrics``.
+
+    Parses the Prometheus exposition and estimates quantiles from the
+    cumulative bucket series, so the numbers are the *server's* view of
+    latency (no client/network time) -- the counterpart to
+    :meth:`LoadResult.percentile`.  ``labels`` restricts to one series
+    (e.g. ``{"endpoint": "validate"}``); by default bucket counts are
+    summed across all series of the family.  None when the endpoint or
+    metric is unavailable.
+    """
+    from repro.obs.export import parse_prometheus_text, quantile_from_buckets
+
+    try:
+        status, text = request_text(url, "/metrics", timeout_s=timeout_s)
+    except (OSError, http.client.HTTPException):
+        return None
+    if status != 200:
+        return None
+    try:
+        families = parse_prometheus_text(text)
+    except ValueError:
+        return None
+    family = families.get(metric)
+    if family is None or family.type != "histogram":
+        return None
+    buckets = family.buckets(labels)
+    if not buckets or buckets[-1][1] <= 0:
+        return None
+    return {
+        f"p{format(q, 'g')}": round(quantile_from_buckets(buckets, q), 3)
+        for q in quantiles
+    }
 
 
 def run_load(
@@ -252,10 +317,17 @@ def main(argv: list[str] | None = None) -> int:
         concurrency=args.concurrency,
         timeout_s=args.timeout,
     )
+    server_side = scrape_server_quantiles(
+        args.url, labels={"endpoint": "validate"}, timeout_s=args.timeout
+    )
+    summary = result.to_json()
+    if server_side is not None:
+        summary["server_p50_ms"] = server_side["p50"]
+        summary["server_p95_ms"] = server_side["p95"]
+        summary["server_p99_ms"] = server_side["p99"]
     if args.json:
-        print(json.dumps(result.to_json(), indent=2))
+        print(json.dumps(summary, indent=2))
     else:
-        summary = result.to_json()
         print(
             f"{summary['requests']} responses in {summary['elapsed_s']}s "
             f"({summary['rps']} req/s); ok={summary['ok']} failed={summary['failed']} "
@@ -265,6 +337,12 @@ def main(argv: list[str] | None = None) -> int:
             f"latency ms: p50={summary['p50_ms']} p95={summary['p95_ms']} "
             f"p99={summary['p99_ms']}"
         )
+        if server_side is not None:
+            print(
+                f"server-side /validate ms (from /metrics buckets): "
+                f"p50={server_side['p50']} p95={server_side['p95']} "
+                f"p99={server_side['p99']}"
+            )
     if result.dropped or result.failed or result.ok != args.requests:
         print("error: load run saw failed or dropped responses", file=sys.stderr)
         return 1

@@ -44,9 +44,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE
 from repro.obs.logging_bridge import get_logger
-from repro.obs.metrics import counter, gauge, histogram
-from repro.obs.trace import span
+from repro.obs.metrics import counter, gauge, get_registry, histogram
+from repro.obs.runtime import RuntimeCollector
+from repro.obs.trace import Span, get_tracer, span
+from repro.serve.access import AccessLog, SlowRequestStore, new_request_id
 from repro.serve.app import ServeApp
 
 __all__ = ["ServeConfig", "UpccServer"]
@@ -65,6 +68,12 @@ class ServeConfig:
     timeout_s: float = 30.0  #: per-request ceiling before the client gets a 504
     drain_timeout_s: float = 10.0
     max_body_bytes: int = 32 * 1024 * 1024
+    access_log: str | None = None  #: JSON-lines access-log path (None = ring only)
+    access_ring: int = 256  #: recent requests kept in memory for /stats
+    slow_ms: float | None = None  #: capture span trees of requests slower than this
+    slow_dir: str = "slow-traces"  #: where slow-request captures land
+    slow_keep: int = 32  #: bounded on-disk ring size for slow captures
+    runtime_interval_s: float = 5.0  #: runtime-gauge sampling period
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -83,7 +92,10 @@ class _Job:
     discarded -- but never both executed *and* re-queued.
     """
 
-    __slots__ = ("endpoint", "fn", "context", "done", "result", "_state", "_lock")
+    __slots__ = (
+        "endpoint", "fn", "context", "done", "result", "_state", "_lock",
+        "enqueued_at", "claimed_at", "worker",
+    )
 
     def __init__(self, endpoint: str, fn: Callable[[], tuple[int, dict]]) -> None:
         self.endpoint = endpoint
@@ -95,6 +107,16 @@ class _Job:
         self.result: tuple[int, dict] | None = None
         self._state = "queued"
         self._lock = threading.Lock()
+        self.enqueued_at = time.perf_counter()
+        self.claimed_at: float | None = None
+        self.worker: str | None = None
+
+    @property
+    def queue_wait_ms(self) -> float:
+        """Milliseconds the job sat queued before a worker claimed it."""
+        if self.claimed_at is None:
+            return 0.0
+        return (self.claimed_at - self.enqueued_at) * 1000.0
 
     def claim(self) -> bool:
         """Worker-side: take the job; False if the client already gave up."""
@@ -135,12 +157,31 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         _log.debug("%s %s", self.address_string(), format % args)
 
+    #: Set per request (client-provided ``X-Request-Id`` or a fresh one)
+    #: and echoed on every response.
+    _request_id: str = ""
+
+    def _begin_request(self) -> None:
+        incoming = self.headers.get("X-Request-Id", "").strip()
+        self._request_id = incoming[:64] if incoming else new_request_id()
+
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._begin_request()
         url = urlsplit(self.path)
         if url.path == "/healthz":
             self._respond_inline("healthz", self.upcc.app.health(self.upcc.draining))
         elif url.path == "/stats":
             self._respond_inline("stats", self.upcc.app.stats())
+        elif url.path == "/metrics":
+            # Answered inline (like /healthz) so scrapes stay responsive
+            # while the worker pool is saturated.
+            started = time.perf_counter()
+            body = get_registry().render_prometheus()
+            self._count("metrics", started)
+            self._access("GET", url.path, 200, started)
+            self._send_text(200, body, PROMETHEUS_CONTENT_TYPE)
+        elif url.path == "/slow":
+            self._respond_inline("slow", self.upcc.slow_requests())
         elif url.path == "/explain":
             params = {
                 key: values[0] for key, values in parse_qs(url.query).items()
@@ -150,6 +191,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, {"error": f"no such endpoint: GET {url.path}"})
 
     def do_POST(self) -> None:  # noqa: N802
+        self._begin_request()
         url = urlsplit(self.path)
         if url.path == "/generate":
             endpoint, handler = "generate", self.upcc.app.generate
@@ -191,6 +233,8 @@ class _Handler(BaseHTTPRequestHandler):
             status, payload = result
             request_span.set(status=status)
         self._count(endpoint, started)
+        self._access(self.command, self.path, status, started,
+                     request_span=request_span)
         self._send(status, payload)
 
     def _dispatch(self, endpoint: str, fn: Callable[[], tuple[int, dict]]) -> None:
@@ -198,9 +242,11 @@ class _Handler(BaseHTTPRequestHandler):
         upcc = self.upcc
         started = time.perf_counter()
         with span("serve.request", endpoint=endpoint) as request_span:
-            status, payload = upcc.submit(endpoint, fn)
+            status, payload, job = upcc.submit_job(endpoint, fn)
             request_span.set(status=status)
         self._count(endpoint, started)
+        self._access(self.command, self.path, status, started,
+                     request_span=request_span, job=job)
         headers = {"Retry-After": "1"} if status == 503 else None
         self._send(status, payload, headers)
 
@@ -211,13 +257,55 @@ class _Handler(BaseHTTPRequestHandler):
                 (time.perf_counter() - started) * 1000.0
             )
 
+    def _access(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        started: float,
+        request_span: Any = None,
+        job: "_Job | None" = None,
+    ) -> None:
+        """Write the request's access-log record and, past the slow
+        threshold, hand its span tree to the capture store."""
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        real_span = request_span if isinstance(request_span, Span) else None
+        self.upcc.access.log(
+            method=method,
+            path=path,
+            status=status,
+            duration_ms=duration_ms,
+            queue_wait_ms=job.queue_wait_ms if job is not None else 0.0,
+            worker=(job.worker if job is not None and job.worker else "inline"),
+            request_id=self._request_id,
+            span_id=real_span.span_id if real_span is not None else None,
+        )
+        if real_span is not None:
+            self.upcc.maybe_capture_slow(real_span, self._request_id)
+
     def _send(
         self, status: int, payload: dict, headers: dict[str, str] | None = None
     ) -> None:
         body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self._send_bytes(status, body, "application/json", headers)
+
+    def _send_text(
+        self, status: int, text: str, content_type: str
+    ) -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type)
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id:
+            self.send_header("X-Request-Id", self._request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         if self.upcc.draining:
@@ -270,7 +358,19 @@ class UpccServer:
         self._rejected_backpressure = counter("serve.rejected_total", reason="backpressure")
         self._rejected_draining = counter("serve.rejected_total", reason="draining")
         self._rejected_timeout = counter("serve.rejected_total", reason="timeout")
+        self._slow_total = counter("serve.slow_requests_total")
+        #: Access log: JSON-lines file when configured, always an
+        #: in-memory ring that /stats serves as recent_requests.
+        self.access = AccessLog(self.config.access_log, ring=self.config.access_ring)
+        self.slow_store: SlowRequestStore | None = (
+            SlowRequestStore(self.config.slow_dir, keep=self.config.slow_keep)
+            if self.config.slow_ms is not None
+            else None
+        )
+        self._runtime = RuntimeCollector(interval_s=self.config.runtime_interval_s)
+        self._tracer_enabled_by_us = False
         self.app.server_info = self.info
+        self.app.access_recent = self.access.recent
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -278,6 +378,12 @@ class UpccServer:
         if self._started:
             raise RuntimeError("server already started")
         self._started = True
+        if self.slow_store is not None and not get_tracer().enabled:
+            # Slow capture needs real spans; the module-level span()
+            # helper degrades to a shared no-op while tracing is off.
+            get_tracer().enabled = True
+            self._tracer_enabled_by_us = True
+        self._runtime.start()
         self._httpd = _HttpServer(
             (self.config.host, self.config.port), _Handler
         )
@@ -384,39 +490,84 @@ class UpccServer:
         self._httpd.server_close()  # joins connection threads: responses flushed
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
+        self._runtime.stop()
+        if self._tracer_enabled_by_us:
+            get_tracer().enabled = False
+            self._tracer_enabled_by_us = False
         _log.info("drained %s", "cleanly" if clean else "with leftovers")
         return clean
+
+    # -- observability ---------------------------------------------------------
+
+    def slow_requests(self) -> tuple[int, dict]:
+        """``GET /slow``: the slow-capture index (404 when capture is off)."""
+        if self.slow_store is None:
+            return 404, {
+                "error": "slow-request capture is disabled; start with --slow-ms"
+            }
+        return 200, {
+            "slow_ms": self.config.slow_ms,
+            "dir": str(self.slow_store.directory),
+            "keep": self.slow_store.keep,
+            "captures": self.slow_store.list(),
+        }
+
+    def maybe_capture_slow(self, request_span: Span, request_id: str) -> None:
+        """Capture ``request_span``'s tree when it crossed the threshold."""
+        if self.slow_store is None or self.config.slow_ms is None:
+            return
+        if request_span.duration_ms < self.config.slow_ms:
+            return
+        self._slow_total.inc()
+        try:
+            self.slow_store.capture(
+                request_span,
+                request_id=request_id,
+                endpoint=str(request_span.attributes.get("endpoint", "")),
+                threshold_ms=self.config.slow_ms,
+            )
+        except OSError as error:
+            _log.warning("slow-request capture failed: %s", error)
 
     # -- work admission --------------------------------------------------------
 
     def submit(self, endpoint: str, fn: Callable[[], tuple[int, dict]]) -> tuple[int, dict]:
         """Queue one unit of work and wait for its result (connection thread)."""
+        status, payload, _job = self.submit_job(endpoint, fn)
+        return status, payload
+
+    def submit_job(
+        self, endpoint: str, fn: Callable[[], tuple[int, dict]]
+    ) -> tuple[int, dict, _Job | None]:
+        """Like :meth:`submit`, also returning the job (for access-log
+        queue-wait/worker attribution); the job is None when admission
+        rejected the request before a job existed."""
         if self.draining:
             self._rejected_draining.inc()
-            return 503, {"error": "server is draining"}
+            return 503, {"error": "server is draining"}, None
         job = _Job(endpoint, fn)
         try:
             self._queue.put_nowait(job)
         except queue.Full:
             self._rejected_backpressure.inc()
-            return 503, {"error": "request queue is full, retry later"}
+            return 503, {"error": "request queue is full, retry later"}, None
         self._queue_depth.set(self._queue.qsize())
         if job.done.wait(timeout=self.config.timeout_s):
             assert job.result is not None
-            return job.result
+            return job.result[0], job.result[1], job
         if job.abandon():
             # Never claimed: it will be skipped when a worker dequeues it.
             with self._idle:
                 self._idle.notify_all()
             self._rejected_timeout.inc()
-            return 504, {"error": f"request timed out after {self.config.timeout_s}s"}
+            return 504, {"error": f"request timed out after {self.config.timeout_s}s"}, job
         # A worker claimed it while we were giving up; the result is
         # imminent -- grant a short grace so the work isn't wasted.
         if job.done.wait(timeout=1.0):
             assert job.result is not None
-            return job.result
+            return job.result[0], job.result[1], job
         self._rejected_timeout.inc()
-        return 504, {"error": f"request timed out after {self.config.timeout_s}s"}
+        return 504, {"error": f"request timed out after {self.config.timeout_s}s"}, job
 
     # -- worker side -----------------------------------------------------------
 
@@ -429,6 +580,8 @@ class UpccServer:
             if not job.claim():  # client gave up while the job was queued
                 self._job_done()
                 continue
+            job.claimed_at = time.perf_counter()
+            job.worker = threading.current_thread().name
             with self._idle:
                 self._inflight += 1
             try:

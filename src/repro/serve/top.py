@@ -1,0 +1,197 @@
+"""``upcc top``: a curses-free terminal dashboard for a running daemon.
+
+Polls ``GET /stats`` and ``GET /metrics`` on an interval and redraws one
+screenful in place (plain ANSI clear-and-home, no :mod:`curses`), showing
+the numbers an operator watches during a load event:
+
+* throughput -- requests/s over the last poll interval (delta of
+  ``serve.requests_total`` between frames) and cumulative totals,
+* tails -- p50/p90/p99 of ``serve.request_ms`` estimated from the scraped
+  cumulative bucket series (:func:`repro.obs.export.quantile_from_buckets`),
+* saturation -- queue depth vs capacity, in-flight jobs, rejects,
+* caches -- model/generation/compilation entries and model hit rate,
+* runtime -- RSS, thread count, open fds, GC collections, uptime,
+* the tail of the access-log ring (method, path, status, latency).
+
+``--once`` renders a single frame without clearing the screen (useful in
+scripts and asserted by the test suite); ``--json`` dumps the raw
+snapshot instead of the board.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+from repro.obs.export import parse_prometheus_text, quantile_from_buckets
+from repro.serve.loadgen import request_json, request_text
+
+__all__ = ["fetch_snapshot", "render_board", "main"]
+
+#: ANSI: clear screen, cursor home (the whole "UI framework").
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_snapshot(url: str, *, timeout_s: float = 10.0) -> dict[str, Any]:
+    """One combined /stats + /metrics poll, reduced to board facts."""
+    status, stats = request_json(url, "/stats", timeout_s=timeout_s)
+    if status != 200:
+        raise RuntimeError(f"GET /stats returned {status}")
+    metrics_status, text = request_text(url, "/metrics", timeout_s=timeout_s)
+    if metrics_status != 200:
+        raise RuntimeError(f"GET /metrics returned {metrics_status}")
+    families = parse_prometheus_text(text)
+
+    def family_total(name: str) -> float:
+        family = families.get(name)
+        return sum(family.values()) if family is not None else 0.0
+
+    def gauge_value(name: str) -> float:
+        family = families.get(name)
+        values = family.values() if family is not None else []
+        return values[-1] if values else 0.0
+
+    latency = families.get("serve_request_ms")
+    buckets = latency.buckets() if latency is not None else []
+    quantiles = {
+        f"p{q:g}": round(quantile_from_buckets(buckets, q), 3)
+        for q in (50.0, 90.0, 99.0)
+    } if buckets and buckets[-1][1] > 0 else {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    server = stats.get("server", {})
+    caches = stats.get("caches", {})
+    hits = family_total("serve_model_cache_hits")
+    misses = family_total("serve_model_cache_misses")
+    lookups = hits + misses
+    return {
+        "polled_at": time.monotonic(),
+        "uptime_s": stats.get("uptime_s", 0.0),
+        "requests_total": family_total("serve_requests_total"),
+        "rejected_total": family_total("serve_rejected_total"),
+        "slow_total": family_total("serve_slow_requests_total"),
+        "latency_ms": quantiles,
+        "queue_depth": server.get("queue_depth", 0),
+        "queue_size": server.get("queue_size", 0),
+        "inflight": server.get("inflight", 0),
+        "workers": server.get("workers", 0),
+        "draining": server.get("draining", False),
+        "caches": {
+            "models": caches.get("models", 0),
+            "generation": caches.get("generation_entries", 0),
+            "compilation": caches.get("compilation_entries", 0),
+            "model_hit_rate": round(hits / lookups, 3) if lookups else 0.0,
+        },
+        "runtime": {
+            "rss_bytes": int(gauge_value("runtime_rss_bytes")),
+            "threads": int(gauge_value("runtime_threads")),
+            "open_fds": int(gauge_value("runtime_open_fds")),
+            "gc_collections": int(family_total("runtime_gc_collections")),
+        },
+        "recent_requests": stats.get("recent_requests", [])[-8:],
+    }
+
+
+def _fmt_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{value:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def render_board(
+    snapshot: dict[str, Any],
+    previous: dict[str, Any] | None = None,
+    *,
+    url: str = "",
+) -> str:
+    """One dashboard frame as plain text (no ANSI; the loop adds that)."""
+    if previous is not None:
+        dt = snapshot["polled_at"] - previous["polled_at"]
+        dreq = snapshot["requests_total"] - previous["requests_total"]
+        rps = dreq / dt if dt > 0 else 0.0
+        rps_label = f"{rps:8.1f} req/s (last {dt:.1f}s)"
+    else:
+        uptime = snapshot["uptime_s"] or 1.0
+        rps_label = f"{snapshot['requests_total'] / uptime:8.1f} req/s (lifetime)"
+    latency = snapshot["latency_ms"]
+    caches = snapshot["caches"]
+    runtime = snapshot["runtime"]
+    state = "DRAINING" if snapshot["draining"] else "serving"
+    lines = [
+        f"upcc top -- {url}  [{state}]  uptime {snapshot['uptime_s']:.0f}s",
+        "",
+        f"  throughput  {rps_label}   total={int(snapshot['requests_total'])} "
+        f"rejected={int(snapshot['rejected_total'])} slow={int(snapshot['slow_total'])}",
+        f"  latency ms  p50={latency['p50']:<9g} p90={latency['p90']:<9g} "
+        f"p99={latency['p99']:<9g}",
+        f"  saturation  queue {snapshot['queue_depth']}/{snapshot['queue_size']}   "
+        f"inflight {snapshot['inflight']}/{snapshot['workers']} workers",
+        f"  caches      models={caches['models']} generation={caches['generation']} "
+        f"compilation={caches['compilation']} model_hit_rate={caches['model_hit_rate']:.1%}",
+        f"  runtime     rss={_fmt_bytes(runtime['rss_bytes'])} "
+        f"threads={runtime['threads']} fds={runtime['open_fds']} "
+        f"gc={runtime['gc_collections']}",
+        "",
+        "  recent requests:",
+    ]
+    recent = snapshot["recent_requests"]
+    if recent:
+        for record in recent:
+            lines.append(
+                f"    {record.get('method', '?'):>4} {record.get('path', '?'):<12} "
+                f"{record.get('status', 0):>3}  {record.get('duration_ms', 0.0):>9.2f}ms  "
+                f"wait {record.get('queue_wait_ms', 0.0):>7.2f}ms  "
+                f"{record.get('worker', '')}  {record.get('request_id', '')}"
+            )
+    else:
+        lines.append("    (none yet)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI loop: poll, render, clear, repeat (or one frame with ``--once``)."""
+    parser = argparse.ArgumentParser(
+        prog="upcc top",
+        description="live terminal dashboard for a running upcc serve daemon",
+    )
+    parser.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8437")
+    parser.add_argument("--interval", type=float, default=2.0, help="poll period in seconds (default 2)")
+    parser.add_argument("--once", action="store_true", help="render a single frame and exit")
+    parser.add_argument("--count", type=int, default=0, help="stop after N frames (0 = until interrupted)")
+    parser.add_argument("--json", action="store_true", help="emit the raw snapshot as JSON instead of the board")
+    args = parser.parse_args(argv)
+
+    previous: dict[str, Any] | None = None
+    frames = 0
+    try:
+        while True:
+            try:
+                snapshot = fetch_snapshot(args.url, timeout_s=max(1.0, args.interval * 2))
+            except (OSError, RuntimeError, ValueError) as error:
+                print(f"error: cannot poll {args.url}: {error}", file=sys.stderr)
+                return 1
+            if args.json:
+                print(json.dumps(snapshot, indent=2, sort_keys=True))
+            else:
+                frame = render_board(snapshot, previous, url=args.url)
+                if args.once:
+                    print(frame)
+                else:
+                    print(f"{_CLEAR}{frame}", flush=True)
+            frames += 1
+            previous = snapshot
+            if args.once or (args.count and frames >= args.count):
+                return 0
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

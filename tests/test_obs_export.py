@@ -1,0 +1,182 @@
+"""Prometheus exposition: rendering, escaping, parse-back, quantiles."""
+
+import math
+
+import pytest
+
+from repro.obs.export import (
+    escape_label_value,
+    format_le,
+    format_value,
+    parse_prometheus_text,
+    quantile_from_buckets,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    fresh.counter("xsdgen.schemas_generated").inc(7)
+    fresh.counter("serve.requests_total", endpoint="validate").inc(3)
+    fresh.counter("serve.requests_total", endpoint="generate").inc(1)
+    fresh.gauge("serve.queue_depth").set(2)
+    hist = fresh.histogram("serve.request_ms", endpoint="validate")
+    for value in (0.2, 0.8, 3.0, 40.0, 20000.0):
+        hist.observe(value)
+    return fresh
+
+
+class TestNameSanitization:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("serve.request_ms") == "serve_request_ms"
+
+    def test_already_valid_names_pass_through(self):
+        assert sanitize_metric_name("up_time:total") == "up_time:total"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("2xx.count") == "_2xx_count"
+
+
+class TestRendering:
+    def test_help_and_type_lines_precede_samples(self, registry):
+        text = render_prometheus(registry)
+        lines = text.splitlines()
+        type_index = lines.index("# TYPE serve_requests_total counter")
+        help_index = lines.index(
+            "# HELP serve_requests_total repro metric serve.requests_total (counter)"
+        )
+        first_sample = next(
+            i for i, line in enumerate(lines)
+            if line.startswith("serve_requests_total{")
+        )
+        assert help_index < type_index < first_sample
+
+    def test_histogram_families_have_bucket_sum_count(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE serve_request_ms histogram" in text
+        assert 'serve_request_ms_bucket{endpoint="validate",le="+Inf"} 5' in text
+        assert 'serve_request_ms_count{endpoint="validate"} 5' in text
+        assert 'serve_request_ms_sum{endpoint="validate"}' in text
+
+    def test_bucket_series_is_cumulative_and_complete(self, registry):
+        families = parse_prometheus_text(render_prometheus(registry))
+        buckets = families["serve_request_ms"].buckets({"endpoint": "validate"})
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)
+        assert len(buckets) == len(DEFAULT_BUCKETS) + 1
+        assert math.isinf(buckets[-1][0])
+        assert buckets[-1][1] == 5
+
+    def test_deterministic_output(self, registry):
+        assert render_prometheus(registry) == render_prometheus(registry)
+
+    def test_empty_registry_renders_empty_payload(self):
+        assert parse_prometheus_text(render_prometheus(MetricsRegistry())) == {}
+
+    def test_ends_with_single_newline(self, registry):
+        text = render_prometheus(registry)
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+
+class TestEscaping:
+    def test_label_values_escape_per_spec(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_escaped_labels_round_trip_through_the_parser(self):
+        registry = MetricsRegistry()
+        nasty = 'path="/x\\y",\nend'
+        registry.counter("hits", where=nasty).inc()
+        families = parse_prometheus_text(render_prometheus(registry))
+        [(name, labels, value)] = families["hits"].samples
+        assert labels == {"where": nasty}
+        assert value == 1
+
+    def test_registry_render_prometheus_delegates(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert registry.render_prometheus() == render_prometheus(registry)
+
+
+class TestValueFormatting:
+    def test_integers_stay_integers(self):
+        assert format_value(3) == "3"
+        assert format_value(3.0) == "3"
+
+    def test_infinities_spelled_out(self):
+        assert format_value(float("inf")) == "+Inf"
+        assert format_le(float("inf")) == "+Inf"
+
+    def test_le_values_are_compact(self):
+        assert format_le(0.25) == "0.25"
+        assert format_le(10.0) == "10"
+
+
+class TestParser:
+    def test_parse_back_reconstructs_families(self, registry):
+        families = parse_prometheus_text(render_prometheus(registry))
+        assert families["serve_requests_total"].type == "counter"
+        assert families["serve_queue_depth"].type == "gauge"
+        assert families["serve_request_ms"].type == "histogram"
+        assert sum(families["serve_requests_total"].values()) == 4
+
+    def test_rejects_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus_text(text)
+
+    def test_rejects_unclosed_bucket_series(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="1"} 5\n'
+        with pytest.raises(ValueError, match="not closed"):
+            parse_prometheus_text(text)
+
+    def test_rejects_count_bucket_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 4\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse_prometheus_text(text)
+
+    def test_rejects_garbage_lines(self):
+        with pytest.raises(ValueError, match="unparsable"):
+            parse_prometheus_text("this is not exposition format\n")
+
+    def test_untyped_samples_are_tolerated(self):
+        families = parse_prometheus_text("free_floating 12\n")
+        assert families["free_floating"].type == "untyped"
+        assert families["free_floating"].values() == [12.0]
+
+
+class TestQuantileFromBuckets:
+    def test_empty_series_is_zero(self):
+        assert quantile_from_buckets([], 99.0) == 0.0
+
+    def test_single_bucket_interpolates_inside_it(self):
+        buckets = [(1.0, 0), (2.0, 10), (float("inf"), 10)]
+        estimate = quantile_from_buckets(buckets, 50.0)
+        assert 1.0 <= estimate <= 2.0
+
+    def test_overflow_bucket_clamps_to_last_finite_bound(self):
+        buckets = [(1.0, 0), (float("inf"), 10)]
+        assert quantile_from_buckets(buckets, 99.0) == 1.0
+
+    def test_matches_histogram_side_estimate(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram("h")
+        for value in (0.3, 0.7, 2.0, 8.0, 30.0, 70.0, 200.0, 900.0):
+            hist.observe(value)
+        scraped = quantile_from_buckets(hist.cumulative_buckets(), 90.0)
+        native = hist.quantile(90.0)
+        # Same buckets, same interpolation; the native side additionally
+        # clamps to observed min/max.
+        assert scraped == pytest.approx(native, rel=0.35)

@@ -43,7 +43,39 @@ class TestInstruments:
         for value in [1.0, 3.0, 2.0]:
             hist.observe(value)
         aggregate = registry.snapshot()["rule_ms"]
-        assert aggregate == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        assert aggregate["count"] == 3
+        assert aggregate["sum"] == 6.0
+        assert aggregate["min"] == 1.0
+        assert aggregate["max"] == 3.0
+        assert aggregate["mean"] == 2.0
+        assert 1.0 <= aggregate["p50"] <= aggregate["p90"] <= aggregate["p99"] <= 3.0
+
+    def test_histogram_quantiles_single_observation(self, registry):
+        hist = registry.histogram("one_ms")
+        hist.observe(7.0)
+        aggregate = hist.to_dict()
+        assert aggregate["p50"] == aggregate["p99"] == 7.0
+
+    def test_histogram_cumulative_buckets(self, registry):
+        hist = registry.histogram("bucketed_ms")
+        for value in [0.3, 0.3, 4.0, 99999.0]:
+            hist.observe(value)
+        pairs = hist.cumulative_buckets()
+        assert pairs[-1] == (float("inf"), 4)
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)  # cumulative => non-decreasing
+        by_bound = dict(pairs)
+        assert by_bound[0.5] == 2
+        assert by_bound[5.0] == 3
+        assert by_bound[10000.0] == 3  # the 99999 lands in +Inf only
+
+    def test_histogram_quantile_skewed_tail(self, registry):
+        hist = registry.histogram("skew_ms")
+        for _ in range(99):
+            hist.observe(1.0)
+        hist.observe(900.0)
+        assert hist.quantile(50.0) <= 2.5
+        assert hist.quantile(99.9) > 100.0
 
     def test_histogram_time_context_manager(self, registry):
         with registry.histogram("timed_ms").time():
@@ -105,6 +137,70 @@ class TestGlobalShortcuts:
         snapshot = registry.snapshot()
         assert snapshot["hits"] == 1
         assert snapshot["ms{rule=R}"]["count"] == 1
+
+
+class TestLabelEscaping:
+    def test_structural_characters_do_not_collide_keys(self, registry):
+        # Without escaping these two label sets would render identical keys.
+        a = registry.counter("m", path="a=b,c")
+        b = registry.counter("m", **{"path": "a", "extra": "b\\,c"})
+        assert a is not b
+        assert a.name != b.name
+
+    def test_escaping_is_reversible(self):
+        from repro.obs.metrics import escape_label_value
+
+        nasty = 'a=b,{c}\\d\ne\rf'
+        escaped = escape_label_value(nasty)
+        assert "\n" not in escaped and "\r" not in escaped
+        unescaped = (
+            escaped.replace("\\\\", "\x00")
+            .replace("\\=", "=").replace("\\,", ",")
+            .replace("\\{", "{").replace("\\}", "}")
+            .replace("\\n", "\n").replace("\\r", "\r")
+            .replace("\x00", "\\")
+        )
+        assert unescaped == nasty
+
+    def test_plain_values_pass_through(self):
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value("UPCC-P01") == "UPCC-P01"
+
+
+class TestKindCollisions:
+    def test_counter_then_gauge_same_name_raises(self, registry):
+        registry.counter("serve.depth").inc()
+        with pytest.raises(ValueError, match="one name, one kind"):
+            registry.gauge("serve.depth")
+
+    def test_histogram_then_counter_same_name_raises(self, registry):
+        registry.histogram("req_ms").observe(1.0)
+        with pytest.raises(ValueError, match="one name, one kind"):
+            registry.counter("req_ms")
+
+    def test_snapshot_backstops_hand_assembled_collisions(self, registry):
+        from repro.obs.metrics import Gauge
+
+        registry.counter("dup").inc()
+        registry._gauges["dup"] = Gauge("dup")
+        with pytest.raises(ValueError, match="refusing to shadow"):
+            registry.snapshot()
+
+
+class TestPerInstrumentLocks:
+    def test_instruments_do_not_share_the_registry_lock(self, registry):
+        c = registry.counter("a")
+        g = registry.gauge("b")
+        h = registry.histogram("c")
+        locks = {id(c._lock), id(g._lock), id(h._lock), id(registry._lock)}
+        assert len(locks) == 4
+
+    def test_increment_does_not_need_the_registry_lock(self, registry):
+        instrument = registry.counter("free")
+        with registry._lock:  # would deadlock if inc() took the registry lock
+            instrument.inc()
+        assert instrument.value == 1
 
 
 class TestThreadSafety:

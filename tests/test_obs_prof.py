@@ -200,3 +200,65 @@ class TestCprofileAttach:
             sum(range(1000))
         text = cprofile_stats_text(profiler, top=3, sort="tottime")
         assert "internal time" in text
+
+
+class TestTraceEvents:
+    def test_empty_input_yields_empty_document(self):
+        from repro.obs.prof import to_trace_events
+
+        document = to_trace_events([])
+        assert document == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_spans_become_complete_events_rebased_to_zero(self):
+        from repro.obs.prof import to_trace_events
+
+        child = _span("xsdgen.library", 40.0)
+        child.started_at, child.ended_at = 105.0, 105.040
+        root = _span("serve.request", 100.0, children=[child])
+        root.started_at, root.ended_at = 105.0, 105.100
+        document = to_trace_events([root])
+        events = document["traceEvents"]
+        assert len(events) == 2
+        root_event = next(e for e in events if e["name"] == "serve.request")
+        assert root_event["ph"] == "X"
+        assert root_event["ts"] == 0.0
+        assert root_event["dur"] == pytest.approx(100_000.0, rel=0.01)  # µs
+        child_event = next(e for e in events if e["name"] == "xsdgen.library")
+        assert child_event["args"]["parent_id"] == root.span_id
+
+    def test_each_tree_gets_its_own_tid(self):
+        from repro.obs.prof import to_trace_events
+
+        first, second = _span("a", 1.0), _span("b", 1.0)
+        events = to_trace_events([first, second])["traceEvents"]
+        assert {event["tid"] for event in events} == {1, 2}
+
+    def test_attributes_and_status_ride_in_args(self):
+        from repro.obs.prof import to_trace_events
+
+        root = _span("serve.request", 5.0)
+        root.attributes = {"endpoint": "validate", "docs": 3}
+        root.status = "error"
+        root.error = "ValueError: boom"
+        [event] = to_trace_events([root])["traceEvents"]
+        assert event["args"]["endpoint"] == "validate"
+        assert event["args"]["status"] == "error"
+        assert event["args"]["error"] == "ValueError: boom"
+
+    def test_render_trace_events_is_json(self):
+        from repro.obs.prof import render_trace_events
+
+        text = render_trace_events([_span("a", 1.0)])
+        document = json.loads(text)
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_unfinished_spans_are_skipped(self):
+        from repro.obs.prof import to_trace_events
+
+        open_span = Span(name="still.open")
+        open_span.started_at = 1.0
+        finished = _span("done", 1.0)
+        finished.children.append(open_span)
+        open_span.parent = finished
+        events = to_trace_events([finished])["traceEvents"]
+        assert [event["name"] for event in events] == ["done"]

@@ -1,0 +1,94 @@
+"""Runtime collector: gauge publication, sampling loop, degradation."""
+
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import RuntimeCollector, open_fds, rss_bytes, sample_runtime
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestSamplers:
+    def test_rss_is_positive_on_this_platform(self):
+        assert rss_bytes() > 0
+
+    def test_open_fds_is_positive_or_sentinel(self):
+        assert open_fds() >= -1
+        assert open_fds() != 0  # a running interpreter holds fds (or -1)
+
+
+class TestSampleRuntime:
+    def test_publishes_all_gauges(self, registry):
+        sample_runtime(registry, started_at=time.monotonic())
+        snapshot = registry.snapshot()
+        assert snapshot["runtime.rss_bytes"] > 0
+        assert snapshot["runtime.threads"] >= 1
+        assert "runtime.open_fds" in snapshot
+        assert snapshot["runtime.uptime_s"] >= 0.0
+        gc_keys = [key for key in snapshot if key.startswith("runtime.gc_collections{")]
+        assert len(gc_keys) == 3  # one gauge per GC generation
+
+    def test_without_started_at_skips_uptime(self, registry):
+        sample = sample_runtime(registry)
+        assert "uptime_s" not in sample
+        assert "runtime.uptime_s" not in registry.snapshot()
+
+    def test_returns_the_sampled_values(self, registry):
+        sample = sample_runtime(registry)
+        assert sample["rss_bytes"] == registry.snapshot()["runtime.rss_bytes"]
+
+
+class TestRuntimeCollector:
+    def test_start_samples_immediately(self, registry):
+        collector = RuntimeCollector(interval_s=60.0, registry=registry)
+        try:
+            collector.start()
+            # No interval elapsed, yet gauges exist (synchronous first sample).
+            assert registry.snapshot()["runtime.rss_bytes"] > 0
+            assert collector.samples == 1
+        finally:
+            collector.stop()
+
+    def test_background_loop_keeps_sampling(self, registry):
+        collector = RuntimeCollector(interval_s=0.05, registry=registry)
+        collector.start()
+        time.sleep(0.25)
+        collector.stop()
+        assert collector.samples >= 3
+        assert not collector.running
+
+    def test_stop_is_idempotent_and_fast(self, registry):
+        collector = RuntimeCollector(interval_s=30.0, registry=registry)
+        collector.start()
+        started = time.perf_counter()
+        collector.stop()
+        collector.stop()
+        # stop() wakes the waiter; it must not ride out the 30s interval.
+        assert time.perf_counter() - started < 5.0
+
+    def test_start_is_idempotent(self, registry):
+        collector = RuntimeCollector(interval_s=30.0, registry=registry)
+        try:
+            assert collector.start() is collector.start()
+        finally:
+            collector.stop()
+
+    def test_context_manager_runs_and_stops(self, registry):
+        with RuntimeCollector(interval_s=30.0, registry=registry) as collector:
+            assert collector.running
+        assert not collector.running
+
+    def test_uptime_grows_across_samples(self, registry):
+        collector = RuntimeCollector(interval_s=0.05, registry=registry)
+        collector.start()
+        time.sleep(0.15)
+        first = registry.snapshot()["runtime.uptime_s"]
+        time.sleep(0.15)
+        second = registry.snapshot()["runtime.uptime_s"]
+        collector.stop()
+        assert second > first >= 0.0

@@ -377,3 +377,203 @@ class TestLoadGenerator:
     def test_percentile_of_empty_result(self):
         empty = LoadResult(0, 0, 0, 0, 0, 0.0)
         assert empty.percentile(99) == 0.0
+
+    def test_scrape_server_quantiles(self, server, easybiz_xmi):
+        from repro.serve.loadgen import scrape_server_quantiles
+
+        generated = _generate(server, easybiz_xmi)
+        instance = TestEndpointContracts._instance(generated)
+        payload = {"schema_set": generated["schema_set"], "documents": [instance]}
+        run_load(server.url, "/validate", payload, requests=10, concurrency=2)
+        quantiles = scrape_server_quantiles(
+            server.url, labels={"endpoint": "validate"}
+        )
+        assert quantiles is not None
+        assert 0.0 < quantiles["p50"] <= quantiles["p95"] <= quantiles["p99"]
+
+
+class TestMetricsEndpoint:
+    def test_metrics_returns_valid_exposition(self, server, easybiz_xmi):
+        from repro.obs.export import parse_prometheus_text
+        from repro.serve.loadgen import request_text
+
+        _generate(server, easybiz_xmi)
+        status, text = request_text(server.url, "/metrics")
+        assert status == 200
+        families = parse_prometheus_text(text)  # raises on malformed payload
+        assert families["serve_requests_total"].type == "counter"
+        assert families["serve_request_ms"].type == "histogram"
+        assert families["runtime_rss_bytes"].type == "gauge"
+        buckets = families["serve_request_ms"].buckets()
+        assert buckets[-1][1] >= 1
+
+    def test_metrics_content_type(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            response.read()
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            assert "version=0.0.4" in response.headers["Content-Type"]
+        finally:
+            connection.close()
+
+
+class TestRequestIds:
+    def test_every_response_carries_a_request_id(self, server):
+        status, headers, _body = _raw_request(server, "GET", "/healthz")
+        assert status == 200
+        assert len(headers["X-Request-Id"]) == 12
+
+    def test_client_supplied_id_is_echoed(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request("GET", "/healthz", headers={"X-Request-Id": "trace-me-42"})
+            response = connection.getresponse()
+            response.read()
+            assert response.headers["X-Request-Id"] == "trace-me-42"
+        finally:
+            connection.close()
+
+    def test_ids_differ_across_requests(self, server):
+        _status, first, _ = _raw_request(server, "GET", "/healthz")
+        _status, second, _ = _raw_request(server, "GET", "/healthz")
+        assert first["X-Request-Id"] != second["X-Request-Id"]
+
+
+class TestAccessLogWiring:
+    def test_stats_surfaces_recent_requests(self, server):
+        request_json(server.url, "/healthz")
+        status, stats = request_json(server.url, "/stats")
+        assert status == 200
+        recent = stats["recent_requests"]
+        assert recent, "access ring should not be empty"
+        record = recent[0]
+        assert {"method", "path", "status", "duration_ms", "queue_wait_ms",
+                "worker", "request_id", "span_id"} <= set(record)
+        assert any(item["path"] == "/healthz" for item in recent)
+
+    def test_access_log_file_records_every_request(self, tmp_path, easybiz_xmi):
+        config = ServeConfig(
+            workers=2, queue_size=16, timeout_s=20,
+            access_log=str(tmp_path / "access.jsonl"),
+        )
+        with UpccServer(ServeApp(), config) as running:
+            _generate(running, easybiz_xmi)
+            request_json(running.url, "/healthz")
+            lines = (tmp_path / "access.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 2
+        by_path = {record["path"]: record for record in records}
+        assert by_path["/generate"]["worker"].startswith("upcc-serve-worker-")
+        assert by_path["/generate"]["queue_wait_ms"] >= 0.0
+        assert by_path["/healthz"]["worker"] == "inline"
+
+    def test_queued_requests_attribute_queue_wait(self, easybiz_xmi):
+        config = ServeConfig(workers=1, queue_size=16, timeout_s=20)
+        with UpccServer(ServeApp(), config) as running:
+            _generate(running, easybiz_xmi)
+            _status, stats = request_json(running.url, "/stats")
+        [queued] = [
+            record for record in stats["recent_requests"]
+            if record["path"] == "/generate"
+        ]
+        assert queued["queue_wait_ms"] >= 0.0
+        assert queued["worker"].startswith("upcc-serve-worker-")
+        assert queued["request_id"]
+
+
+class TestSlowCapture:
+    def test_slow_requests_are_captured_with_bounded_ring(self, tmp_path, easybiz_xmi):
+        config = ServeConfig(
+            workers=2, queue_size=16, timeout_s=20,
+            slow_ms=0.0, slow_dir=str(tmp_path / "slow"), slow_keep=2,
+        )
+        with UpccServer(ServeApp(), config) as running:
+            _generate(running, easybiz_xmi)
+            request_json(running.url, "/healthz")
+            status, listing = request_json(running.url, "/slow")
+            assert status == 200
+            assert listing["keep"] == 2
+            assert 1 <= len(listing["captures"]) <= 2
+            store = running.slow_store
+        # After drain no more captures happen; the store's final index
+        # matches the files on disk (a /slow listing itself gets captured
+        # with slow_ms=0, so in-flight listings can reference evicted files).
+        captures = store.list()
+        assert 1 <= len(captures) <= 2
+        for entry in captures:
+            assert (tmp_path / "slow" / entry["jsonl"]).exists()
+            assert (tmp_path / "slow" / entry["trace"]).exists()
+        trace = json.loads((tmp_path / "slow" / captures[-1]["trace"]).read_text())
+        assert trace["traceEvents"], "span tree should not be empty"
+        # On-disk ring bounded: at most keep * 2 files.
+        assert len(list((tmp_path / "slow").iterdir())) <= 4
+        snapshot = get_registry().snapshot()
+        assert snapshot["serve.slow_requests_total"] >= 1
+
+    def test_fast_requests_are_not_captured(self, tmp_path, easybiz_xmi):
+        config = ServeConfig(
+            workers=2, queue_size=16, timeout_s=20,
+            slow_ms=60_000.0, slow_dir=str(tmp_path / "slow"),
+        )
+        with UpccServer(ServeApp(), config) as running:
+            request_json(running.url, "/healthz")
+            status, listing = request_json(running.url, "/slow")
+        assert status == 200
+        assert listing["captures"] == []
+
+    def test_slow_endpoint_404_when_disabled(self, server):
+        status, payload = request_json(server.url, "/slow")
+        assert status == 404
+        assert "--slow-ms" in payload["error"]
+
+    def test_capture_restores_tracer_state_after_drain(self, tmp_path):
+        from repro.obs.trace import get_tracer
+
+        assert not get_tracer().enabled
+        config = ServeConfig(
+            workers=1, queue_size=4, slow_ms=1000.0, slow_dir=str(tmp_path / "slow")
+        )
+        with UpccServer(ServeApp(), config):
+            assert get_tracer().enabled
+        assert not get_tracer().enabled
+
+
+class TestTopDashboard:
+    def test_top_once_renders_a_snapshot(self, server, capsys):
+        from repro.serve import top as top_mod
+
+        request_json(server.url, "/healthz")
+        rc = top_mod.main(["--url", server.url, "--once"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "upcc top" in out
+        assert "req/s" in out
+        assert "p99=" in out
+        assert "/healthz" in out
+        assert "\x1b[" not in out  # --once never clears the screen
+
+    def test_top_json_snapshot_shape(self, server, capsys):
+        from repro.serve import top as top_mod
+
+        rc = top_mod.main(["--url", server.url, "--once", "--json"])
+        assert rc == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert {"requests_total", "latency_ms", "queue_depth", "runtime",
+                "caches", "recent_requests"} <= set(snapshot)
+
+    def test_top_fails_cleanly_when_server_is_gone(self, capsys):
+        from repro.serve import top as top_mod
+
+        rc = top_mod.main(["--url", "http://127.0.0.1:9", "--once"])
+        assert rc == 1
+        assert "cannot poll" in capsys.readouterr().err
+
+    def test_cli_top_subcommand_wires_through(self, server, capsys):
+        from repro.cli import main as cli_main
+
+        rc = cli_main(["top", "--url", server.url, "--once"])
+        assert rc == 0
+        assert "upcc top" in capsys.readouterr().out

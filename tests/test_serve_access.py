@@ -1,0 +1,120 @@
+"""Access log, request ids and the slow-request capture store."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import Tracer
+from repro.serve.access import (
+    ACCESS_LOG_FIELDS,
+    AccessLog,
+    SlowRequestStore,
+    new_request_id,
+)
+
+
+class TestRequestIds:
+    def test_ids_are_short_hex(self):
+        request_id = new_request_id()
+        assert len(request_id) == 12
+        int(request_id, 16)  # hex or raise
+
+    def test_ids_are_unique(self):
+        assert len({new_request_id() for _ in range(256)}) == 256
+
+
+class TestAccessLog:
+    def test_record_schema(self, tmp_path):
+        log = AccessLog(tmp_path / "access.jsonl")
+        record = log.log(
+            method="POST", path="/validate", status=200, duration_ms=12.3456,
+            queue_wait_ms=1.2, worker="upcc-serve-worker-1",
+            request_id="abc123", span_id="s9",
+        )
+        assert tuple(sorted(record)) == tuple(sorted(ACCESS_LOG_FIELDS))
+        assert record["duration_ms"] == 12.346
+        assert record["status"] == 200
+
+    def test_jsonl_file_gets_one_parsable_line_per_request(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path)
+        for index in range(5):
+            log.log(method="GET", path="/healthz", status=200,
+                    duration_ms=0.1, request_id=f"id{index}")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 5
+        assert log.lines_written == 5
+        parsed = [json.loads(line) for line in lines]
+        assert [record["request_id"] for record in parsed] == [
+            "id0", "id1", "id2", "id3", "id4"
+        ]
+
+    def test_ring_is_bounded_and_ordered(self):
+        log = AccessLog(ring=3)
+        for index in range(10):
+            log.log(method="GET", path=f"/{index}", status=200,
+                    duration_ms=1.0, request_id=str(index))
+        recent = log.recent()
+        assert [record["path"] for record in recent] == ["/7", "/8", "/9"]
+
+    def test_ring_only_mode_needs_no_file(self):
+        log = AccessLog()
+        log.log(method="GET", path="/stats", status=200, duration_ms=0.5)
+        assert log.path is None
+        assert len(log.recent()) == 1
+
+    def test_creates_parent_directories(self, tmp_path):
+        nested = tmp_path / "logs" / "deep" / "access.jsonl"
+        AccessLog(nested).log(
+            method="GET", path="/", status=200, duration_ms=0.1
+        )
+        assert nested.exists()
+
+
+def _finished_span(tracer, slow_s=0.0):
+    with tracer.span("serve.request", endpoint="validate") as root:
+        with tracer.span("validate.doc"):
+            if slow_s:
+                import time
+
+                time.sleep(slow_s)
+    return root
+
+
+class TestSlowRequestStore:
+    @pytest.fixture
+    def tracer(self):
+        return Tracer(enabled=True)
+
+    def test_capture_writes_jsonl_and_trace(self, tmp_path, tracer):
+        store = SlowRequestStore(tmp_path, keep=4)
+        root = _finished_span(tracer)
+        entry = store.capture(root, request_id="req1", threshold_ms=0.0)
+        assert entry["spans"] == 2
+        jsonl = (tmp_path / entry["jsonl"]).read_text(encoding="utf-8")
+        spans = [json.loads(line) for line in jsonl.splitlines()]
+        assert {span["name"] for span in spans} == {"serve.request", "validate.doc"}
+        assert any(span["parent_id"] is None for span in spans)
+        trace = json.loads((tmp_path / entry["trace"]).read_text(encoding="utf-8"))
+        assert trace["displayTimeUnit"] == "ms"
+        assert len(trace["traceEvents"]) == 2
+        assert all(event["ph"] == "X" for event in trace["traceEvents"])
+
+    def test_ring_is_bounded_on_disk(self, tmp_path, tracer):
+        store = SlowRequestStore(tmp_path, keep=2)
+        for index in range(5):
+            store.capture(_finished_span(tracer), request_id=f"req{index}")
+        assert len(store) == 2
+        files = sorted(path.name for path in tmp_path.iterdir())
+        assert len(files) == 4  # 2 captures x (jsonl + trace)
+        listed = store.list()
+        assert [entry["request_id"] for entry in listed] == ["req3", "req4"]
+        assert all((tmp_path / entry["jsonl"]).exists() for entry in listed)
+
+    def test_index_entries_carry_duration_and_endpoint(self, tmp_path, tracer):
+        store = SlowRequestStore(tmp_path)
+        root = _finished_span(tracer, slow_s=0.01)
+        entry = store.capture(root, request_id="slowone", threshold_ms=5.0)
+        assert entry["endpoint"] == "validate"
+        assert entry["duration_ms"] >= 10.0
+        assert entry["threshold_ms"] == 5.0

@@ -167,7 +167,7 @@ def _serve_arm(repeats: int) -> dict:
 
     from repro.instances import InstanceGenerator
     from repro.serve import ServeApp, ServeConfig, UpccServer
-    from repro.serve.loadgen import request_json, run_load
+    from repro.serve.loadgen import request_json, run_load, scrape_server_quantiles
 
     catalog = build_easybiz_model()
     result = SchemaGenerator(
@@ -205,12 +205,23 @@ def _serve_arm(repeats: int) -> dict:
             if outcome.ok != SERVE_REQUESTS or outcome.dropped:
                 raise RuntimeError(f"serve load run degraded: {outcome.to_json()}")
             times.append(outcome.elapsed_s)
-    return {
+        # Server-side tail from the bucketed /metrics exposition: the
+        # daemon's own view of /validate latency, queue wait included but
+        # client/network time excluded.
+        server_side = scrape_server_quantiles(
+            server.url, labels={"endpoint": "validate"}
+        )
+    arm = {
         "median_ms": round(stats_module.median(times) * 1000.0, 3),
         "requests": SERVE_REQUESTS,
         "rps": round(SERVE_REQUESTS / stats_module.median(times), 1),
         "p95_ms": round(outcome.percentile(95), 3),
+        "p99_ms": round(outcome.percentile(99), 3),
     }
+    if server_side is not None:
+        arm["server_p50_ms"] = server_side["p50"]
+        arm["server_p99_ms"] = server_side["p99"]
+    return arm
 
 
 def run_report(repeats: int) -> dict:
