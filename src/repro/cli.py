@@ -539,9 +539,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         drain_timeout_s=args.drain_timeout,
         access_log=args.access_log,
+        access_log_max_bytes=args.access_log_max_bytes,
+        access_log_keep=max(1, args.access_log_keep),
         slow_ms=args.slow_ms,
         slow_dir=args.slow_dir,
         slow_keep=max(1, args.slow_keep),
+        slo_file=args.slo,
+        alert_log=args.alert_log,
     )
     server = UpccServer(ServeApp(cache_dir=args.cache_dir), config)
     server.start()
@@ -554,6 +558,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     clean = server.drain()
     print(f"drained {'cleanly' if clean else 'with leftovers'}", flush=True)
     return 0 if clean else 1
+
+
+def _cmd_obs_query(args: argparse.Namespace) -> int:
+    """Delegate to the :mod:`repro.obs.query` offline telemetry filter."""
+    from repro.obs import query
+
+    argv: list[str] = []
+    for flag, value in (
+        ("--access-log", args.access_log),
+        ("--slow-dir", args.slow_dir),
+        ("--alerts", args.alerts),
+        ("--trace-id", args.trace_id),
+        ("--request-id", args.request_id),
+        ("--status", args.status),
+        ("--slo", args.slo),
+        ("--state", args.state),
+        ("--since", args.since),
+        ("--until", args.until),
+    ):
+        if value is not None:
+            argv.extend([flag, value])
+    if args.limit:
+        argv.extend(["--limit", str(args.limit)])
+    if args.json:
+        argv.append("--json")
+    return query.main(argv)
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -820,7 +850,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--access-log", metavar="FILE",
         help="append one JSON line per request to FILE (method, path, "
-        "status, duration, queue wait, worker, request id)",
+        "status, duration, queue wait, worker, request id, trace id)",
+    )
+    serve.add_argument(
+        "--access-log-max-bytes", type=int, metavar="BYTES",
+        help="rotate the access log once it exceeds BYTES "
+        "(FILE -> FILE.1 -> ...; default unbounded)",
+    )
+    serve.add_argument(
+        "--access-log-keep", type=int, default=3, metavar="N",
+        help="rotated access-log generations to keep (default 3)",
+    )
+    serve.add_argument(
+        "--slo", metavar="FILE",
+        help="JSON file of SLO specs for burn-rate alerting "
+        "(default: built-in availability + latency objectives)",
+    )
+    serve.add_argument(
+        "--alert-log", metavar="FILE",
+        help="append SLO alert transitions to FILE as JSON lines "
+        "(also served by GET /alerts)",
     )
     serve.add_argument(
         "--slow-ms", type=float, metavar="MS",
@@ -857,6 +906,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the raw snapshot as JSON instead of the board",
     )
     top.set_defaults(func=_cmd_top)
+
+    obs = commands.add_parser(
+        "obs",
+        help="query serve telemetry artifacts offline (access logs, slow "
+        "captures, alert rings)",
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_query = obs_commands.add_parser(
+        "query",
+        help="filter access logs, slow captures, and alerts by trace id, "
+        "request id, status, or time window",
+    )
+    obs_query.add_argument("--access-log", metavar="FILE", help="access log JSONL (rotated generations included)")
+    obs_query.add_argument("--slow-dir", metavar="DIR", help="slow-request capture directory")
+    obs_query.add_argument("--alerts", metavar="FILE", help="SLO alert ring JSONL")
+    obs_query.add_argument("--trace-id", help="exact 32-hex W3C trace id")
+    obs_query.add_argument("--request-id", help="exact request id")
+    obs_query.add_argument("--status", help="status code (e.g. 503) or class (4xx, 5xx)")
+    obs_query.add_argument("--slo", help="alert filter: SLO name")
+    obs_query.add_argument("--state", choices=["firing", "resolved"], help="alert filter: state")
+    obs_query.add_argument("--since", metavar="WHEN", help="lower time bound (unix seconds or ISO-8601, UTC)")
+    obs_query.add_argument("--until", metavar="WHEN", help="upper time bound (unix seconds or ISO-8601, UTC)")
+    obs_query.add_argument("--limit", type=int, default=0, metavar="N", help="newest N matches per source")
+    obs_query.add_argument("--json", action="store_true", help="one JSON document instead of JSON lines")
+    obs_query.set_defaults(func=_cmd_obs_query)
 
     check = commands.add_parser("check-instance", help="validate an XML instance")
     check.add_argument("schemas", help="directory of generated schemas")

@@ -17,9 +17,19 @@ Zero-dependency, stdlib-only.  Six parts:
   registry (``GET /metrics`` on the serve daemon) plus a stdlib parser
   and bucket-series quantile estimation for scrape consumers,
 * :mod:`repro.obs.runtime` -- a background :class:`RuntimeCollector`
-  publishing process gauges (RSS, GC, threads, fds, uptime),
+  publishing process gauges (RSS, GC, threads, fds, uptime) and running
+  registered hooks on its cadence,
 * :mod:`repro.obs.logging_bridge` -- standard :mod:`logging` loggers for
-  the pipeline plus a handler that forwards records into the trace sinks.
+  the pipeline plus a handler that forwards records into the trace sinks,
+* :mod:`repro.obs.propagation` -- W3C trace-context (``traceparent`` /
+  ``tracestate``) parsing, rendering, and an ambient
+  :class:`TraceContext` carried across threads via :mod:`contextvars`,
+* :mod:`repro.obs.slo` -- declarative :class:`SloSpec` objectives
+  evaluated by a multi-window burn-rate :class:`SloEngine`, with alert
+  transitions recorded to a bounded :class:`AlertLog` ring,
+* :mod:`repro.obs.query` -- offline filters over the serve daemon's
+  JSONL artifacts (access logs, slow captures, alert rings) backing the
+  ``upcc obs query`` subcommand.
 
 Everything is off by default and costs one attribute check per
 instrumented site.  Turn it on with::
@@ -74,7 +84,32 @@ from repro.obs.prof import (
     profile_from_tracer,
     to_trace_events,
 )
+from repro.obs.propagation import (
+    TRACEPARENT_HEADER,
+    TRACESTATE_HEADER,
+    TraceContext,
+    current_trace_context,
+    parse_traceparent,
+    parse_tracestate,
+    render_traceparent,
+    render_tracestate,
+    use_trace_context,
+)
+from repro.obs.query import (
+    query_access_log,
+    query_alerts,
+    query_slow_captures,
+)
 from repro.obs.runtime import RuntimeCollector, sample_runtime
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    Alert,
+    AlertLog,
+    SloEngine,
+    SloSpec,
+    SloStatus,
+    load_slo_specs,
+)
 from repro.obs.trace import (
     JsonLinesSink,
     LogfmtSink,
@@ -139,7 +174,10 @@ def disable() -> None:
 
 
 __all__ = [
+    "Alert",
+    "AlertLog",
     "Counter",
+    "DEFAULT_SLOS",
     "Gauge",
     "Histogram",
     "JsonLinesSink",
@@ -151,8 +189,14 @@ __all__ = [
     "ProfileNode",
     "RingBufferSink",
     "RuntimeCollector",
+    "SloEngine",
+    "SloSpec",
+    "SloStatus",
     "Span",
     "SpanSink",
+    "TRACEPARENT_HEADER",
+    "TRACESTATE_HEADER",
+    "TraceContext",
     "TraceSinkHandler",
     "Tracer",
     "build_profile",
@@ -160,9 +204,13 @@ __all__ = [
     "counter",
     "cprofile_session",
     "cprofile_stats_text",
+    "current_trace_context",
     "disable",
     "gauge",
+    "load_slo_specs",
     "parse_prometheus_text",
+    "parse_traceparent",
+    "parse_tracestate",
     "profile_from_tracer",
     "get_logger",
     "get_metrics",
@@ -170,12 +218,18 @@ __all__ = [
     "get_tracer",
     "histogram",
     "quantile_from_buckets",
+    "query_access_log",
+    "query_alerts",
+    "query_slow_captures",
     "render_prometheus",
+    "render_traceparent",
+    "render_tracestate",
     "sample_runtime",
     "set_registry",
     "set_tracer",
     "span",
     "to_trace_events",
     "unwire_logging",
+    "use_trace_context",
     "wire_logging",
 ]

@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = [
     "PROMETHEUS_CONTENT_TYPE",
     "MetricFamily",
+    "counter_exposition_name",
     "escape_help_text",
     "escape_label_value",
     "format_value",
@@ -50,11 +51,17 @@ _NAME_OK_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 
 #: ``name{labels} value`` sample lines; label values are double-quoted
-#: with ``\\``, ``\"`` and ``\n`` escapes per the exposition spec.
+#: with ``\\``, ``\"`` and ``\n`` escapes per the exposition spec.  An
+#: optional trailing ``# {labels} value [timestamp]`` is an OpenMetrics
+#: exemplar (attached to histogram ``_bucket`` samples).
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>.*)\})?"
-    r"\s+(?P<value>[^\s]+)\s*$"
+    r"(?:\{(?P<labels>.*?)\})?"
+    r"\s+(?P<value>[^\s#]+)"
+    r"(?:\s+#\s+\{(?P<exemplar_labels>[^}]*)\}"
+    r"\s+(?P<exemplar_value>[^\s]+)"
+    r"(?:\s+(?P<exemplar_ts>[^\s]+))?)?"
+    r"\s*$"
 )
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
@@ -72,6 +79,17 @@ def sanitize_metric_name(name: str) -> str:
     if not sanitized or sanitized[0].isdigit():
         sanitized = f"_{sanitized}"
     return sanitized
+
+
+def counter_exposition_name(base_name: str) -> str:
+    """The exposition name of a counter: sanitized, with ``_total`` enforced.
+
+    Prometheus convention names every counter ``<thing>_total``; internal
+    dotted names that already follow it (``serve.requests_total``) pass
+    through, the rest (``serve.model_cache_hits``) gain the suffix.
+    """
+    name = sanitize_metric_name(base_name)
+    return name if name.endswith("_total") else f"{name}_total"
 
 
 def escape_label_value(value: Any) -> str:
@@ -142,42 +160,56 @@ def render_prometheus(registry: "MetricsRegistry") -> str:
     Deterministic: families sorted by exposition name, series within a
     family sorted by label set, one trailing newline.
     """
+    from repro.obs.metrics import description_of
+
     counters, gauges, histograms = registry.instruments()
     families: dict[str, tuple[str, str, list[str]]] = {}
 
-    def family(base_name: str, kind: str) -> list[str]:
-        name = sanitize_metric_name(base_name)
+    def family(base_name: str, kind: str, name: str) -> list[str]:
         if name not in families:
-            help_text = escape_help_text(f"repro metric {base_name} ({kind})")
+            described = description_of(base_name)
+            help_text = escape_help_text(
+                described if described is not None
+                else f"repro metric {base_name} ({kind})"
+            )
             families[name] = (kind, help_text, [])
         return families[name][2]
 
     for instrument in sorted(counters, key=lambda c: (c.base_name, c.name)):
-        lines = family(instrument.base_name, "counter")
-        name = sanitize_metric_name(instrument.base_name)
+        name = counter_exposition_name(instrument.base_name)
+        lines = family(instrument.base_name, "counter", name)
         lines.append(
             f"{name}{_render_labels(instrument.labels)} "
             f"{format_value(instrument.value)}"
         )
     for instrument in sorted(gauges, key=lambda g: (g.base_name, g.name)):
-        lines = family(instrument.base_name, "gauge")
         name = sanitize_metric_name(instrument.base_name)
+        lines = family(instrument.base_name, "gauge", name)
         lines.append(
             f"{name}{_render_labels(instrument.labels)} "
             f"{format_value(float(instrument.value))}"
         )
     for instrument in sorted(histograms, key=lambda h: (h.base_name, h.name)):
-        lines = family(instrument.base_name, "histogram")
         name = sanitize_metric_name(instrument.base_name)
+        lines = family(instrument.base_name, "histogram", name)
         pairs = instrument.cumulative_buckets()
+        exemplars = instrument.bucket_exemplars()
         with instrument._lock:
             total, count = instrument.total, instrument.count
-        for bound, cumulative in pairs:
+        for (bound, cumulative), (_, exemplar) in zip(pairs, exemplars):
             le = f'le="{format_le(bound)}"'
-            lines.append(
+            line = (
                 f"{name}_bucket{_render_labels(instrument.labels, le)} "
                 f"{cumulative}"
             )
+            if exemplar is not None:
+                line += (
+                    f' # {{trace_id="{escape_label_value(exemplar.trace_id)}"'
+                    f',request_id="{escape_label_value(exemplar.request_id)}"}}'
+                    f" {format_value(round(exemplar.value, 6))}"
+                    f" {format_value(round(exemplar.ts, 6))}"
+                )
+            lines.append(line)
         lines.append(
             f"{name}_sum{_render_labels(instrument.labels)} "
             f"{format_value(round(total, 6))}"
@@ -194,9 +226,9 @@ def render_prometheus(registry: "MetricsRegistry") -> str:
 
 
 class MetricFamily:
-    """One parsed exposition family: type, help and its samples."""
+    """One parsed exposition family: type, help, samples and exemplars."""
 
-    __slots__ = ("name", "type", "help", "samples")
+    __slots__ = ("name", "type", "help", "samples", "exemplars")
 
     def __init__(self, name: str, type_: str | None = None,
                  help_: str | None = None) -> None:
@@ -205,6 +237,12 @@ class MetricFamily:
         self.help = help_
         #: ``(sample name, labels dict, float value)`` in payload order.
         self.samples: list[tuple[str, dict[str, str], float]] = []
+        #: OpenMetrics exemplars, kept apart from ``samples`` so existing
+        #: 3-tuple consumers keep working:
+        #: ``(sample name, sample labels, exemplar labels, value, ts)``.
+        self.exemplars: list[
+            tuple[str, dict[str, str], dict[str, str], float, float | None]
+        ] = []
 
     def values(self) -> list[float]:
         """The raw sample values, payload order."""
@@ -316,6 +354,23 @@ def parse_prometheus_text(text: str) -> dict[str, MetricFamily]:
             ) from None
         family = family_for_sample(match.group("name"))
         family.samples.append((match.group("name"), labels, value))
+        if match.group("exemplar_value") is not None:
+            exemplar_labels = {
+                m.group(1): _unescape_label_value(m.group(2))
+                for m in _LABEL_RE.finditer(match.group("exemplar_labels") or "")
+            }
+            try:
+                exemplar_value = _parse_value(match.group("exemplar_value"))
+                ts_text = match.group("exemplar_ts")
+                exemplar_ts = _parse_value(ts_text) if ts_text else None
+            except ValueError:
+                raise ValueError(
+                    f"line {line_number}: unparsable exemplar on {line!r}"
+                ) from None
+            family.exemplars.append(
+                (match.group("name"), labels, exemplar_labels,
+                 exemplar_value, exemplar_ts)
+            )
 
     _validate_histograms(families)
     return families

@@ -76,6 +76,29 @@ def escape_label_value(value: Any) -> str:
     return text
 
 
+#: Human-readable descriptions keyed by *base* metric name (the dotted
+#: name, without labels).  Process-wide rather than per-registry because a
+#: description explains what a metric name *means* — that meaning does not
+#: change when tests swap in a fresh registry.  Rendered as ``# HELP``
+#: lines by :mod:`repro.obs.export`.
+_DESCRIPTIONS: dict[str, str] = {}
+
+
+def describe(name: str, text: str) -> None:
+    """Attach a human-readable description to metric ``name``.
+
+    Modules that own a metric call this once at import time; the
+    Prometheus exposition then emits the text as the family's ``# HELP``
+    line instead of the generic fallback.
+    """
+    _DESCRIPTIONS[name] = text
+
+
+def description_of(name: str) -> str | None:
+    """The registered description for ``name``, or ``None``."""
+    return _DESCRIPTIONS.get(name)
+
+
 def _metric_key(name: str, labels: dict[str, Any]) -> str:
     if not labels:
         return name
@@ -135,6 +158,40 @@ class Gauge:
         self.inc(-amount)
 
 
+class Exemplar:
+    """One traced observation pinned to a histogram bucket.
+
+    Links an aggregate bucket count back to a concrete request: the
+    OpenMetrics exposition renders it after the ``_bucket`` sample as
+    ``# {trace_id="...",request_id="..."} value timestamp`` so a scrape
+    of a p99 bucket names a trace that can be looked up in ``/slow``.
+    """
+
+    __slots__ = ("trace_id", "request_id", "value", "ts")
+
+    def __init__(self, trace_id: str, request_id: str, value: float,
+                 ts: float | None = None) -> None:
+        self.trace_id = trace_id
+        self.request_id = request_id
+        self.value = value
+        self.ts = time.time() if ts is None else ts
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view (``/slow`` lookups, telemetry queries)."""
+        return {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "value": round(self.value, 6),
+            "ts": round(self.ts, 6),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Exemplar(trace_id={self.trace_id!r}, "
+            f"request_id={self.request_id!r}, value={self.value!r})"
+        )
+
+
 class Histogram:
     """Aggregates observations into count/sum/min/max plus log-scale buckets.
 
@@ -144,11 +201,16 @@ class Histogram:
     Quantiles are estimated by linear interpolation inside the target
     bucket, clamped to the observed min/max so a single observation
     reports itself exactly.
+
+    Buckets optionally carry an :class:`Exemplar`: when ``observe`` is
+    handed one, the target bucket keeps the *most recent* traced
+    observation, giving every populated latency bucket a concrete
+    trace/request to chase.
     """
 
     __slots__ = (
         "name", "base_name", "labels", "count", "total", "min", "max",
-        "bucket_counts", "_lock",
+        "bucket_counts", "exemplars", "_lock",
     )
 
     #: Upper bounds shared by every histogram (fixed => mergeable).
@@ -166,10 +228,12 @@ class Histogram:
         #: Per-bucket (non-cumulative) observation counts; the extra
         #: trailing slot is the overflow (+Inf) bucket.
         self.bucket_counts = [0] * (len(self.buckets) + 1)
+        #: Most recent traced observation per bucket (None when untraced).
+        self.exemplars: list[Exemplar | None] = [None] * (len(self.buckets) + 1)
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, exemplar: Exemplar | None = None) -> None:
+        """Record one observation, optionally pinning an exemplar to its bucket."""
         with self._lock:
             self.count += 1
             self.total += value
@@ -177,7 +241,21 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
-            self.bucket_counts[bisect_left(self.buckets, value)] += 1
+            index = bisect_left(self.buckets, value)
+            self.bucket_counts[index] += 1
+            if exemplar is not None:
+                self.exemplars[index] = exemplar
+
+    def bucket_exemplars(self) -> list[tuple[float, "Exemplar | None"]]:
+        """``(upper bound, exemplar-or-None)`` per bucket, ending with ``+Inf``.
+
+        Index-aligned with :meth:`cumulative_buckets`, so renderers can
+        zip the two without re-deriving bucket edges.
+        """
+        with self._lock:
+            snapshot = list(self.exemplars)
+        bounds = list(self.buckets) + [float("inf")]
+        return list(zip(bounds, snapshot))
 
     @contextmanager
     def time(self) -> Iterator[None]:

@@ -1,0 +1,294 @@
+"""Offline telemetry queries over the serve daemon's on-disk artifacts.
+
+``upcc serve`` leaves three JSON-lines trails behind: the access log
+(``--access-log``, plus rotated ``.1 .. .N`` generations), the
+slow-request capture directory (``--slow-dir``, one span-tree JSONL per
+capture), and the SLO alert ring (``--alert-log``).  This module is the
+read side: filter any of them by trace id, request id, status code (or a
+``4xx``/``5xx`` class), and time window -- the ``upcc obs query``
+subcommand, so chasing "what happened to trace X?" works after the
+daemon is gone, with nothing but the files.
+
+All readers are tolerant: malformed lines are skipped (and counted),
+missing files yield empty results rather than raising, and rotated
+access-log generations are read oldest-first so output stays in
+chronological order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "access_log_paths",
+    "parse_when",
+    "query_access_log",
+    "query_alerts",
+    "query_slow_captures",
+    "read_jsonl",
+    "status_matches",
+    "main",
+]
+
+
+def parse_when(text: str | None) -> float | None:
+    """A CLI time bound: unix seconds or ISO-8601; ``None`` passes through.
+
+    Naive ISO timestamps are taken as UTC -- the access log's ``ts`` is
+    ``time.time()``, so bounds must live on the same clock.
+    """
+    if text is None:
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    try:
+        moment = datetime.fromisoformat(text)
+    except ValueError:
+        raise ValueError(
+            f"not a unix timestamp or ISO-8601 instant: {text!r}"
+        ) from None
+    if moment.tzinfo is None:
+        moment = moment.replace(tzinfo=timezone.utc)
+    return moment.timestamp()
+
+
+def status_matches(status: Any, pattern: str) -> bool:
+    """True when ``status`` matches ``pattern`` (exact code or ``4xx``/``5xx``)."""
+    code = str(status)
+    if pattern.endswith("xx") and len(pattern) == 3:
+        return len(code) == 3 and code[0] == pattern[0]
+    return code == pattern
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Parsed objects from a JSON-lines file; malformed lines are skipped."""
+    path = Path(path)
+    try:
+        handle = path.open("r", encoding="utf-8")
+    except OSError:
+        return
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+def access_log_paths(path: str | Path) -> list[Path]:
+    """The live access log plus rotated generations, oldest first.
+
+    Rotation shifts ``name -> name.1 -> name.2``, so chronological order
+    is highest generation first, live file last.
+    """
+    path = Path(path)
+    generations = []
+    for candidate in path.parent.glob(f"{path.name}.*"):
+        suffix = candidate.name[len(path.name) + 1:]
+        if suffix.isdigit():
+            generations.append((int(suffix), candidate))
+    ordered = [p for _n, p in sorted(generations, reverse=True)]
+    if path.exists():
+        ordered.append(path)
+    return ordered
+
+
+def _record_matches(
+    record: dict[str, Any],
+    *,
+    trace_id: str | None,
+    request_id: str | None,
+    status: str | None,
+    since: float | None,
+    until: float | None,
+    ts_key: str = "ts",
+) -> bool:
+    if trace_id is not None and record.get("trace_id") != trace_id:
+        return False
+    if request_id is not None and record.get("request_id") != request_id:
+        return False
+    if status is not None and not status_matches(record.get("status", ""), status):
+        return False
+    ts = record.get(ts_key)
+    if since is not None and (not isinstance(ts, (int, float)) or ts < since):
+        return False
+    if until is not None and (not isinstance(ts, (int, float)) or ts > until):
+        return False
+    return True
+
+
+def query_access_log(
+    path: str | Path,
+    *,
+    trace_id: str | None = None,
+    request_id: str | None = None,
+    status: str | None = None,
+    since: float | None = None,
+    until: float | None = None,
+    limit: int | None = None,
+) -> list[dict[str, Any]]:
+    """Matching access-log records (rotated generations included), in order."""
+    matches: list[dict[str, Any]] = []
+    for file_path in access_log_paths(path):
+        for record in read_jsonl(file_path):
+            if _record_matches(
+                record, trace_id=trace_id, request_id=request_id,
+                status=status, since=since, until=until,
+            ):
+                matches.append(record)
+    return matches[-limit:] if limit else matches
+
+
+def query_slow_captures(
+    directory: str | Path,
+    *,
+    trace_id: str | None = None,
+    request_id: str | None = None,
+    status: str | None = None,
+    since: float | None = None,
+    until: float | None = None,
+    limit: int | None = None,
+) -> list[dict[str, Any]]:
+    """Summaries of captured slow requests matching the filters.
+
+    Each ``slow-*.jsonl`` span-tree file yields one summary built from
+    its root span: request id (from the filename), trace id and endpoint
+    (root attributes), status, duration, span count, and the file name
+    for drill-down with ``upcc trace``.
+    """
+    directory = Path(directory)
+    summaries: list[dict[str, Any]] = []
+    for file_path in sorted(directory.glob("slow-*.jsonl")):
+        spans = list(read_jsonl(file_path))
+        roots = [s for s in spans if s.get("parent_id") is None]
+        if not roots:
+            continue
+        root = roots[0]
+        attributes = root.get("attributes", {})
+        # slow-<seq>-<request id>.jsonl
+        parts = file_path.stem.split("-", 2)
+        summary = {
+            "request_id": parts[2] if len(parts) == 3 else "",
+            "trace_id": attributes.get("trace_id", ""),
+            "endpoint": attributes.get("endpoint", ""),
+            "status": attributes.get("status"),
+            "duration_ms": root.get("duration_ms"),
+            "spans": len(spans),
+            # Spans carry durations, not wall-clock instants; the file's
+            # mtime is the capture moment and serves as the record ts.
+            "ts": round(file_path.stat().st_mtime, 3),
+            "jsonl": file_path.name,
+        }
+        if _record_matches(
+            summary, trace_id=trace_id or None, request_id=request_id,
+            status=status, since=since, until=until,
+        ):
+            summaries.append(summary)
+    return summaries[-limit:] if limit else summaries
+
+
+def query_alerts(
+    path: str | Path,
+    *,
+    slo: str | None = None,
+    state: str | None = None,
+    since: float | None = None,
+    until: float | None = None,
+    limit: int | None = None,
+) -> list[dict[str, Any]]:
+    """Matching alert-ring records (``--alert-log`` JSONL), in order."""
+    matches: list[dict[str, Any]] = []
+    for record in read_jsonl(path):
+        if slo is not None and record.get("slo") != slo:
+            continue
+        if state is not None and record.get("state") != state:
+            continue
+        ts = record.get("ts")
+        if since is not None and (not isinstance(ts, (int, float)) or ts < since):
+            continue
+        if until is not None and (not isinstance(ts, (int, float)) or ts > until):
+            continue
+        matches.append(record)
+    return matches[-limit:] if limit else matches
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``upcc obs query`` -- filter serve telemetry files offline."""
+    parser = argparse.ArgumentParser(
+        prog="upcc obs query",
+        description="filter serve access logs, slow captures, and alert "
+        "rings by trace id, request id, status, or time window",
+    )
+    parser.add_argument("--access-log", metavar="FILE", help="access log JSONL (rotated generations are included)")
+    parser.add_argument("--slow-dir", metavar="DIR", help="slow-request capture directory")
+    parser.add_argument("--alerts", metavar="FILE", help="SLO alert ring JSONL")
+    parser.add_argument("--trace-id", help="exact 32-hex W3C trace id")
+    parser.add_argument("--request-id", help="exact request id")
+    parser.add_argument("--status", help="exact status code (e.g. 503) or class (4xx, 5xx)")
+    parser.add_argument("--slo", help="alert filter: SLO name")
+    parser.add_argument("--state", choices=["firing", "resolved"], help="alert filter: state")
+    parser.add_argument("--since", metavar="WHEN", help="lower time bound (unix seconds or ISO-8601, UTC)")
+    parser.add_argument("--until", metavar="WHEN", help="upper time bound (unix seconds or ISO-8601, UTC)")
+    parser.add_argument("--limit", type=int, default=0, metavar="N", help="keep only the newest N matches per source")
+    parser.add_argument("--json", action="store_true", help="emit one JSON document instead of JSON lines")
+    args = parser.parse_args(argv)
+
+    if not (args.access_log or args.slow_dir or args.alerts):
+        print(
+            "error: nothing to query -- pass --access-log, --slow-dir, "
+            "and/or --alerts",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        since = parse_when(args.since)
+        until = parse_when(args.until)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    limit = args.limit or None
+    results: dict[str, list[dict[str, Any]]] = {}
+    if args.access_log:
+        results["access"] = query_access_log(
+            args.access_log, trace_id=args.trace_id, request_id=args.request_id,
+            status=args.status, since=since, until=until, limit=limit,
+        )
+    if args.slow_dir:
+        results["slow"] = query_slow_captures(
+            args.slow_dir, trace_id=args.trace_id, request_id=args.request_id,
+            status=args.status, since=since, until=until, limit=limit,
+        )
+    if args.alerts:
+        results["alerts"] = query_alerts(
+            args.alerts, slo=args.slo, state=args.state,
+            since=since, until=until, limit=limit,
+        )
+
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    else:
+        for source, records in results.items():
+            for record in records:
+                print(json.dumps({"source": source, **record}, sort_keys=True))
+    total = sum(len(records) for records in results.values())
+    print(
+        f"{total} match(es) across {len(results)} source(s)", file=sys.stderr
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -5,18 +5,24 @@ process health as gauges on the metrics registry, so one ``GET /metrics``
 scrape carries both request telemetry *and* the runtime context needed to
 interpret it (is p99 climbing because RSS is, is the box leaking fds?):
 
-* ``runtime.rss_bytes`` -- resident set size,
+* ``runtime.rss_bytes`` -- resident set size (absent when unmeasurable),
 * ``runtime.gc_collections{gen=0|1|2}`` -- collections per GC generation,
 * ``runtime.threads`` -- live Python threads,
-* ``runtime.open_fds`` -- open file descriptors (``-1`` where unknowable),
+* ``runtime.open_fds`` -- open file descriptors (absent when unmeasurable),
 * ``runtime.uptime_s`` -- seconds since the collector started.
 
 Everything is stdlib-only (``resource``/``gc``/``threading``/``os``) and
-degrades gracefully: on platforms without ``/proc`` the fd count reports
-``-1`` and RSS falls back to ``resource.getrusage`` peak RSS.  A single
-:func:`sample_runtime` call does one synchronous sweep -- used by the
-collector loop, by tests, and by callers that want a sample without a
-thread.
+degrades gracefully: on platforms without ``/proc`` the fd count and RSS
+are simply *not published* (an absent gauge reads as "unmeasurable here";
+a ``-1`` or ``0`` sample would poison dashboards and rate rules).  A
+single :func:`sample_runtime` call does one synchronous sweep -- used by
+the collector loop, by tests, and by callers that want a sample without
+a thread.
+
+The collector also accepts ``hooks`` -- callables run after each sweep on
+the same cadence and thread.  The serve daemon registers its SLO
+engine's ``tick`` there, so burn-rate evaluation rides the existing
+sampler instead of needing a second timer thread.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ import os
 import sys
 import threading
 import time
-from typing import Any
+from typing import Any, Callable, Iterable
 
 from repro.obs import metrics as metrics_mod
 from repro.obs.metrics import MetricsRegistry
@@ -80,9 +86,13 @@ def sample_runtime(
         "open_fds": open_fds(),
         "gc_collections": [stat.get("collections", 0) for stat in gc.get_stats()],
     }
-    target.gauge("runtime.rss_bytes").set(sample["rss_bytes"])
+    # Unmeasurable values stay absent from the registry: a gauge that was
+    # never published is honest, a published 0/-1 looks like data.
+    if sample["rss_bytes"] > 0:
+        target.gauge("runtime.rss_bytes").set(sample["rss_bytes"])
     target.gauge("runtime.threads").set(sample["threads"])
-    target.gauge("runtime.open_fds").set(sample["open_fds"])
+    if sample["open_fds"] >= 0:
+        target.gauge("runtime.open_fds").set(sample["open_fds"])
     for gen, collections in enumerate(sample["gc_collections"]):
         target.gauge("runtime.gc_collections", gen=gen).set(collections)
     if started_at is not None:
@@ -105,6 +115,7 @@ class RuntimeCollector:
         self,
         interval_s: float = 5.0,
         registry: MetricsRegistry | None = None,
+        hooks: Iterable[Callable[[], Any]] | None = None,
     ) -> None:
         self.interval_s = max(0.05, float(interval_s))
         self._registry = registry
@@ -112,6 +123,13 @@ class RuntimeCollector:
         self._thread: threading.Thread | None = None
         self._started_at: float | None = None
         self.samples = 0
+        #: Callables run after each sweep (SLO engine tick and the like).
+        #: A hook that raises is disabled rather than killing the sampler.
+        self.hooks: list[Callable[[], Any]] = list(hooks or [])
+
+    def add_hook(self, hook: Callable[[], Any]) -> None:
+        """Run ``hook`` after every future sample (collector cadence)."""
+        self.hooks.append(hook)
 
     @property
     def running(self) -> bool:
@@ -122,6 +140,11 @@ class RuntimeCollector:
         """Take one sample now (also what the background loop calls)."""
         values = sample_runtime(self._registry, started_at=self._started_at)
         self.samples += 1
+        for hook in list(self.hooks):
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 - a bad hook must not kill sampling
+                self.hooks.remove(hook)
         return values
 
     def start(self) -> "RuntimeCollector":

@@ -39,7 +39,7 @@ _log = get_logger("repro.serve")
 #: Keys every access-log record carries, in emission order.
 ACCESS_LOG_FIELDS = (
     "ts", "method", "path", "status", "duration_ms", "queue_wait_ms",
-    "worker", "request_id", "span_id",
+    "worker", "request_id", "span_id", "trace_id",
 )
 
 
@@ -55,15 +55,57 @@ class AccessLog:
     ``--access-log`` is passed); the ring is always on because ``/stats``
     serves it.  Writes append-and-flush under a lock, so concurrent
     connection threads never interleave partial lines.
+
+    ``max_bytes`` bounds the live file: once an append pushes it past the
+    limit, the file rotates to ``<name>.1`` (older generations shift to
+    ``.2`` .. ``.<keep_rolled>``, the oldest is deleted), so a
+    long-running daemon's disk use stays at roughly
+    ``max_bytes * (keep_rolled + 1)``.
     """
 
-    def __init__(self, path: str | Path | None = None, ring: int = 256) -> None:
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        ring: int = 256,
+        max_bytes: int | None = None,
+        keep_rolled: int = 3,
+    ) -> None:
         self.path = Path(path) if path is not None else None
         self.ring: deque[dict[str, Any]] = deque(maxlen=max(1, ring))
+        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
+        self.keep_rolled = max(1, keep_rolled)
         self.lines_written = 0
+        self.rotations = 0
+        self._bytes = 0
         self._lock = threading.Lock()
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                self._bytes = self.path.stat().st_size
+            except OSError:
+                self._bytes = 0
+
+    def _rotate_locked(self) -> None:
+        """Shift ``name`` -> ``name.1`` -> ... -> ``name.keep_rolled``."""
+        assert self.path is not None
+        oldest = self.path.with_name(f"{self.path.name}.{self.keep_rolled}")
+        try:
+            oldest.unlink()
+        except OSError:
+            pass
+        for index in range(self.keep_rolled - 1, 0, -1):
+            source = self.path.with_name(f"{self.path.name}.{index}")
+            if source.exists():
+                try:
+                    source.rename(self.path.with_name(f"{self.path.name}.{index + 1}"))
+                except OSError as error:
+                    _log.warning("access log rotation failed: %s", error)
+        try:
+            self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        except OSError as error:
+            _log.warning("access log rotation failed: %s", error)
+        self._bytes = 0
+        self.rotations += 1
 
     def log(
         self,
@@ -76,6 +118,7 @@ class AccessLog:
         worker: str = "inline",
         request_id: str = "",
         span_id: str | None = None,
+        trace_id: str = "",
     ) -> dict[str, Any]:
         """Record one finished request; returns the record."""
         record: dict[str, Any] = {
@@ -88,6 +131,7 @@ class AccessLog:
             "worker": worker,
             "request_id": request_id,
             "span_id": span_id,
+            "trace_id": trace_id,
         }
         line = json.dumps(record, sort_keys=True)
         with self._lock:
@@ -97,6 +141,9 @@ class AccessLog:
                     with self.path.open("a", encoding="utf-8") as handle:
                         handle.write(line + "\n")
                     self.lines_written += 1
+                    self._bytes += len(line) + 1
+                    if self.max_bytes is not None and self._bytes > self.max_bytes:
+                        self._rotate_locked()
                 except OSError as error:
                     _log.warning("access log write failed: %s", error)
             else:
@@ -134,6 +181,7 @@ class SlowRequestStore:
         request_id: str,
         endpoint: str = "",
         threshold_ms: float = 0.0,
+        trace_id: str = "",
     ) -> dict[str, Any]:
         """Persist ``root``'s full span tree; returns the index entry."""
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -158,6 +206,7 @@ class SlowRequestStore:
         )
         entry = {
             "request_id": request_id,
+            "trace_id": trace_id,
             "endpoint": endpoint or root.attributes.get("endpoint", ""),
             "duration_ms": round(root.duration_ms, 3),
             "threshold_ms": threshold_ms,

@@ -16,6 +16,14 @@ and replays the request loop; ``503`` (backpressure) responses are retried
 with a short linear backoff and counted separately -- a load test that
 outruns the queue is *supposed* to see 503s, and the report distinguishes
 "shed and retried" from "failed".
+
+Every logical request originates a W3C ``traceparent`` header (a fresh
+trace id, the same one across 503 retries), so a load run is observable
+end to end: the ids land in the server's access log, slow captures, and
+latency exemplars, and :class:`LoadResult.trace_ids` records what was
+sent for round-trip assertions.  ``--error-rate`` injects malformed
+request bodies at a deterministic cadence -- the resulting 400s exercise
+SLO burn-rate alerting without needing a broken server.
 """
 
 from __future__ import annotations
@@ -28,6 +36,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 from urllib.parse import urlsplit
+
+from repro.obs.propagation import TRACEPARENT_HEADER, TraceContext
 
 __all__ = [
     "LoadResult",
@@ -50,6 +60,8 @@ class LoadResult:
     dropped: int  #: requests that got *no* response (connection died)
     elapsed_s: float
     latencies_ms: list[float] = field(default_factory=list)
+    injected_errors: int = 0  #: deliberately malformed requests sent
+    trace_ids: list[str] = field(default_factory=list)  #: originated trace ids
 
     @property
     def rps(self) -> float:
@@ -75,6 +87,8 @@ class LoadResult:
             "p50_ms": round(self.percentile(50), 3),
             "p95_ms": round(self.percentile(95), 3),
             "p99_ms": round(self.percentile(99), 3),
+            "injected_errors": self.injected_errors,
+            "trace_ids_sampled": self.trace_ids[:5],
         }
 
 
@@ -172,6 +186,8 @@ def run_load(
     concurrency: int,
     timeout_s: float = 60.0,
     max_retries: int = 50,
+    trace: bool = True,
+    error_rate: float = 0.0,
 ) -> LoadResult:
     """Fire ``requests`` POSTs at ``url``+``path`` from ``concurrency`` threads.
 
@@ -179,30 +195,53 @@ def run_load(
     (5 ms * attempt) and retry up to ``max_retries`` times.  The payload is
     serialized once -- the wire bytes are identical across requests, so
     the server's warm paths are exercised, not JSON encoding.
+
+    With ``trace`` (the default) every logical request carries a freshly
+    originated ``traceparent``; 503 retries reuse the same trace id, so
+    one trace follows one logical request through the shed-and-retry
+    dance.  ``error_rate`` in ``(0, 1]`` replaces the body of every
+    ``round(1/error_rate)``-th request with malformed JSON -- a
+    deterministic 400 stream for exercising SLO alerting.
     """
     parts = urlsplit(url)
     body = json.dumps(payload).encode("utf-8")
-    headers = {"Content-Type": "application/json"}
+    error_body = b'{"malformed'
+    inject_every = round(1.0 / error_rate) if error_rate > 0 else 0
     lock = threading.Lock()
-    counters = {"ok": 0, "retried": 0, "failed": 0, "dropped": 0, "responses": 0}
+    counters = {
+        "ok": 0, "retried": 0, "failed": 0, "dropped": 0, "responses": 0,
+        "injected": 0,
+    }
     latencies: list[float] = []
+    trace_ids: list[str] = []
     remaining = iter(range(requests))
 
-    def next_request() -> bool:
+    def next_request() -> int | None:
         with lock:
-            return next(remaining, None) is not None
+            return next(remaining, None)
 
     def worker() -> None:
         connection = http.client.HTTPConnection(
             parts.hostname, parts.port, timeout=timeout_s
         )
         try:
-            while next_request():
+            while (index := next_request()) is not None:
+                inject = inject_every > 0 and index % inject_every == 0
+                headers = {"Content-Type": "application/json"}
+                if trace:
+                    context = TraceContext.new()
+                    headers[TRACEPARENT_HEADER] = context.to_traceparent()
+                    with lock:
+                        trace_ids.append(context.trace_id)
                 started = time.perf_counter()
                 status = None
                 for attempt in range(max_retries + 1):
                     try:
-                        connection.request("POST", path, body=body, headers=headers)
+                        connection.request(
+                            "POST", path,
+                            body=error_body if inject else body,
+                            headers=headers,
+                        )
                         response = connection.getresponse()
                         response.read()
                         status = response.status
@@ -227,6 +266,8 @@ def run_load(
                         continue
                     counters["responses"] += 1
                     latencies.append(elapsed_ms)
+                    if inject:
+                        counters["injected"] += 1
                     if 200 <= status < 300:
                         counters["ok"] += 1
                     else:
@@ -252,6 +293,8 @@ def run_load(
         dropped=counters["dropped"],
         elapsed_s=elapsed_s,
         latencies_ms=latencies,
+        injected_errors=counters["injected"],
+        trace_ids=trace_ids,
     )
 
 
@@ -302,7 +345,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--documents", type=int, default=4, help="instance documents per request (default 4)")
     parser.add_argument("--timeout", type=float, default=60.0, help="per-request timeout in seconds")
     parser.add_argument("--json", action="store_true", help="emit the result as JSON")
+    parser.add_argument(
+        "--error-rate", type=float, default=0.0,
+        help="fraction of requests sent with malformed bodies (expected 400s, "
+             "for SLO alert drills; default 0)",
+    )
+    parser.add_argument(
+        "--no-trace", action="store_true",
+        help="do not originate traceparent headers",
+    )
     args = parser.parse_args(argv)
+    if not 0.0 <= args.error_rate <= 1.0:
+        print("error: --error-rate must be in [0, 1]", file=sys.stderr)
+        return 2
 
     status, health = request_json(args.url, "/healthz", timeout_s=args.timeout)
     if status != 200:
@@ -316,6 +371,8 @@ def main(argv: list[str] | None = None) -> int:
         requests=args.requests,
         concurrency=args.concurrency,
         timeout_s=args.timeout,
+        trace=not args.no_trace,
+        error_rate=args.error_rate,
     )
     server_side = scrape_server_quantiles(
         args.url, labels={"endpoint": "validate"}, timeout_s=args.timeout
@@ -331,8 +388,11 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{summary['requests']} responses in {summary['elapsed_s']}s "
             f"({summary['rps']} req/s); ok={summary['ok']} failed={summary['failed']} "
-            f"dropped={summary['dropped']} retried_503={summary['retried_503']}"
+            f"dropped={summary['dropped']} retried_503={summary['retried_503']} "
+            f"injected_errors={summary['injected_errors']}"
         )
+        if result.trace_ids:
+            print(f"first trace id: {result.trace_ids[0]}")
         print(
             f"latency ms: p50={summary['p50_ms']} p95={summary['p95_ms']} "
             f"p99={summary['p99_ms']}"
@@ -343,7 +403,11 @@ def main(argv: list[str] | None = None) -> int:
                 f"p50={server_side['p50']} p95={server_side['p95']} "
                 f"p99={server_side['p99']}"
             )
-    if result.dropped or result.failed or result.ok != args.requests:
+    # Injected errors come back as 400s by design; only unexpected
+    # failures (or a shortfall of OK responses) fail the run.
+    expected_ok = args.requests - result.injected_errors
+    unexpected_failed = result.failed - result.injected_errors
+    if result.dropped or unexpected_failed > 0 or result.ok != expected_ok:
         print("error: load run saw failed or dropped responses", file=sys.stderr)
         return 1
     return 0

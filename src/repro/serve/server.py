@@ -27,8 +27,16 @@ Observability: every request runs under a ``serve.request`` span (the
 worker executes the job inside the connection thread's snapshot of the
 trace context, so pipeline child spans parent under it across the thread
 hop) and records ``serve.requests_total{endpoint=..}``,
-``serve.request_ms{endpoint=..}``, ``serve.queue_depth`` and
-``serve.rejected_total{reason=..}``.
+``serve.responses_total{code=..}``, ``serve.request_ms{endpoint=..}``,
+``serve.queue_depth`` and ``serve.rejected_total{reason=..}``.  Incoming
+W3C ``traceparent``/``tracestate`` headers are adopted: the trace id is
+echoed on the response, stamped on the access-log record and the
+serve.request span, attached as an OpenMetrics exemplar to the latency
+bucket the request landed in, and recorded on any slow-trace capture --
+one id correlates client log, access log, ``/metrics`` and ``/slow``.
+An :class:`repro.obs.slo.SloEngine` (default objectives, or ``--slo``)
+evaluates burn rates on the runtime collector's cadence and serves
+``GET /alerts``.
 """
 
 from __future__ import annotations
@@ -39,15 +47,32 @@ import queue
 import select
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.export import PROMETHEUS_CONTENT_TYPE
 from repro.obs.logging_bridge import get_logger
-from repro.obs.metrics import counter, gauge, get_registry, histogram
+from repro.obs.metrics import (
+    Exemplar,
+    counter,
+    describe,
+    gauge,
+    get_registry,
+    histogram,
+)
+from repro.obs.propagation import (
+    TRACEPARENT_HEADER,
+    TRACESTATE_HEADER,
+    TraceContext,
+    parse_traceparent,
+    parse_tracestate,
+    render_tracestate,
+    use_trace_context,
+)
 from repro.obs.runtime import RuntimeCollector
+from repro.obs.slo import AlertLog, DEFAULT_SLOS, SloEngine, load_slo_specs
 from repro.obs.trace import Span, get_tracer, span
 from repro.serve.access import AccessLog, SlowRequestStore, new_request_id
 from repro.serve.app import ServeApp
@@ -55,6 +80,22 @@ from repro.serve.app import ServeApp
 __all__ = ["ServeConfig", "UpccServer"]
 
 _log = get_logger("repro.serve")
+
+describe("serve.requests_total", "Requests handled, by endpoint.")
+describe("serve.responses_total", "Responses sent, by HTTP status code.")
+describe("serve.rejected_total",
+         "Requests refused at admission (backpressure, draining) or abandoned at the deadline.")
+describe("serve.request_ms", "End-to-end request latency in milliseconds, by endpoint.")
+describe("serve.queue_depth", "Jobs currently waiting in the bounded work queue.")
+describe("serve.slow_requests_total",
+         "Requests over the --slow-ms threshold whose span tree was captured.")
+describe("serve.model_cache_hits", "Model cache lookups served from memory.")
+describe("serve.model_cache_misses", "Model cache lookups that had to load and parse XMI.")
+describe("runtime.rss_bytes", "Resident set size of the serving process in bytes.")
+describe("runtime.threads", "Live Python threads in the serving process.")
+describe("runtime.open_fds", "Open file descriptors (absent where unmeasurable).")
+describe("runtime.gc_collections", "Garbage collections per GC generation.")
+describe("runtime.uptime_s", "Seconds since the runtime collector started.")
 
 
 @dataclass(frozen=True)
@@ -74,6 +115,11 @@ class ServeConfig:
     slow_dir: str = "slow-traces"  #: where slow-request captures land
     slow_keep: int = 32  #: bounded on-disk ring size for slow captures
     runtime_interval_s: float = 5.0  #: runtime-gauge sampling period
+    access_log_max_bytes: int | None = None  #: rotate the access log past this size
+    access_log_keep: int = 3  #: rolled access-log generations kept after rotation
+    slo_file: str | None = None  #: JSON SloSpec file (None = DEFAULT_SLOS)
+    alert_log: str | None = None  #: JSONL alert-ring path (None = memory only)
+    alert_keep: int = 256  #: alerts kept in the ring (memory and file)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -160,10 +206,29 @@ class _Handler(BaseHTTPRequestHandler):
     #: Set per request (client-provided ``X-Request-Id`` or a fresh one)
     #: and echoed on every response.
     _request_id: str = ""
+    #: The caller's W3C trace context (``traceparent``/``tracestate``
+    #: headers), or None for untraced requests.  Echoed on the response,
+    #: stamped on the access log, the serve.request span and the latency
+    #: exemplar, so one trace id follows the request everywhere.
+    _trace_context: TraceContext | None = None
 
     def _begin_request(self) -> None:
         incoming = self.headers.get("X-Request-Id", "").strip()
         self._request_id = incoming[:64] if incoming else new_request_id()
+        context = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
+        if context is not None:
+            state = parse_tracestate(self.headers.get(TRACESTATE_HEADER))
+            if state:
+                context = replace(context, tracestate=state)
+        self._trace_context = context
+
+    def _span_attributes(self, endpoint: str) -> dict[str, Any]:
+        """The serve.request span's attributes, trace identity included."""
+        attributes: dict[str, Any] = {"endpoint": endpoint}
+        if self._trace_context is not None:
+            attributes["trace_id"] = self._trace_context.trace_id
+            attributes["parent_span"] = self._trace_context.parent_id
+        return attributes
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
         self._begin_request()
@@ -177,11 +242,19 @@ class _Handler(BaseHTTPRequestHandler):
             # while the worker pool is saturated.
             started = time.perf_counter()
             body = get_registry().render_prometheus()
-            self._count("metrics", started)
+            self._count("metrics", started, status=200)
             self._access("GET", url.path, 200, started)
             self._send_text(200, body, PROMETHEUS_CONTENT_TYPE)
         elif url.path == "/slow":
-            self._respond_inline("slow", self.upcc.slow_requests())
+            params = {
+                key: values[0] for key, values in parse_qs(url.query).items()
+            }
+            self._respond_inline("slow", self.upcc.slow_requests(
+                trace_id=params.get("trace_id"),
+                request_id=params.get("request_id"),
+            ))
+        elif url.path == "/alerts":
+            self._respond_inline("alerts", self.upcc.alerts())
         elif url.path == "/explain":
             params = {
                 key: values[0] for key, values in parse_qs(url.query).items()
@@ -200,10 +273,15 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send(404, {"error": f"no such endpoint: POST {url.path}"})
             return
+        started = time.perf_counter()
         try:
             payload = self._read_json()
         except _BadRequest as error:
-            self._count(endpoint)
+            # Malformed requests are real traffic: count them by status
+            # (SLO availability objectives watch these) and log them, so
+            # an error burst is visible in the same trails as successes.
+            self._count(endpoint, status=error.status)
+            self._access(self.command, self.path, error.status, started)
             self._send(error.status, {"error": str(error)})
             return
         self._dispatch(endpoint, lambda: handler(payload))
@@ -229,10 +307,11 @@ class _Handler(BaseHTTPRequestHandler):
     def _respond_inline(self, endpoint: str, result: tuple[int, dict]) -> None:
         """Answer on the connection thread (healthz/stats never queue)."""
         started = time.perf_counter()
-        with span("serve.request", endpoint=endpoint) as request_span:
-            status, payload = result
-            request_span.set(status=status)
-        self._count(endpoint, started)
+        with use_trace_context(self._trace_context):
+            with span("serve.request", **self._span_attributes(endpoint)) as request_span:
+                status, payload = result
+                request_span.set(status=status)
+        self._count(endpoint, started, status=status)
         self._access(self.command, self.path, status, started,
                      request_span=request_span)
         self._send(status, payload)
@@ -241,20 +320,37 @@ class _Handler(BaseHTTPRequestHandler):
         """Admit work onto the queue and wait for (or give up on) its result."""
         upcc = self.upcc
         started = time.perf_counter()
-        with span("serve.request", endpoint=endpoint) as request_span:
-            status, payload, job = upcc.submit_job(endpoint, fn)
-            request_span.set(status=status)
-        self._count(endpoint, started)
+        # The trace context is entered before the job exists: _Job's
+        # contextvars snapshot then carries it (with the serve.request
+        # span) across the worker-thread hop.
+        with use_trace_context(self._trace_context):
+            with span("serve.request", **self._span_attributes(endpoint)) as request_span:
+                status, payload, job = upcc.submit_job(endpoint, fn)
+                request_span.set(status=status)
+        self._count(endpoint, started, status=status)
         self._access(self.command, self.path, status, started,
                      request_span=request_span, job=job)
         headers = {"Retry-After": "1"} if status == 503 else None
         self._send(status, payload, headers)
 
-    def _count(self, endpoint: str, started: float | None = None) -> None:
+    def _count(
+        self,
+        endpoint: str,
+        started: float | None = None,
+        status: int | None = None,
+    ) -> None:
         counter("serve.requests_total", endpoint=endpoint).inc()
+        if status is not None:
+            counter("serve.responses_total", code=status).inc()
         if started is not None:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            exemplar = None
+            if self._trace_context is not None:
+                exemplar = Exemplar(
+                    self._trace_context.trace_id, self._request_id, elapsed_ms
+                )
             histogram("serve.request_ms", endpoint=endpoint).observe(
-                (time.perf_counter() - started) * 1000.0
+                elapsed_ms, exemplar
             )
 
     def _access(
@@ -270,6 +366,9 @@ class _Handler(BaseHTTPRequestHandler):
         threshold, hand its span tree to the capture store."""
         duration_ms = (time.perf_counter() - started) * 1000.0
         real_span = request_span if isinstance(request_span, Span) else None
+        trace_id = (
+            self._trace_context.trace_id if self._trace_context is not None else ""
+        )
         self.upcc.access.log(
             method=method,
             path=path,
@@ -279,9 +378,12 @@ class _Handler(BaseHTTPRequestHandler):
             worker=(job.worker if job is not None and job.worker else "inline"),
             request_id=self._request_id,
             span_id=real_span.span_id if real_span is not None else None,
+            trace_id=trace_id,
         )
         if real_span is not None:
-            self.upcc.maybe_capture_slow(real_span, self._request_id)
+            self.upcc.maybe_capture_slow(
+                real_span, self._request_id, trace_id=trace_id
+            )
 
     def _send(
         self, status: int, payload: dict, headers: dict[str, str] | None = None
@@ -306,6 +408,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if self._request_id:
             self.send_header("X-Request-Id", self._request_id)
+        if self._trace_context is not None:
+            # Echo the caller's trace identity so the client can confirm
+            # the correlation took (and log the id it should query by).
+            self.send_header(TRACEPARENT_HEADER, self._trace_context.to_traceparent())
+            if self._trace_context.tracestate:
+                self.send_header(
+                    TRACESTATE_HEADER,
+                    render_tracestate(self._trace_context.tracestate),
+                )
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         if self.upcc.draining:
@@ -361,13 +472,34 @@ class UpccServer:
         self._slow_total = counter("serve.slow_requests_total")
         #: Access log: JSON-lines file when configured, always an
         #: in-memory ring that /stats serves as recent_requests.
-        self.access = AccessLog(self.config.access_log, ring=self.config.access_ring)
+        self.access = AccessLog(
+            self.config.access_log,
+            ring=self.config.access_ring,
+            max_bytes=self.config.access_log_max_bytes,
+            keep_rolled=self.config.access_log_keep,
+        )
         self.slow_store: SlowRequestStore | None = (
             SlowRequestStore(self.config.slow_dir, keep=self.config.slow_keep)
             if self.config.slow_ms is not None
             else None
         )
-        self._runtime = RuntimeCollector(interval_s=self.config.runtime_interval_s)
+        #: SLO burn-rate engine: always on (GET /alerts must answer), with
+        #: objectives from --slo when given, sensible defaults otherwise.
+        specs = (
+            load_slo_specs(self.config.slo_file)
+            if self.config.slo_file is not None
+            else DEFAULT_SLOS
+        )
+        self.slo_engine = SloEngine(
+            specs,
+            alert_log=AlertLog(self.config.alert_log, keep=self.config.alert_keep),
+        )
+        # The engine rides the runtime sampler's cadence -- one timer
+        # thread serves both process gauges and SLO evaluation.
+        self._runtime = RuntimeCollector(
+            interval_s=self.config.runtime_interval_s,
+            hooks=[self.slo_engine.tick],
+        )
         self._tracer_enabled_by_us = False
         self.app.server_info = self.info
         self.app.access_recent = self.access.recent
@@ -499,20 +631,58 @@ class UpccServer:
 
     # -- observability ---------------------------------------------------------
 
-    def slow_requests(self) -> tuple[int, dict]:
-        """``GET /slow``: the slow-capture index (404 when capture is off)."""
+    def slow_requests(
+        self,
+        trace_id: str | None = None,
+        request_id: str | None = None,
+    ) -> tuple[int, dict]:
+        """``GET /slow``: the slow-capture index (404 when capture is off).
+
+        ``trace_id``/``request_id`` narrow the capture list, so an
+        exemplar scraped off ``/metrics`` resolves straight to its
+        captured span tree.  The response also carries the current
+        latency-bucket exemplars for the reverse lookup.
+        """
         if self.slow_store is None:
             return 404, {
                 "error": "slow-request capture is disabled; start with --slow-ms"
             }
+        captures = self.slow_store.list()
+        if trace_id:
+            captures = [c for c in captures if c.get("trace_id") == trace_id]
+        if request_id:
+            captures = [c for c in captures if c.get("request_id") == request_id]
         return 200, {
             "slow_ms": self.config.slow_ms,
             "dir": str(self.slow_store.directory),
             "keep": self.slow_store.keep,
-            "captures": self.slow_store.list(),
+            "captures": captures,
+            "exemplars": self.latency_exemplars(),
         }
 
-    def maybe_capture_slow(self, request_span: Span, request_id: str) -> None:
+    def latency_exemplars(self) -> list[dict[str, Any]]:
+        """Current ``serve.request_ms`` bucket exemplars, JSON-ready."""
+        entries: list[dict[str, Any]] = []
+        _, _, histograms = get_registry().instruments()
+        for instrument in histograms:
+            if instrument.base_name != "serve.request_ms":
+                continue
+            for bound, exemplar in instrument.bucket_exemplars():
+                if exemplar is None:
+                    continue
+                entry = exemplar.to_dict()
+                entry["le"] = "+Inf" if bound == float("inf") else bound
+                entry["endpoint"] = str(instrument.labels.get("endpoint", ""))
+                entries.append(entry)
+        return entries
+
+    def alerts(self) -> tuple[int, dict]:
+        """``GET /alerts``: SLO specs, live statuses, recent transitions."""
+        return 200, self.slo_engine.to_dict()
+
+    def maybe_capture_slow(
+        self, request_span: Span, request_id: str, trace_id: str = ""
+    ) -> None:
         """Capture ``request_span``'s tree when it crossed the threshold."""
         if self.slow_store is None or self.config.slow_ms is None:
             return
@@ -525,6 +695,7 @@ class UpccServer:
                 request_id=request_id,
                 endpoint=str(request_span.attributes.get("endpoint", "")),
                 threshold_ms=self.config.slow_ms,
+                trace_id=trace_id,
             )
         except OSError as error:
             _log.warning("slow-request capture failed: %s", error)

@@ -11,11 +11,16 @@ the numbers an operator watches during a load event:
 * saturation -- queue depth vs capacity, in-flight jobs, rejects,
 * caches -- model/generation/compilation entries and model hit rate,
 * runtime -- RSS, thread count, open fds, GC collections, uptime,
+* SLOs -- per-objective burn rates and alert state from ``GET /alerts``
+  (omitted gracefully against daemons without the endpoint),
 * the tail of the access-log ring (method, path, status, latency).
 
 ``--once`` renders a single frame without clearing the screen (useful in
 scripts and asserted by the test suite); ``--json`` dumps the raw
-snapshot instead of the board.
+snapshot instead of the board.  In loop mode a poll failure does not kill
+the board: the loop reconnects with exponential backoff (a restarting
+daemon comes back into view by itself) and only gives up after
+``--max-poll-failures`` consecutive misses.
 """
 
 from __future__ import annotations
@@ -61,10 +66,25 @@ def fetch_snapshot(url: str, *, timeout_s: float = 10.0) -> dict[str, Any]:
         for q in (50.0, 90.0, 99.0)
     } if buckets and buckets[-1][1] > 0 else {"p50": 0.0, "p90": 0.0, "p99": 0.0}
 
+    # SLO burn rates ride along when the daemon serves /alerts; older
+    # daemons (or a race during restart) simply leave the panel empty.
+    slo: dict[str, Any] = {"statuses": [], "alerts": []}
+    try:
+        alerts_status, alerts_payload = request_json(
+            url, "/alerts", timeout_s=timeout_s
+        )
+        if alerts_status == 200 and isinstance(alerts_payload, dict):
+            slo = {
+                "statuses": alerts_payload.get("statuses", []),
+                "alerts": alerts_payload.get("alerts", [])[-4:],
+            }
+    except (OSError, ValueError):
+        pass
+
     server = stats.get("server", {})
     caches = stats.get("caches", {})
-    hits = family_total("serve_model_cache_hits")
-    misses = family_total("serve_model_cache_misses")
+    hits = family_total("serve_model_cache_hits_total")
+    misses = family_total("serve_model_cache_misses_total")
     lookups = hits + misses
     return {
         "polled_at": time.monotonic(),
@@ -90,6 +110,7 @@ def fetch_snapshot(url: str, *, timeout_s: float = 10.0) -> dict[str, Any]:
             "open_fds": int(gauge_value("runtime_open_fds")),
             "gc_collections": int(family_total("runtime_gc_collections")),
         },
+        "slo": slo,
         "recent_requests": stats.get("recent_requests", [])[-8:],
     }
 
@@ -136,6 +157,27 @@ def render_board(
         f"  runtime     rss={_fmt_bytes(runtime['rss_bytes'])} "
         f"threads={runtime['threads']} fds={runtime['open_fds']} "
         f"gc={runtime['gc_collections']}",
+    ]
+    statuses = snapshot.get("slo", {}).get("statuses", [])
+    for index, status in enumerate(statuses):
+        label = "slo        " if index == 0 else "           "
+        state = status.get("state", "?")
+        marker = state.upper() if state == "firing" else state
+        lines.append(
+            f"  {label} {status.get('name', '?'):<18} [{marker}] "
+            f"burn fast={status.get('burn_fast', 0.0):g} "
+            f"slow={status.get('burn_slow', 0.0):g} "
+            f"budget={status.get('budget_remaining', 0.0):.1%}"
+        )
+    alerts = snapshot.get("slo", {}).get("alerts", [])
+    if alerts:
+        lines.append("  alerts:")
+        for alert in alerts:
+            lines.append(
+                f"    {alert.get('state', '?'):<8} {alert.get('slo', '?'):<18} "
+                f"{alert.get('message', '')}"
+            )
+    lines += [
         "",
         "  recent requests:",
     ]
@@ -164,17 +206,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--once", action="store_true", help="render a single frame and exit")
     parser.add_argument("--count", type=int, default=0, help="stop after N frames (0 = until interrupted)")
     parser.add_argument("--json", action="store_true", help="emit the raw snapshot as JSON instead of the board")
+    parser.add_argument(
+        "--max-poll-failures", type=int, default=10,
+        help="consecutive poll failures before giving up in loop mode "
+             "(default 10; --once always fails on the first)",
+    )
     args = parser.parse_args(argv)
 
     previous: dict[str, Any] | None = None
     frames = 0
+    failures = 0
     try:
         while True:
             try:
                 snapshot = fetch_snapshot(args.url, timeout_s=max(1.0, args.interval * 2))
             except (OSError, RuntimeError, ValueError) as error:
-                print(f"error: cannot poll {args.url}: {error}", file=sys.stderr)
-                return 1
+                failures += 1
+                # --once is a probe: report and exit.  The live board
+                # instead backs off and reconnects -- a daemon restart
+                # should not kill the operator's screen.
+                if args.once or failures >= max(1, args.max_poll_failures):
+                    print(f"error: cannot poll {args.url}: {error}", file=sys.stderr)
+                    return 1
+                backoff = min(30.0, max(0.1, args.interval) * (2 ** (failures - 1)))
+                print(
+                    f"poll failed ({error}); retrying in {backoff:.1f}s "
+                    f"[{failures}/{args.max_poll_failures}]",
+                    file=sys.stderr,
+                )
+                time.sleep(backoff)
+                continue
+            failures = 0
             if args.json:
                 print(json.dumps(snapshot, indent=2, sort_keys=True))
             else:

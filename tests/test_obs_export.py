@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.obs.export import (
+    counter_exposition_name,
     escape_label_value,
     format_le,
     format_value,
@@ -13,7 +14,7 @@ from repro.obs.export import (
     render_prometheus,
     sanitize_metric_name,
 )
-from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.metrics import DEFAULT_BUCKETS, Exemplar, MetricsRegistry, describe
 
 
 @pytest.fixture
@@ -39,20 +40,53 @@ class TestNameSanitization:
     def test_leading_digit_gets_prefixed(self):
         assert sanitize_metric_name("2xx.count") == "_2xx_count"
 
+    def test_counters_gain_the_total_suffix(self):
+        assert counter_exposition_name("serve.model_cache_hits") == (
+            "serve_model_cache_hits_total"
+        )
+
+    def test_counters_already_suffixed_pass_through(self):
+        assert counter_exposition_name("serve.requests_total") == (
+            "serve_requests_total"
+        )
+
 
 class TestRendering:
     def test_help_and_type_lines_precede_samples(self, registry):
         text = render_prometheus(registry)
         lines = text.splitlines()
         type_index = lines.index("# TYPE serve_requests_total counter")
-        help_index = lines.index(
-            "# HELP serve_requests_total repro metric serve.requests_total (counter)"
+        help_index = next(
+            i for i, line in enumerate(lines)
+            if line.startswith("# HELP serve_requests_total ")
         )
         first_sample = next(
             i for i, line in enumerate(lines)
             if line.startswith("serve_requests_total{")
         )
         assert help_index < type_index < first_sample
+
+    def test_help_uses_registered_description(self, registry):
+        describe("export_test.described_widgets", "Widgets seen by the export test.")
+        registry.counter("export_test.described_widgets").inc()
+        text = render_prometheus(registry)
+        assert (
+            "# HELP export_test_described_widgets_total "
+            "Widgets seen by the export test." in text
+        )
+
+    def test_help_falls_back_to_generic_text(self, registry):
+        text = render_prometheus(registry)
+        assert (
+            "# HELP xsdgen_schemas_generated_total "
+            "repro metric xsdgen.schemas_generated (counter)" in text
+        )
+
+    def test_unsuffixed_counters_expose_as_total(self, registry):
+        registry.counter("serve.model_cache_hits").inc(2)
+        families = parse_prometheus_text(render_prometheus(registry))
+        assert families["serve_model_cache_hits_total"].type == "counter"
+        assert "serve_model_cache_hits" not in families
 
     def test_histogram_families_have_bucket_sum_count(self, registry):
         text = render_prometheus(registry)
@@ -90,7 +124,7 @@ class TestEscaping:
         nasty = 'path="/x\\y",\nend'
         registry.counter("hits", where=nasty).inc()
         families = parse_prometheus_text(render_prometheus(registry))
-        [(name, labels, value)] = families["hits"].samples
+        [(name, labels, value)] = families["hits_total"].samples
         assert labels == {"where": nasty}
         assert value == 1
 
@@ -154,6 +188,59 @@ class TestParser:
         families = parse_prometheus_text("free_floating 12\n")
         assert families["free_floating"].type == "untyped"
         assert families["free_floating"].values() == [12.0]
+
+
+class TestExemplars:
+    def test_traced_observation_renders_openmetrics_exemplar(self, registry):
+        hist = registry.histogram("serve.request_ms", endpoint="validate")
+        hist.observe(0.3, Exemplar("a" * 32, "req000abc0001", 0.3, ts=1700000000.5))
+        text = render_prometheus(registry)
+        assert (
+            'serve_request_ms_bucket{endpoint="validate",le="0.5"} 2 '
+            f'# {{trace_id="{"a" * 32}",request_id="req000abc0001"}} '
+            "0.3 1700000000.5" in text
+        )
+
+    def test_exemplars_parse_back_losslessly(self, registry):
+        trace_id = "b" * 32
+        hist = registry.histogram("serve.request_ms", endpoint="validate")
+        hist.observe(7.0, Exemplar(trace_id, "reqdeadbeef99", 7.0, ts=1700000001.25))
+        families = parse_prometheus_text(render_prometheus(registry))
+        family = families["serve_request_ms"]
+        matching = [
+            entry for entry in family.exemplars
+            if entry[2].get("trace_id") == trace_id
+        ]
+        assert len(matching) == 1
+        name, labels, exemplar_labels, value, ts = matching[0]
+        assert name == "serve_request_ms_bucket"
+        assert labels["le"] == "10"
+        assert exemplar_labels == {
+            "trace_id": trace_id, "request_id": "reqdeadbeef99",
+        }
+        assert value == 7.0
+        assert ts == 1700000001.25
+
+    def test_exemplar_timestamp_is_optional_on_parse(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 1 # {trace_id="c"} 0.5\n'
+            "h_count 1\n"
+        )
+        families = parse_prometheus_text(text)
+        [(_, _, exemplar_labels, value, ts)] = families["h"].exemplars
+        assert exemplar_labels == {"trace_id": "c"}
+        assert value == 0.5 and ts is None
+
+    def test_untraced_buckets_carry_no_exemplar(self, registry):
+        families = parse_prometheus_text(render_prometheus(registry))
+        assert families["serve_request_ms"].exemplars == []
+
+    def test_bucket_validation_ignores_exemplars(self, registry):
+        hist = registry.histogram("serve.request_ms", endpoint="validate")
+        hist.observe(50000.0, Exemplar("d" * 32, "reqoverflow01", 50000.0))
+        # +Inf overflow bucket exemplar must not break cumulative checks.
+        parse_prometheus_text(render_prometheus(registry))
 
 
 class TestQuantileFromBuckets:

@@ -217,3 +217,51 @@ class TestThreadSafety:
         for thread in threads:
             thread.join()
         assert registry.snapshot()["contended"] == 8000
+
+
+class TestExemplars:
+    def test_bucket_keeps_most_recent_exemplar(self, registry):
+        from repro.obs.metrics import Exemplar
+
+        hist = registry.histogram("serve.request_ms")
+        hist.observe(0.3, Exemplar("t1" * 16, "req1", 0.3))
+        hist.observe(0.4, Exemplar("t2" * 16, "req2", 0.4))
+        by_bound = dict(hist.bucket_exemplars())
+        assert by_bound[0.5].request_id == "req2"
+
+    def test_untraced_observation_leaves_exemplar_alone(self, registry):
+        from repro.obs.metrics import Exemplar
+
+        hist = registry.histogram("serve.request_ms")
+        hist.observe(0.3, Exemplar("t1" * 16, "req1", 0.3))
+        hist.observe(0.4)
+        by_bound = dict(hist.bucket_exemplars())
+        assert by_bound[0.5].request_id == "req1"
+
+    def test_exemplars_land_in_value_bucket(self, registry):
+        from repro.obs.metrics import DEFAULT_BUCKETS, Exemplar
+
+        hist = registry.histogram("serve.request_ms")
+        hist.observe(99999.0, Exemplar("t3" * 16, "req3", 99999.0))
+        pairs = hist.bucket_exemplars()
+        assert pairs[-1][0] == float("inf")
+        assert pairs[-1][1].request_id == "req3"
+        assert len(pairs) == len(DEFAULT_BUCKETS) + 1
+
+    def test_exemplar_to_dict_is_json_ready(self):
+        from repro.obs.metrics import Exemplar
+
+        payload = Exemplar("ab" * 16, "reqx", 1.25, ts=1700000000.0).to_dict()
+        assert json.loads(json.dumps(payload)) == {
+            "trace_id": "ab" * 16, "request_id": "reqx",
+            "value": 1.25, "ts": 1700000000.0,
+        }
+
+
+class TestDescriptions:
+    def test_describe_and_lookup(self):
+        from repro.obs.metrics import describe, description_of
+
+        describe("metrics_test.example", "An example metric.")
+        assert description_of("metrics_test.example") == "An example metric."
+        assert description_of("metrics_test.never_described") is None

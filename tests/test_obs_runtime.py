@@ -1,5 +1,7 @@
 """Runtime collector: gauge publication, sampling loop, degradation."""
 
+import builtins
+import os
 import time
 
 import pytest
@@ -92,3 +94,105 @@ class TestRuntimeCollector:
         second = registry.snapshot()["runtime.uptime_s"]
         collector.stop()
         assert second > first >= 0.0
+
+
+class TestNoProcDegradation:
+    """Platforms without /proc: gauges stay absent instead of lying."""
+
+    def test_unmeasurable_fds_leave_gauge_absent(self, registry, monkeypatch):
+        monkeypatch.setattr("repro.obs.runtime.open_fds", lambda: -1)
+        sample = sample_runtime(registry)
+        assert sample["open_fds"] == -1  # the raw sample still reports it
+        assert "runtime.open_fds" not in registry.snapshot()
+
+    def test_unmeasurable_rss_leaves_gauge_absent(self, registry, monkeypatch):
+        monkeypatch.setattr("repro.obs.runtime.rss_bytes", lambda: 0)
+        sample = sample_runtime(registry)
+        assert sample["rss_bytes"] == 0
+        snapshot = registry.snapshot()
+        assert "runtime.rss_bytes" not in snapshot
+        # The measurable gauges are still published:
+        assert snapshot["runtime.threads"] >= 1
+
+    def test_open_fds_returns_sentinel_without_proc(self, monkeypatch):
+        real_listdir = os.listdir
+
+        def listdir(path):
+            if str(path).startswith("/proc"):
+                raise FileNotFoundError(path)
+            return real_listdir(path)
+
+        monkeypatch.setattr(os, "listdir", listdir)
+        assert open_fds() == -1
+
+    def test_rss_falls_back_to_getrusage_without_proc(self, monkeypatch):
+        real_open = builtins.open
+
+        def opener(path, *args, **kwargs):
+            if str(path).startswith("/proc"):
+                raise FileNotFoundError(path)
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", opener)
+        # getrusage peak RSS is positive on any POSIX; never raises.
+        assert rss_bytes() > 0
+
+    def test_sample_runtime_never_raises_without_proc(self, registry, monkeypatch):
+        real_open = builtins.open
+        real_listdir = os.listdir
+
+        def opener(path, *args, **kwargs):
+            if str(path).startswith("/proc"):
+                raise FileNotFoundError(path)
+            return real_open(path, *args, **kwargs)
+
+        def listdir(path):
+            if str(path).startswith("/proc"):
+                raise FileNotFoundError(path)
+            return real_listdir(path)
+
+        monkeypatch.setattr(builtins, "open", opener)
+        monkeypatch.setattr(os, "listdir", listdir)
+        sample = sample_runtime(registry, started_at=time.monotonic())
+        assert sample["open_fds"] == -1
+        snapshot = registry.snapshot()
+        assert "runtime.open_fds" not in snapshot
+        assert snapshot["runtime.uptime_s"] >= 0.0
+
+
+class TestHooks:
+    def test_hooks_run_on_every_sample(self, registry):
+        ticks = []
+        collector = RuntimeCollector(
+            interval_s=30.0, registry=registry, hooks=[lambda: ticks.append(1)]
+        )
+        try:
+            collector.start()  # synchronous first sample
+            collector.sample()
+            assert len(ticks) == 2
+        finally:
+            collector.stop()
+
+    def test_add_hook_after_construction(self, registry):
+        collector = RuntimeCollector(interval_s=30.0, registry=registry)
+        ticks = []
+        collector.add_hook(lambda: ticks.append(1))
+        collector.sample()
+        assert ticks == [1]
+
+    def test_raising_hook_is_disabled_not_fatal(self, registry):
+        calls = []
+
+        def bad():
+            calls.append("bad")
+            raise RuntimeError("boom")
+
+        collector = RuntimeCollector(
+            interval_s=30.0, registry=registry,
+            hooks=[bad, lambda: calls.append("good")],
+        )
+        collector.sample()
+        collector.sample()
+        # bad ran once, was removed; good ran both times.
+        assert calls == ["bad", "good", "good"]
+        assert len(collector.hooks) == 1

@@ -28,6 +28,8 @@ from repro.obs.metrics import get_registry
 from repro.serve import ServeApp, ServeConfig, UpccServer
 from repro.serve.loadgen import LoadResult, request_json, run_load
 from repro.xmi import write_xmi
+from repro.xsd.parser import parse_schema
+from repro.xsd.validator import SchemaSet
 
 
 @pytest.fixture(scope="module")
@@ -577,3 +579,306 @@ class TestTopDashboard:
         rc = cli_main(["top", "--url", server.url, "--once"])
         assert rc == 0
         assert "upcc top" in capsys.readouterr().out
+
+
+def _traced_request(server, method, path, headers=None, body=None):
+    """One request with arbitrary headers; returns (status, headers, body)."""
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        connection.request(method, path, body=body, headers=headers or {})
+        response = connection.getresponse()
+        raw = response.read().decode("utf-8")
+        try:
+            parsed = json.loads(raw)
+        except json.JSONDecodeError:
+            parsed = raw
+        return response.status, dict(response.getheaders()), parsed
+    finally:
+        connection.close()
+
+
+TRACE_ID = "4bf92f3577b34da6a3ce929d0e0e4736"
+TRACEPARENT = f"00-{TRACE_ID}-00f067aa0ba902b7-01"
+
+
+class TestTracePropagation:
+    def test_response_echoes_traceparent(self, server):
+        status, headers, _ = _traced_request(
+            server, "GET", "/healthz", headers={"traceparent": TRACEPARENT}
+        )
+        assert status == 200
+        assert headers.get("traceparent") == TRACEPARENT
+
+    def test_tracestate_is_echoed_too(self, server):
+        status, headers, _ = _traced_request(
+            server, "GET", "/healthz",
+            headers={"traceparent": TRACEPARENT, "tracestate": "rojo=1,congo=2"},
+        )
+        assert status == 200
+        assert headers.get("tracestate") == "rojo=1,congo=2"
+
+    def test_untraced_requests_get_no_traceparent_header(self, server):
+        _, headers, _ = _traced_request(server, "GET", "/healthz")
+        assert "traceparent" not in headers
+
+    def test_malformed_traceparent_is_ignored(self, server):
+        status, headers, _ = _traced_request(
+            server, "GET", "/healthz", headers={"traceparent": "garbage"}
+        )
+        assert status == 200
+        assert "traceparent" not in headers
+
+    def test_trace_id_lands_in_access_log_record(self, server):
+        _traced_request(server, "GET", "/healthz",
+                        headers={"traceparent": TRACEPARENT})
+        records = [r for r in server.access.recent() if r["trace_id"] == TRACE_ID]
+        assert records, server.access.recent()
+        assert records[-1]["path"] == "/healthz"
+
+    def test_trace_id_lands_on_latency_exemplar(self, server, easybiz_xmi):
+        xmi_text, library = easybiz_xmi
+        body = json.dumps({
+            "xmi": xmi_text, "library": library, "root": "HoardingPermit",
+        }).encode("utf-8")
+        status, _, _ = _traced_request(
+            server, "POST", "/generate",
+            headers={"traceparent": TRACEPARENT,
+                     "Content-Type": "application/json"},
+            body=body,
+        )
+        assert status == 200
+        import urllib.request
+
+        from repro.obs.export import parse_prometheus_text
+
+        with urllib.request.urlopen(f"{server.url}/metrics") as response:
+            text = response.read().decode("utf-8")
+        families = parse_prometheus_text(text)
+        exemplars = families["serve_request_ms"].exemplars
+        traced = [
+            e for e in exemplars
+            if e[2].get("trace_id") == TRACE_ID
+            and e[1].get("endpoint") == "generate"
+        ]
+        assert traced, exemplars
+        name, labels, exemplar_labels, value, ts = traced[-1]
+        # The exemplar's value sits within its bucket's le bound:
+        le = labels["le"]
+        assert le == "+Inf" or value <= float(le)
+        assert len(exemplar_labels["request_id"]) >= 12
+
+    def test_responses_total_counts_by_status_code(self, server):
+        request_json(server.url, "/healthz")
+        snapshot = get_registry().snapshot()
+        assert snapshot["serve.responses_total{code=200}"] >= 1
+
+
+class TestSlowCaptureTracing:
+    def test_slow_capture_carries_trace_id_and_slow_filter_finds_it(self, tmp_path):
+        config = ServeConfig(
+            workers=2, queue_size=16, slow_ms=0.0,
+            slow_dir=str(tmp_path / "slow"),
+        )
+        with UpccServer(ServeApp(), config) as server:
+            status, _, _ = _traced_request(
+                server, "GET", "/healthz", headers={"traceparent": TRACEPARENT}
+            )
+            assert status == 200
+            status, payload = request_json(server.url, f"/slow?trace_id={TRACE_ID}")
+            assert status == 200
+            assert payload["captures"], payload
+            assert all(c["trace_id"] == TRACE_ID for c in payload["captures"])
+            # The captured span tree records the W3C identity on its root:
+            jsonl = tmp_path / "slow" / payload["captures"][-1]["jsonl"]
+            spans = [json.loads(line) for line in jsonl.read_text().splitlines()]
+            roots = [s for s in spans if s["parent_id"] is None]
+            assert roots[0]["attributes"]["trace_id"] == TRACE_ID
+            assert roots[0]["attributes"]["parent_span"] == "00f067aa0ba902b7"
+            # A bogus filter matches nothing:
+            status, payload = request_json(server.url, "/slow?trace_id=" + "f" * 32)
+            assert payload["captures"] == []
+
+    def test_slow_payload_surfaces_exemplars(self, tmp_path):
+        config = ServeConfig(
+            workers=2, queue_size=16, slow_ms=0.0,
+            slow_dir=str(tmp_path / "slow"),
+        )
+        with UpccServer(ServeApp(), config) as server:
+            _traced_request(server, "GET", "/healthz",
+                            headers={"traceparent": TRACEPARENT})
+            status, payload = request_json(server.url, "/slow")
+            assert status == 200
+            traced = [e for e in payload["exemplars"] if e["trace_id"] == TRACE_ID]
+            assert traced, payload["exemplars"]
+            assert any(e["endpoint"] == "healthz" for e in traced)
+
+
+class TestAlertsEndpoint:
+    def test_alerts_endpoint_reports_default_slos(self, server):
+        status, payload = request_json(server.url, "/alerts")
+        assert status == 200
+        assert {spec["name"] for spec in payload["slos"]} == {
+            "availability-5xx", "latency-p99-1s",
+        }
+        assert isinstance(payload["alerts"], list)
+
+    def test_error_burst_fires_and_steady_traffic_resolves(self, tmp_path):
+        slo_file = tmp_path / "slo.json"
+        slo_file.write_text(json.dumps({"slos": [{
+            "name": "avail-4xx", "objective": 0.9, "kind": "availability",
+            "error_classes": ["4xx"], "fast_window_s": 0.4,
+            "slow_window_s": 1.2, "burn_threshold": 1.0,
+        }]}))
+        alert_log = tmp_path / "alerts.jsonl"
+        config = ServeConfig(
+            workers=2, queue_size=16, runtime_interval_s=0.1,
+            slo_file=str(slo_file), alert_log=str(alert_log),
+        )
+        with UpccServer(ServeApp(), config) as server:
+            # Error burst: malformed JSON bodies are 400s (the injected
+            # error class the spec above counts against the budget).
+            for _ in range(10):
+                status, _, _ = _traced_request(
+                    server, "POST", "/validate",
+                    headers={"Content-Type": "application/json",
+                             "Content-Length": "9"},
+                    body=b"{not json",
+                )
+                assert status == 400
+            deadline = time.monotonic() + 5.0
+            fired = None
+            while time.monotonic() < deadline:
+                status, payload = request_json(server.url, "/alerts")
+                statuses = {s["name"]: s for s in payload["statuses"]}
+                if statuses.get("avail-4xx", {}).get("state") == "firing":
+                    fired = statuses["avail-4xx"]
+                    break
+                time.sleep(0.05)
+            assert fired is not None, "SLO never fired within the fast window"
+            assert fired["burn_fast"] > 1.0
+            assert fired["budget_remaining"] < 1.0
+            # Steady healthy traffic ages the burst out of both windows:
+            deadline = time.monotonic() + 6.0
+            resolved = False
+            while time.monotonic() < deadline:
+                request_json(server.url, "/healthz")
+                status, payload = request_json(server.url, "/alerts")
+                statuses = {s["name"]: s for s in payload["statuses"]}
+                if statuses.get("avail-4xx", {}).get("state") == "ok":
+                    resolved = True
+                    break
+                time.sleep(0.05)
+            assert resolved, "SLO never resolved under steady traffic"
+            states = [a["state"] for a in payload["alerts"] if a["slo"] == "avail-4xx"]
+            assert states[:2] == ["firing", "resolved"]
+        # The alert ring survived on disk:
+        lines = [json.loads(l) for l in alert_log.read_text().splitlines()]
+        assert [l["state"] for l in lines][:2] == ["firing", "resolved"]
+
+
+class TestLoadGeneratorTracing:
+    def test_loadgen_originates_trace_ids_visible_in_access_log(
+        self, server, easybiz_xmi
+    ):
+        generated = _generate(server, easybiz_xmi)
+        instance = InstanceGenerator(
+            SchemaSet([parse_schema(t) for t in generated["schemas"].values()])
+        ).generate_string("HoardingPermit")
+        payload = {"schema_set": generated["schema_set"], "documents": [instance]}
+        result = run_load(
+            server.url, "/validate", payload, requests=6, concurrency=2
+        )
+        assert result.ok == 6
+        assert len(result.trace_ids) == 6
+        assert len(set(result.trace_ids)) == 6  # each request its own trace
+        logged = {r["trace_id"] for r in server.access.recent()}
+        assert set(result.trace_ids) <= logged
+
+    def test_no_trace_flag_sends_no_traceparent(self, server, easybiz_xmi):
+        generated = _generate(server, easybiz_xmi)
+        instance = InstanceGenerator(
+            SchemaSet([parse_schema(t) for t in generated["schemas"].values()])
+        ).generate_string("HoardingPermit")
+        payload = {"schema_set": generated["schema_set"], "documents": [instance]}
+        result = run_load(
+            server.url, "/validate", payload, requests=2, concurrency=1,
+            trace=False,
+        )
+        assert result.ok == 2
+        assert result.trace_ids == []
+
+    def test_error_rate_injects_deterministic_400s(self, server, easybiz_xmi):
+        generated = _generate(server, easybiz_xmi)
+        instance = InstanceGenerator(
+            SchemaSet([parse_schema(t) for t in generated["schemas"].values()])
+        ).generate_string("HoardingPermit")
+        payload = {"schema_set": generated["schema_set"], "documents": [instance]}
+        result = run_load(
+            server.url, "/validate", payload, requests=8, concurrency=2,
+            error_rate=0.25,
+        )
+        assert result.injected_errors == 2  # indices 0 and 4 of 8
+        assert result.failed == result.injected_errors
+        assert result.ok == 8 - result.injected_errors
+        snapshot = get_registry().snapshot()
+        assert snapshot.get("serve.responses_total{code=400}", 0) >= 2
+
+
+class TestTopResilience:
+    def test_top_loop_mode_retries_with_backoff(self, capsys, monkeypatch):
+        from repro.serve import top as top_mod
+
+        sleeps = []
+        monkeypatch.setattr(top_mod.time, "sleep", sleeps.append)
+        rc = top_mod.main([
+            "--url", "http://127.0.0.1:9", "--interval", "0.1",
+            "--max-poll-failures", "3",
+        ])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert err.count("retrying in") == 2  # two backoffs, then give up
+        assert sleeps == [0.1, 0.2]  # exponential
+        assert "cannot poll" in err
+
+    def test_top_once_still_fails_fast(self, capsys):
+        from repro.serve import top as top_mod
+
+        rc = top_mod.main([
+            "--url", "http://127.0.0.1:9", "--once", "--max-poll-failures", "5",
+        ])
+        assert rc == 1
+        assert "retrying" not in capsys.readouterr().err
+
+    def test_top_board_shows_slo_panel(self, server, capsys):
+        from repro.serve import top as top_mod
+
+        rc = top_mod.main(["--url", server.url, "--once"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "slo" in out
+        assert "availability-5xx" in out
+        assert "burn fast=" in out
+
+    def test_top_json_snapshot_includes_slo(self, server, capsys):
+        from repro.serve import top as top_mod
+
+        rc = top_mod.main(["--url", server.url, "--once", "--json"])
+        assert rc == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        names = {s["name"] for s in snapshot["slo"]["statuses"]}
+        assert {"availability-5xx", "latency-p99-1s"} <= names
+
+
+class TestBadRequestAccessLogging:
+    def test_malformed_body_lands_in_access_log(self, server):
+        status, _, _ = _traced_request(
+            server, "POST", "/validate",
+            headers={"Content-Type": "application/json",
+                     "traceparent": TRACEPARENT},
+            body=b"{not json",
+        )
+        assert status == 400
+        bad = [r for r in server.access.recent() if r["status"] == 400]
+        assert bad, server.access.recent()
+        assert bad[-1]["path"] == "/validate"
+        assert bad[-1]["trace_id"] == TRACE_ID

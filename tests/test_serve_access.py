@@ -118,3 +118,86 @@ class TestSlowRequestStore:
         assert entry["endpoint"] == "validate"
         assert entry["duration_ms"] >= 10.0
         assert entry["threshold_ms"] == 5.0
+
+
+class TestAccessLogRotation:
+    def _fill(self, log, n, path="/validate"):
+        for index in range(n):
+            log.log(method="POST", path=path, status=200,
+                    duration_ms=1.0, request_id=f"req{index:04d}")
+
+    def test_rotates_once_past_max_bytes(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path, max_bytes=600, keep_rolled=2)
+        self._fill(log, 10)
+        assert log.rotations >= 1
+        rolled = path.with_name("access.jsonl.1")
+        assert rolled.exists()
+        # Every line in every generation is still valid JSON:
+        for file in (path, rolled):
+            if file.exists():
+                for line in file.read_text(encoding="utf-8").splitlines():
+                    json.loads(line)
+
+    def test_keep_rolled_bounds_generations(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path, max_bytes=200, keep_rolled=2)
+        self._fill(log, 40)
+        generations = sorted(p.name for p in tmp_path.iterdir())
+        assert set(generations) <= {
+            "access.jsonl", "access.jsonl.1", "access.jsonl.2"
+        }
+        assert "access.jsonl.1" in generations
+        assert log.rotations > 2  # older generations were dropped, not kept
+
+    def test_no_records_lost_across_rotation(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path, max_bytes=500, keep_rolled=8)
+        self._fill(log, 12)
+        records = []
+        for file in sorted(tmp_path.iterdir()):
+            for line in file.read_text(encoding="utf-8").splitlines():
+                records.append(json.loads(line))
+        assert len(records) == 12
+        assert {r["request_id"] for r in records} == {
+            f"req{i:04d}" for i in range(12)
+        }
+
+    def test_existing_file_size_counts_toward_the_bound(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        self._fill(AccessLog(path), 5)
+        size = path.stat().st_size
+        log = AccessLog(path, max_bytes=size + 10, keep_rolled=2)
+        self._fill(log, 1)
+        assert log.rotations == 1
+
+    def test_unbounded_by_default(self, tmp_path):
+        log = AccessLog(tmp_path / "access.jsonl")
+        self._fill(log, 20)
+        assert log.rotations == 0
+        assert log.max_bytes is None
+
+
+class TestTraceIdField:
+    def test_trace_id_recorded_and_in_schema(self, tmp_path):
+        log = AccessLog(tmp_path / "access.jsonl")
+        trace_id = "ab" * 16
+        record = log.log(
+            method="POST", path="/validate", status=200, duration_ms=1.0,
+            request_id="req1", span_id="s1", trace_id=trace_id,
+        )
+        assert record["trace_id"] == trace_id
+        assert "trace_id" in ACCESS_LOG_FIELDS
+
+    def test_trace_id_defaults_to_empty(self):
+        log = AccessLog()
+        record = log.log(method="GET", path="/healthz", status=200, duration_ms=0.1)
+        assert record["trace_id"] == ""
+
+    def test_slow_capture_carries_trace_id(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        store = SlowRequestStore(tmp_path)
+        root = _finished_span(tracer)
+        entry = store.capture(root, request_id="req1", trace_id="cd" * 16)
+        assert entry["trace_id"] == "cd" * 16
+        assert store.list()[0]["trace_id"] == "cd" * 16

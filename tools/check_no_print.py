@@ -22,7 +22,7 @@ import sys
 from pathlib import Path
 
 #: Files (relative to src/repro, posix-style) allowed to print.
-ALLOWED_FILES = {"cli.py", "serve/loadgen.py", "serve/top.py"}
+ALLOWED_FILES = {"cli.py", "obs/query.py", "serve/loadgen.py", "serve/top.py"}
 #: Directories (relative to src/repro) allowed to print.
 ALLOWED_DIRS = ("console/",)
 
