@@ -70,6 +70,7 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.export import (
+    OPENMETRICS_CONTENT_TYPE,
     PROMETHEUS_CONTENT_TYPE,
     parse_prometheus_text,
     quantile_from_buckets,
@@ -184,6 +185,7 @@ __all__ = [
     "LogfmtSink",
     "MetricsRegistry",
     "PIPELINE_LOGGERS",
+    "OPENMETRICS_CONTENT_TYPE",
     "PROMETHEUS_CONTENT_TYPE",
     "Profile",
     "ProfileNode",

@@ -12,6 +12,15 @@ into the `Prometheus text exposition format
   fixed log-scale ladder (:data:`repro.obs.metrics.DEFAULT_BUCKETS`),
   closed by ``le="+Inf"``, plus ``<name>_sum`` and ``<name>_count``.
 
+``openmetrics=True`` switches to the `OpenMetrics text format
+<https://github.com/OpenObservability/OpenMetrics>`_ instead: bucket
+exemplars are emitted (an OpenMetrics-only feature the classic 0.0.4
+parser rejects), counter families are named without the ``_total``
+sample suffix as the spec requires, and the payload is terminated by
+``# EOF``.  The daemon negotiates the variant off the scraper's
+``Accept`` header, so a stock Prometheus server always gets a payload
+its parser accepts while exemplar-aware scrapers opt in.
+
 :func:`parse_prometheus_text` is the stdlib-only inverse used by the
 exposition tests, the CI smoke step and ``upcc top``: it parses an
 exposition payload back into metric families and validates the
@@ -32,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
+    "OPENMETRICS_CONTENT_TYPE",
     "PROMETHEUS_CONTENT_TYPE",
     "MetricFamily",
     "counter_exposition_name",
@@ -44,25 +54,18 @@ __all__ = [
     "sanitize_metric_name",
 ]
 
-#: The content type ``GET /metrics`` answers with.
+#: The content type ``GET /metrics`` answers with by default.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+#: The content type of the exemplar-bearing OpenMetrics variant, served
+#: when the scraper's ``Accept`` header asks for it.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
 
 _NAME_OK_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 
-#: ``name{labels} value`` sample lines; label values are double-quoted
-#: with ``\\``, ``\"`` and ``\n`` escapes per the exposition spec.  An
-#: optional trailing ``# {labels} value [timestamp]`` is an OpenMetrics
-#: exemplar (attached to histogram ``_bucket`` samples).
-_SAMPLE_RE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>.*?)\})?"
-    r"\s+(?P<value>[^\s#]+)"
-    r"(?:\s+#\s+\{(?P<exemplar_labels>[^}]*)\}"
-    r"\s+(?P<exemplar_value>[^\s]+)"
-    r"(?:\s+(?P<exemplar_ts>[^\s]+))?)?"
-    r"\s*$"
-)
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
@@ -154,11 +157,20 @@ def _render_labels(labels: dict[str, Any], extra: str | None = None) -> str:
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
-def render_prometheus(registry: "MetricsRegistry") -> str:
+def render_prometheus(
+    registry: "MetricsRegistry", *, openmetrics: bool = False
+) -> str:
     """``registry`` as a Prometheus text exposition payload.
 
     Deterministic: families sorted by exposition name, series within a
     family sorted by label set, one trailing newline.
+
+    ``openmetrics=True`` renders the OpenMetrics variant instead: bucket
+    exemplars included, counter HELP/TYPE lines named without the
+    ``_total`` sample suffix, and a closing ``# EOF``.  The default
+    classic 0.0.4 payload carries **no** exemplars -- the classic parser
+    treats the ``#`` mid-line as a syntax error and fails the whole
+    scrape.
     """
     from repro.obs.metrics import description_of
 
@@ -177,7 +189,10 @@ def render_prometheus(registry: "MetricsRegistry") -> str:
 
     for instrument in sorted(counters, key=lambda c: (c.base_name, c.name)):
         name = counter_exposition_name(instrument.base_name)
-        lines = family(instrument.base_name, "counter", name)
+        # OpenMetrics names the *family* without the ``_total`` suffix
+        # its samples carry; the classic format uses one name for both.
+        family_name = name[: -len("_total")] if openmetrics else name
+        lines = family(instrument.base_name, "counter", family_name)
         lines.append(
             f"{name}{_render_labels(instrument.labels)} "
             f"{format_value(instrument.value)}"
@@ -193,7 +208,10 @@ def render_prometheus(registry: "MetricsRegistry") -> str:
         name = sanitize_metric_name(instrument.base_name)
         lines = family(instrument.base_name, "histogram", name)
         pairs = instrument.cumulative_buckets()
-        exemplars = instrument.bucket_exemplars()
+        exemplars = (
+            instrument.bucket_exemplars() if openmetrics
+            else [(bound, None) for bound, _ in pairs]
+        )
         with instrument._lock:
             total, count = instrument.total, instrument.count
         for (bound, cumulative), (_, exemplar) in zip(pairs, exemplars):
@@ -222,6 +240,8 @@ def render_prometheus(registry: "MetricsRegistry") -> str:
         output.append(f"# HELP {name} {help_text}")
         output.append(f"# TYPE {name} {kind}")
         output.extend(lines)
+    if openmetrics:
+        output.append("# EOF")
     return "\n".join(output) + "\n" if output else "\n"
 
 
@@ -278,6 +298,72 @@ def _parse_value(text: str) -> float:
     return float(text)
 
 
+def _scan_labels(text: str, pos: int) -> tuple[dict[str, str], int]:
+    """Parse the ``{...}`` label block starting at ``text[pos]``.
+
+    Returns ``(labels, position after the closing brace)``.  The block is
+    consumed one ``name="value"`` pair at a time, so a label *value*
+    containing ``}``, ``#`` or ``,`` can never end the block early -- the
+    only ``}`` that closes it is one outside a quoted value.
+    """
+    labels: dict[str, str] = {}
+    pos += 1  # past the opening brace
+    while True:
+        if pos >= len(text):
+            raise ValueError("unterminated label block")
+        if text[pos] == "}":
+            return labels, pos + 1
+        match = _LABEL_RE.match(text, pos)
+        if match is None:
+            raise ValueError(f"unparsable labels near {text[pos:]!r}")
+        labels[match.group(1)] = _unescape_label_value(match.group(2))
+        pos = match.end()
+        if pos < len(text) and text[pos] == ",":
+            pos += 1
+
+
+def _parse_sample_line(
+    line: str,
+) -> tuple[str, dict[str, str], str, tuple[dict[str, str], str, str | None] | None]:
+    """Split one sample line into name, labels, value text and exemplar.
+
+    ``name{labels} value`` with an optional OpenMetrics exemplar trailer
+    ``# {labels} value [timestamp]``.  Label blocks are scanned
+    label-by-label (:func:`_scan_labels`) rather than matched by a
+    whole-line regex, so ``'} '`` or ``'# {'`` *inside* a label value is
+    plain data, never a phantom block terminator or exemplar.
+    """
+    match = _METRIC_NAME_RE.match(line)
+    if match is None:
+        raise ValueError("no metric name")
+    name = match.group(0)
+    pos = match.end()
+    labels: dict[str, str] = {}
+    if pos < len(line) and line[pos] == "{":
+        labels, pos = _scan_labels(line, pos)
+    if pos < len(line) and not line[pos].isspace():
+        raise ValueError(f"junk after labels: {line[pos:]!r}")
+    rest = line[pos:].strip()
+    if not rest:
+        raise ValueError("missing value")
+    parts = rest.split(None, 1)
+    value_text = parts[0]
+    trailer = parts[1].strip() if len(parts) > 1 else ""
+    if not trailer:
+        return name, labels, value_text, None
+    if not trailer.startswith("#"):
+        raise ValueError(f"junk after value: {trailer!r}")
+    body = trailer[1:].lstrip()
+    if not body.startswith("{"):
+        raise ValueError(f"malformed exemplar: {trailer!r}")
+    exemplar_labels, end = _scan_labels(body, 0)
+    tokens = body[end:].split()
+    if not tokens or len(tokens) > 2:
+        raise ValueError(f"malformed exemplar: {trailer!r}")
+    exemplar = (exemplar_labels, tokens[0], tokens[1] if len(tokens) == 2 else None)
+    return name, labels, value_text, exemplar
+
+
 def parse_prometheus_text(text: str) -> dict[str, MetricFamily]:
     """Parse an exposition payload into families; raise ``ValueError`` on defects.
 
@@ -297,6 +383,12 @@ def parse_prometheus_text(text: str) -> dict[str, MetricFamily]:
                 base = sample_name[: -len(suffix)]
                 if base in families and families[base].type == "histogram":
                     return families[base]
+        # OpenMetrics counter families are declared without the _total
+        # suffix their samples carry.
+        if sample_name.endswith("_total"):
+            base = sample_name[: -len("_total")]
+            if base in families and families[base].type == "counter":
+                return families[base]
         if sample_name not in families:
             families[sample_name] = MetricFamily(sample_name, "untyped")
         return families[sample_name]
@@ -328,48 +420,32 @@ def parse_prometheus_text(text: str) -> dict[str, MetricFamily]:
             family.type = type_
             continue
         if line.startswith("#"):
-            continue  # comment
-        match = _SAMPLE_RE.match(line)
-        if match is None:
-            raise ValueError(f"line {line_number}: unparsable sample: {line!r}")
-        labels_text = match.group("labels")
-        labels: dict[str, str] = {}
-        if labels_text:
-            consumed = 0
-            for label_match in _LABEL_RE.finditer(labels_text):
-                labels[label_match.group(1)] = _unescape_label_value(
-                    label_match.group(2)
-                )
-                consumed = label_match.end()
-            leftover = labels_text[consumed:].strip().strip(",")
-            if leftover:
-                raise ValueError(
-                    f"line {line_number}: unparsable labels {labels_text!r}"
-                )
+            continue  # comment (including the OpenMetrics "# EOF")
         try:
-            value = _parse_value(match.group("value"))
+            name, labels, value_text, exemplar_parts = _parse_sample_line(line)
+        except ValueError as error:
+            raise ValueError(
+                f"line {line_number}: unparsable sample: {line!r} ({error})"
+            ) from None
+        try:
+            value = _parse_value(value_text)
         except ValueError:
             raise ValueError(
-                f"line {line_number}: unparsable value {match.group('value')!r}"
+                f"line {line_number}: unparsable value {value_text!r}"
             ) from None
-        family = family_for_sample(match.group("name"))
-        family.samples.append((match.group("name"), labels, value))
-        if match.group("exemplar_value") is not None:
-            exemplar_labels = {
-                m.group(1): _unescape_label_value(m.group(2))
-                for m in _LABEL_RE.finditer(match.group("exemplar_labels") or "")
-            }
+        family = family_for_sample(name)
+        family.samples.append((name, labels, value))
+        if exemplar_parts is not None:
+            exemplar_labels, exemplar_value_text, ts_text = exemplar_parts
             try:
-                exemplar_value = _parse_value(match.group("exemplar_value"))
-                ts_text = match.group("exemplar_ts")
+                exemplar_value = _parse_value(exemplar_value_text)
                 exemplar_ts = _parse_value(ts_text) if ts_text else None
             except ValueError:
                 raise ValueError(
                     f"line {line_number}: unparsable exemplar on {line!r}"
                 ) from None
             family.exemplars.append(
-                (match.group("name"), labels, exemplar_labels,
-                 exemplar_value, exemplar_ts)
+                (name, labels, exemplar_labels, exemplar_value, exemplar_ts)
             )
 
     _validate_histograms(families)

@@ -467,16 +467,18 @@ class MetricsRegistry:
         """The snapshot as a JSON document."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
-    def render_prometheus(self) -> str:
+    def render_prometheus(self, *, openmetrics: bool = False) -> str:
         """The registry in Prometheus text exposition format.
 
         HELP/TYPE lines per family, cumulative ``_bucket{le=...}`` series
         plus ``_sum``/``_count`` for histograms, label values escaped per
-        the format spec.  See :func:`repro.obs.export.render_prometheus`.
+        the format spec.  ``openmetrics=True`` selects the OpenMetrics
+        variant (exemplars, ``# EOF``).  See
+        :func:`repro.obs.export.render_prometheus`.
         """
         from repro.obs.export import render_prometheus
 
-        return render_prometheus(self)
+        return render_prometheus(self, openmetrics=openmetrics)
 
     def reset(self) -> None:
         """Drop every instrument (tests and fresh CLI runs)."""

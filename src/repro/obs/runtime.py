@@ -35,9 +35,18 @@ import time
 from typing import Any, Callable, Iterable
 
 from repro.obs import metrics as metrics_mod
+from repro.obs.logging_bridge import get_logger
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["RuntimeCollector", "rss_bytes", "open_fds", "sample_runtime"]
+
+_log = get_logger("repro.obs.runtime")
+
+#: Consecutive failures after which :class:`RuntimeCollector` stops
+#: running a hook.  A single transient error (a disk-full blip in the
+#: SLO engine's alert-log write, say) must not silently disable SLO
+#: evaluation for the daemon's lifetime.
+HOOK_FAILURE_LIMIT = 3
 
 
 def rss_bytes() -> int:
@@ -124,8 +133,11 @@ class RuntimeCollector:
         self._started_at: float | None = None
         self.samples = 0
         #: Callables run after each sweep (SLO engine tick and the like).
-        #: A hook that raises is disabled rather than killing the sampler.
+        #: A raising hook is logged and kept; only
+        #: :data:`HOOK_FAILURE_LIMIT` *consecutive* failures disable it,
+        #: so a transient error never kills the sampler or the hook.
         self.hooks: list[Callable[[], Any]] = list(hooks or [])
+        self._hook_failures: dict[int, int] = {}
 
     def add_hook(self, hook: Callable[[], Any]) -> None:
         """Run ``hook`` after every future sample (collector cadence)."""
@@ -143,8 +155,25 @@ class RuntimeCollector:
         for hook in list(self.hooks):
             try:
                 hook()
-            except Exception:  # noqa: BLE001 - a bad hook must not kill sampling
-                self.hooks.remove(hook)
+            except Exception as error:  # noqa: BLE001 - a bad hook must not kill sampling
+                failures = self._hook_failures.get(id(hook), 0) + 1
+                self._hook_failures[id(hook)] = failures
+                _log.warning(
+                    "runtime collector hook %r failed (%d/%d): %s",
+                    hook, failures, HOOK_FAILURE_LIMIT, error,
+                )
+                if failures >= HOOK_FAILURE_LIMIT:
+                    _log.warning(
+                        "disabling runtime collector hook %r after %d "
+                        "consecutive failures", hook, failures,
+                    )
+                    self._hook_failures.pop(id(hook), None)
+                    try:
+                        self.hooks.remove(hook)
+                    except ValueError:
+                        pass
+            else:
+                self._hook_failures.pop(id(hook), None)
         return values
 
     def start(self) -> "RuntimeCollector":

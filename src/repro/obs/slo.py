@@ -37,7 +37,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
+from repro.obs.logging_bridge import get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry
+
+_log = get_logger("repro.obs.slo")
 
 __all__ = [
     "Alert",
@@ -263,21 +266,32 @@ class AlertLog:
             os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
 
     def append(self, alert: Alert) -> None:
-        """Record one alert, compacting the backing file when oversized."""
+        """Record one alert, compacting the backing file when oversized.
+
+        File I/O failures are logged and swallowed: the in-memory ring
+        (what ``GET /alerts`` serves) already has the alert, and a disk
+        blip must not propagate into the collector thread that calls
+        this from the SLO engine's tick.
+        """
         with self._lock:
             self._ring.append(alert)
             if self.path is None:
                 return
             line = json.dumps(alert.to_dict(), sort_keys=True)
             self._appended += 1
-            if self._appended > 2 * self.keep:
-                with open(self.path, "w", encoding="utf-8") as handle:
-                    for kept in self._ring:
-                        handle.write(json.dumps(kept.to_dict(), sort_keys=True) + "\n")
-                self._appended = len(self._ring)
-            else:
-                with open(self.path, "a", encoding="utf-8") as handle:
-                    handle.write(line + "\n")
+            try:
+                if self._appended > 2 * self.keep:
+                    with open(self.path, "w", encoding="utf-8") as handle:
+                        for kept in self._ring:
+                            handle.write(
+                                json.dumps(kept.to_dict(), sort_keys=True) + "\n"
+                            )
+                    self._appended = len(self._ring)
+                else:
+                    with open(self.path, "a", encoding="utf-8") as handle:
+                        handle.write(line + "\n")
+            except OSError as error:
+                _log.warning("alert log write failed: %s", error)
 
     def recent(self, limit: int | None = None) -> list[Alert]:
         """The newest alerts, oldest first (bounded by ``limit``)."""
@@ -288,13 +302,30 @@ class AlertLog:
         return alerts
 
 
+#: Ring-capacity bounds for :class:`_Window`: never smaller than the
+#: historical default, never so large that a sub-second cadence against a
+#: day-long window eats unbounded memory (samples are 3-tuples, so the
+#: cap is ~2 MB per SLO at worst).
+_WINDOW_MIN_CAPACITY = 4096
+_WINDOW_MAX_CAPACITY = 90_000
+
+
+def _window_capacity(slow_window_s: float, sample_interval_s: float) -> int:
+    """Ring size covering ``slow_window_s`` at ``sample_interval_s`` cadence."""
+    needed = int(slow_window_s / max(0.05, sample_interval_s)) + 8
+    return min(_WINDOW_MAX_CAPACITY, max(_WINDOW_MIN_CAPACITY, needed))
+
+
 @dataclass
 class _Window:
     """The cumulative-counter snapshot ring backing one SLO."""
 
-    samples: deque[tuple[float, int, int]] = field(
-        default_factory=lambda: deque(maxlen=4096)
-    )  # (ts, total, errors), cumulative
+    capacity: int = _WINDOW_MIN_CAPACITY
+    samples: deque[tuple[float, int, int]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        # (ts, total, errors), cumulative
+        self.samples = deque(maxlen=max(1, self.capacity))
 
     def push(self, ts: float, total: int, errors: int) -> None:
         self.samples.append((ts, total, errors))
@@ -350,6 +381,7 @@ class SloEngine:
         registry: MetricsRegistry | None = None,
         alert_log: AlertLog | None = None,
         clock: Callable[[], float] = time.time,
+        sample_interval_s: float = 5.0,
     ) -> None:
         self.specs = tuple(specs)
         if not self.specs:
@@ -357,7 +389,21 @@ class SloEngine:
         self._registry = registry
         self.alert_log = alert_log if alert_log is not None else AlertLog()
         self._clock = clock
-        self._windows = {spec.name: _Window() for spec in self.specs}
+        # Each ring must hold a full slow window of snapshots at the
+        # sampling cadence, else delta() silently falls back to the
+        # oldest retained sample and the slow burn rate is computed over
+        # a shorter window than declared.
+        self._windows: dict[str, _Window] = {}
+        for spec in self.specs:
+            capacity = _window_capacity(spec.slow_window_s, sample_interval_s)
+            if capacity * max(0.05, sample_interval_s) < spec.slow_window_s:
+                _log.warning(
+                    "slo %s: snapshot ring (%d entries) cannot cover the "
+                    "%.0fs slow window at a %.2fs sampling cadence; the "
+                    "slow burn rate will span a shorter window",
+                    spec.name, capacity, spec.slow_window_s, sample_interval_s,
+                )
+            self._windows[spec.name] = _Window(capacity)
         self._firing: dict[str, bool] = {spec.name: False for spec in self.specs}
         self._statuses: dict[str, SloStatus] = {}
         self._lock = threading.Lock()

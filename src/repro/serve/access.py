@@ -103,7 +103,11 @@ class AccessLog:
         try:
             self.path.rename(self.path.with_name(f"{self.path.name}.1"))
         except OSError as error:
+            # The live file is still in place: keep _bytes so the next
+            # append retries rotation instead of letting the file grow
+            # past max_bytes forever behind a reset counter.
             _log.warning("access log rotation failed: %s", error)
+            return
         self._bytes = 0
         self.rotations += 1
 
@@ -141,7 +145,9 @@ class AccessLog:
                     with self.path.open("a", encoding="utf-8") as handle:
                         handle.write(line + "\n")
                     self.lines_written += 1
-                    self._bytes += len(line) + 1
+                    # Size accounting must match what stat() would say:
+                    # encoded bytes, not characters.
+                    self._bytes += len(line.encode("utf-8")) + 1
                     if self.max_bytes is not None and self._bytes > self.max_bytes:
                         self._rotate_locked()
                 except OSError as error:

@@ -52,7 +52,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 from urllib.parse import parse_qs, urlsplit
 
-from repro.obs.export import PROMETHEUS_CONTENT_TYPE
+from repro.obs.export import OPENMETRICS_CONTENT_TYPE, PROMETHEUS_CONTENT_TYPE
 from repro.obs.logging_bridge import get_logger
 from repro.obs.metrics import (
     Exemplar,
@@ -239,12 +239,21 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond_inline("stats", self.upcc.app.stats())
         elif url.path == "/metrics":
             # Answered inline (like /healthz) so scrapes stay responsive
-            # while the worker pool is saturated.
+            # while the worker pool is saturated.  Exemplars are an
+            # OpenMetrics-only feature the classic 0.0.4 parser rejects,
+            # so they are served only to scrapers that Accept the
+            # OpenMetrics content type.
             started = time.perf_counter()
-            body = get_registry().render_prometheus()
+            openmetrics = (
+                "application/openmetrics-text" in self.headers.get("Accept", "")
+            )
+            body = get_registry().render_prometheus(openmetrics=openmetrics)
             self._count("metrics", started, status=200)
             self._access("GET", url.path, 200, started)
-            self._send_text(200, body, PROMETHEUS_CONTENT_TYPE)
+            self._send_text(
+                200, body,
+                OPENMETRICS_CONTENT_TYPE if openmetrics else PROMETHEUS_CONTENT_TYPE,
+            )
         elif url.path == "/slow":
             params = {
                 key: values[0] for key, values in parse_qs(url.query).items()
@@ -493,6 +502,7 @@ class UpccServer:
         self.slo_engine = SloEngine(
             specs,
             alert_log=AlertLog(self.config.alert_log, keep=self.config.alert_keep),
+            sample_interval_s=self.config.runtime_interval_s,
         )
         # The engine rides the runtime sampler's cadence -- one timer
         # thread serves both process gauges and SLO evaluation.

@@ -194,18 +194,45 @@ class TestExemplars:
     def test_traced_observation_renders_openmetrics_exemplar(self, registry):
         hist = registry.histogram("serve.request_ms", endpoint="validate")
         hist.observe(0.3, Exemplar("a" * 32, "req000abc0001", 0.3, ts=1700000000.5))
-        text = render_prometheus(registry)
+        text = render_prometheus(registry, openmetrics=True)
         assert (
             'serve_request_ms_bucket{endpoint="validate",le="0.5"} 2 '
             f'# {{trace_id="{"a" * 32}",request_id="req000abc0001"}} '
             "0.3 1700000000.5" in text
         )
 
+    def test_classic_rendering_never_emits_exemplars(self, registry):
+        # The 0.0.4 text-format parser rejects exemplar trailers, so the
+        # default rendering must strip them even for traced observations.
+        hist = registry.histogram("serve.request_ms", endpoint="validate")
+        hist.observe(0.3, Exemplar("a" * 32, "req000abc0001", 0.3))
+        text = render_prometheus(registry)
+        assert " # {" not in text
+        assert "# EOF" not in text
+        assert parse_prometheus_text(text)["serve_request_ms"].exemplars == []
+
+    def test_openmetrics_payload_ends_with_eof(self, registry):
+        text = render_prometheus(registry, openmetrics=True)
+        assert text.endswith("# EOF\n")
+        # The parser tolerates the terminator like any other comment.
+        parse_prometheus_text(text)
+
+    def test_openmetrics_counter_family_drops_total_suffix(self, registry):
+        text = render_prometheus(registry, openmetrics=True)
+        assert "# TYPE serve_requests counter" in text
+        assert 'serve_requests_total{endpoint="validate"} 3' in text
+        families = parse_prometheus_text(text)
+        family = families["serve_requests"]
+        assert family.type == "counter"
+        assert sum(family.values()) == 4
+
     def test_exemplars_parse_back_losslessly(self, registry):
         trace_id = "b" * 32
         hist = registry.histogram("serve.request_ms", endpoint="validate")
         hist.observe(7.0, Exemplar(trace_id, "reqdeadbeef99", 7.0, ts=1700000001.25))
-        families = parse_prometheus_text(render_prometheus(registry))
+        families = parse_prometheus_text(
+            render_prometheus(registry, openmetrics=True)
+        )
         family = families["serve_request_ms"]
         matching = [
             entry for entry in family.exemplars
@@ -240,7 +267,38 @@ class TestExemplars:
         hist = registry.histogram("serve.request_ms", endpoint="validate")
         hist.observe(50000.0, Exemplar("d" * 32, "reqoverflow01", 50000.0))
         # +Inf overflow bucket exemplar must not break cumulative checks.
-        parse_prometheus_text(render_prometheus(registry))
+        parse_prometheus_text(render_prometheus(registry, openmetrics=True))
+
+    def test_label_value_containing_exemplar_syntax_is_plain_data(self):
+        # A label value holding '} ' followed by '# {' must neither end
+        # the label block early nor be mis-read as a phantom exemplar.
+        registry = MetricsRegistry()
+        nasty = 'prefix} # {trace_id="zzz"} 9 suffix'
+        registry.counter("hits", path=nasty).inc(3)
+        for openmetrics in (False, True):
+            families = parse_prometheus_text(
+                render_prometheus(registry, openmetrics=openmetrics)
+            )
+            family = families["hits" if openmetrics else "hits_total"]
+            [(_, labels, value)] = family.samples
+            assert labels == {"path": nasty}
+            assert value == 3
+            assert family.exemplars == []
+
+    def test_exemplar_after_braced_label_value_still_parses(self):
+        # '} ' and '#' inside a label value, then a real exemplar.
+        trace = "e" * 32
+        text = (
+            "# TYPE h histogram\n"
+            f'h_bucket{{path="a}}b#c",le="+Inf"}} 1 '
+            f'# {{trace_id="{trace}"}} 0.5\n'
+            "h_count 1\n"
+        )
+        families = parse_prometheus_text(text)
+        [(name, labels, exemplar_labels, value, ts)] = families["h"].exemplars
+        assert labels["path"] == "a}b#c"
+        assert exemplar_labels == {"trace_id": "e" * 32}
+        assert value == 0.5 and ts is None
 
 
 class TestQuantileFromBuckets:

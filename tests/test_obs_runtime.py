@@ -7,7 +7,13 @@ import time
 import pytest
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.runtime import RuntimeCollector, open_fds, rss_bytes, sample_runtime
+from repro.obs.runtime import (
+    HOOK_FAILURE_LIMIT,
+    RuntimeCollector,
+    open_fds,
+    rss_bytes,
+    sample_runtime,
+)
 
 
 @pytest.fixture
@@ -180,7 +186,7 @@ class TestHooks:
         collector.sample()
         assert ticks == [1]
 
-    def test_raising_hook_is_disabled_not_fatal(self, registry):
+    def test_persistently_raising_hook_is_disabled_not_fatal(self, registry):
         calls = []
 
         def bad():
@@ -191,8 +197,30 @@ class TestHooks:
             interval_s=30.0, registry=registry,
             hooks=[bad, lambda: calls.append("good")],
         )
-        collector.sample()
-        collector.sample()
-        # bad ran once, was removed; good ran both times.
-        assert calls == ["bad", "good", "good"]
+        for _ in range(HOOK_FAILURE_LIMIT + 2):
+            collector.sample()
+        # bad survived its first failures, was dropped only after the
+        # consecutive-failure limit; good ran every time.
+        assert calls.count("bad") == HOOK_FAILURE_LIMIT
+        assert calls.count("good") == HOOK_FAILURE_LIMIT + 2
         assert len(collector.hooks) == 1
+
+    def test_transient_hook_failure_does_not_disable_it(self, registry):
+        # A single blip (e.g. one failed alert-log write) must not
+        # permanently silence SLO evaluation: the failure counter resets
+        # on the next success.
+        outcomes = iter([True] + [False] * (HOOK_FAILURE_LIMIT * 3))
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if next(outcomes):
+                raise OSError("disk full")
+
+        collector = RuntimeCollector(
+            interval_s=30.0, registry=registry, hooks=[flaky]
+        )
+        for _ in range(HOOK_FAILURE_LIMIT * 2):
+            collector.sample()
+        assert collector.hooks == [flaky]
+        assert len(calls) == HOOK_FAILURE_LIMIT * 2

@@ -289,6 +289,45 @@ class TestAlertLog:
         # The newest alerts are always present:
         assert json.loads(lines[-1])["ts"] == 19.0
 
+    def test_append_survives_file_write_failure(self, tmp_path, monkeypatch):
+        # The engine tick runs on the runtime collector thread; a disk
+        # blip on the JSONL write must neither raise (which would count
+        # against the hook-failure limit) nor lose the in-memory alert.
+        log = AlertLog(path=str(tmp_path / "alerts.jsonl"), keep=4)
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("builtins.open", boom)
+        log.append(self._alert(1.0))
+        monkeypatch.undo()
+        assert [a.ts for a in log.recent()] == [1.0]
+        # Later appends with a healthy disk keep working:
+        log.append(self._alert(2.0))
+        assert [a.ts for a in log.recent()] == [1.0, 2.0]
+
+
+class TestWindowCapacity:
+    def test_capacity_covers_slow_window_at_cadence(self):
+        from repro.obs.slo import _window_capacity
+
+        assert _window_capacity(3600.0, 0.05) == 72008
+        # Slow cadences keep the historical floor:
+        assert _window_capacity(600.0, 5.0) == 4096
+        # The cap bounds memory for absurd window/cadence combinations:
+        assert _window_capacity(1e6, 0.05) == 90_000
+
+    def test_engine_sizes_rings_from_sample_interval(self, registry, clock):
+        engine = SloEngine(
+            [AVAILABILITY], registry=registry, clock=clock,
+            sample_interval_s=0.05,
+        )
+        ring = engine._windows["avail"].samples
+        # 600s slow window at 0.05s cadence needs 12000 snapshots; the
+        # old fixed 4096 ring silently shortened the slow window.
+        assert ring.maxlen is not None
+        assert ring.maxlen * 0.05 >= AVAILABILITY.slow_window_s
+
 
 class TestSpecFiles:
     def test_load_round_trip(self, tmp_path):

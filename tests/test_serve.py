@@ -649,10 +649,17 @@ class TestTracePropagation:
         assert status == 200
         import urllib.request
 
-        from repro.obs.export import parse_prometheus_text
+        from repro.obs.export import OPENMETRICS_CONTENT_TYPE, parse_prometheus_text
 
-        with urllib.request.urlopen(f"{server.url}/metrics") as response:
+        # Exemplars are OpenMetrics-only; the scraper must ask for them.
+        request = urllib.request.Request(
+            f"{server.url}/metrics",
+            headers={"Accept": "application/openmetrics-text"},
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.headers.get("Content-Type") == OPENMETRICS_CONTENT_TYPE
             text = response.read().decode("utf-8")
+        assert text.endswith("# EOF\n")
         families = parse_prometheus_text(text)
         exemplars = families["serve_request_ms"].exemplars
         traced = [
@@ -666,6 +673,24 @@ class TestTracePropagation:
         le = labels["le"]
         assert le == "+Inf" or value <= float(le)
         assert len(exemplar_labels["request_id"]) >= 12
+
+    def test_plain_scrape_stays_classic_prometheus(self, server):
+        # A stock Prometheus scraper (no OpenMetrics Accept header) must
+        # get a classic 0.0.4 payload: its parser fails the whole scrape
+        # on the '#' of an inline exemplar.
+        _traced_request(server, "GET", "/healthz",
+                        headers={"traceparent": TRACEPARENT})
+        import urllib.request
+
+        from repro.obs.export import PROMETHEUS_CONTENT_TYPE, parse_prometheus_text
+
+        with urllib.request.urlopen(f"{server.url}/metrics") as response:
+            assert response.headers.get("Content-Type") == PROMETHEUS_CONTENT_TYPE
+            text = response.read().decode("utf-8")
+        assert " # {" not in text
+        assert "# EOF" not in text
+        families = parse_prometheus_text(text)
+        assert all(family.exemplars == [] for family in families.values())
 
     def test_responses_total_counts_by_status_code(self, server):
         request_json(server.url, "/healthz")

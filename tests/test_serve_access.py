@@ -177,6 +177,37 @@ class TestAccessLogRotation:
         assert log.rotations == 0
         assert log.max_bytes is None
 
+    def test_size_accounting_counts_encoded_bytes(self, tmp_path):
+        # Multibyte paths: the rotation trigger must track what stat()
+        # reports (UTF-8 bytes), not Python character counts.
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path, max_bytes=10_000, keep_rolled=2)
+        self._fill(log, 3, path="/schémas/валидация/校验")
+        assert log.rotations == 0
+        assert log._bytes == path.stat().st_size
+
+    def test_failed_rotation_keeps_counter_and_retries(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path, max_bytes=300, keep_rolled=2)
+
+        def refuse(self, target):
+            raise OSError("EXDEV: cross-device link")
+
+        monkeypatch.setattr(Path, "rename", refuse)
+        self._fill(log, 10)
+        # Rename failures must not reset the byte counter or count as
+        # rotations -- otherwise the live file grows forever.
+        assert log.rotations == 0
+        assert log._bytes == path.stat().st_size
+        assert log._bytes > 300
+        monkeypatch.undo()
+        # Once renames work again the very next append rotates:
+        self._fill(log, 1)
+        assert log.rotations == 1
+        assert path.with_name("access.jsonl.1").exists()
+
 
 class TestTraceIdField:
     def test_trace_id_recorded_and_in_schema(self, tmp_path):
